@@ -1,0 +1,73 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! record-cache size, NV-buffer size, and hash latency sensitivity.
+//! Prints simulated metrics per configuration, then benches one point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
+use steins_metadata::CounterMode;
+use steins_trace::{Workload, WorkloadKind};
+
+fn run(cfg: SystemConfig) -> (u64, u64) {
+    let mut sys = SecureNvmSystem::new(cfg);
+    let wl = Workload::new(WorkloadKind::PHash, 30_000, 11);
+    let r = sys.run_trace(wl.generate()).unwrap();
+    (r.cycles, r.nvm.writes)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("\n-- ablation: record-cache lines (Steins-GC, phash) --");
+    for lines in [1usize, 4, 16, 64] {
+        let mut cfg = SystemConfig::sweep(SchemeKind::Steins, CounterMode::General);
+        cfg.record_cache_lines = lines;
+        let (cycles, writes) = run(cfg);
+        println!("  {lines:>3} lines: cycles={cycles} writes={writes}");
+    }
+
+    println!("-- ablation: NV buffer bytes (Steins-GC, phash) --");
+    for bytes in [16usize, 64, 128, 512] {
+        let mut cfg = SystemConfig::sweep(SchemeKind::Steins, CounterMode::General);
+        cfg.nv_buffer_bytes = bytes;
+        let (cycles, writes) = run(cfg);
+        println!("  {bytes:>3} B: cycles={cycles} writes={writes}");
+    }
+
+    println!("-- ablation: hash latency (Steins vs ASIT, phash) --");
+    for lat in [10u64, 40, 80] {
+        for scheme in [SchemeKind::Steins, SchemeKind::Asit] {
+            let mut cfg = SystemConfig::sweep(scheme, CounterMode::General);
+            cfg.hash_latency = lat;
+            let (cycles, _) = run(cfg);
+            println!("  {lat:>3} cy {}: cycles={cycles}", scheme.label(CounterMode::General));
+        }
+    }
+
+    println!("-- ablation: L2 stream prefetcher (Steins-GC, lbm vs milc) --");
+    for (wl, label) in [(WorkloadKind::Lbm, "lbm"), (WorkloadKind::Milc, "milc")] {
+        for enabled in [false, true] {
+            let mut cfg = SystemConfig::sweep(SchemeKind::Steins, CounterMode::General);
+            cfg.hierarchy.prefetch.enabled = enabled;
+            cfg.hierarchy.prefetch.degree = 4;
+            let mut sys = SecureNvmSystem::new(cfg);
+            let w = Workload::new(wl, 30_000, 11);
+            let r = sys.run_trace(w.generate()).unwrap();
+            println!(
+                "  {label:<5} prefetch={enabled:<5} cycles={} read_stalls={}",
+                r.cycles, r.read_stall_cycles
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("ablation_host");
+    g.sample_size(10);
+    g.bench_function("steins_default_point", |b| {
+        b.iter(|| run(SystemConfig::sweep(SchemeKind::Steins, CounterMode::General)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Macro benchmark: recovery host throughput + simulated recovery effort
+//! per scheme (the mechanism behind Fig. 17).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
+use steins_metadata::CounterMode;
+use steins_trace::{Workload, WorkloadKind};
+
+fn crashed(scheme: SchemeKind, mode: CounterMode) -> steins_core::CrashedSystem {
+    let cfg = SystemConfig::small_for_tests(scheme, mode);
+    let data_lines = cfg.data_lines;
+    let mut sys = SecureNvmSystem::new(cfg);
+    let mut wl = Workload::new(WorkloadKind::PHash, 2_000, 3);
+    wl.footprint_lines = data_lines;
+    sys.run_trace(wl.generate()).unwrap();
+    sys.crash()
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    for (scheme, mode) in [
+        (SchemeKind::Asit, CounterMode::General),
+        (SchemeKind::Star, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::Split),
+    ] {
+        g.bench_function(scheme.label(mode), |b| {
+            b.iter_batched(
+                || crashed(scheme, mode),
+                |crashed| std::hint::black_box(crashed.recover().expect("verifies")),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_recovery
+}
+criterion_main!(benches);

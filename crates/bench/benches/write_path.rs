@@ -1,0 +1,47 @@
+//! Macro benchmark: *simulated* write latency per scheme (the quantity of
+//! Fig. 10), measured as MC cycles per secure write on a fixed write burst.
+//! Criterion measures host time; the printed custom metric is the simulated
+//! latency ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
+use steins_metadata::CounterMode;
+use steins_trace::{Workload, WorkloadKind};
+
+fn simulated_write_latency(scheme: SchemeKind, mode: CounterMode) -> f64 {
+    let cfg = SystemConfig::sweep(scheme, mode);
+    let mut sys = SecureNvmSystem::new(cfg);
+    let wl = Workload::new(WorkloadKind::PHash, 30_000, 11);
+    sys.run_trace(wl.generate()).unwrap().write_latency
+}
+
+fn bench_simulated_write_latency(c: &mut Criterion) {
+    // Print the Fig. 10-style numbers once, then benchmark the host cost of
+    // producing them (simulator throughput).
+    let wb = simulated_write_latency(SchemeKind::WriteBack, CounterMode::General);
+    for (scheme, mode) in [
+        (SchemeKind::Asit, CounterMode::General),
+        (SchemeKind::Star, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::General),
+    ] {
+        let lat = simulated_write_latency(scheme, mode);
+        println!(
+            "simulated write latency {}: {:.1} cycles ({:.2}x WB-GC)",
+            scheme.label(mode),
+            lat,
+            lat / wb
+        );
+    }
+    let mut g = c.benchmark_group("write_path_host");
+    g.bench_function("steins_gc_30k_phash", |b| {
+        b.iter(|| simulated_write_latency(SchemeKind::Steins, CounterMode::General))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulated_write_latency
+}
+criterion_main!(benches);

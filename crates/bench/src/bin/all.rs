@@ -1,0 +1,145 @@
+//! Runs the full evaluation (every table and figure) and prints a summary
+//! comparing the measured shapes against the paper's headline claims.
+//!
+//! `cargo run -p steins-bench --release --bin all`
+
+use rayon::prelude::*;
+use steins_bench::recovery_bench::{recovery_at_cache_size, CACHE_SWEEP};
+use steins_bench::{gmean, print_normalized, run_matrix, GC_MATRIX, SC_MATRIX};
+use steins_core::SchemeKind;
+use steins_metadata::CounterMode;
+use steins_trace::WorkloadKind;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!(
+        "Running full sweep: ops/workload = {}, seed = {}",
+        steins_bench::ops(),
+        steins_bench::seed()
+    );
+
+    // One simulation pass serves Figs. 9, 10, 11, 13, 15 (GC matrix) and
+    // Figs. 12, 14, 16 (SC matrix).
+    let gc = run_matrix(&GC_MATRIX, &WorkloadKind::ALL);
+    let sc = run_matrix(&SC_MATRIX, &WorkloadKind::ALL);
+
+    let all = WorkloadKind::ALL;
+    let fig9 = print_normalized("Fig. 9: execution time / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.cycles as f64);
+    let fig10 = print_normalized("Fig. 10: write latency / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.write_latency);
+    let fig11 = print_normalized("Fig. 11: read latency / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.read_latency);
+    let fig12 = print_normalized("Fig. 12: execution time / WB-SC", &sc, &SC_MATRIX, &all, SC_MATRIX[0], |r| r.cycles as f64);
+    let fig13 = print_normalized("Fig. 13: write traffic / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.nvm.writes as f64);
+    let fig14 = print_normalized("Fig. 14: write traffic / WB-SC", &sc, &SC_MATRIX, &all, SC_MATRIX[0], |r| r.nvm.writes as f64);
+    let fig15 = print_normalized("Fig. 15: energy / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.energy_pj);
+    let fig16 = print_normalized("Fig. 16: energy / WB-SC", &sc, &SC_MATRIX, &all, SC_MATRIX[0], |r| r.energy_pj);
+
+    for (name, rows) in [
+        ("fig09_exec_time", &fig9),
+        ("fig10_write_latency", &fig10),
+        ("fig11_read_latency", &fig11),
+        ("fig12_exec_time_sc", &fig12),
+        ("fig13_write_traffic", &fig13),
+        ("fig14_write_traffic_sc", &fig14),
+        ("fig15_energy", &fig15),
+        ("fig16_energy_sc", &fig16),
+    ] {
+        steins_bench::write_csv(name, &all, rows);
+    }
+
+    // SC-vs-GC ratios straight from the two matrices.
+    let sc_over_gc_exec: Vec<f64> = all
+        .iter()
+        .map(|w| {
+            sc[&("Steins-SC".to_string(), w.label())].cycles as f64
+                / gc[&("Steins-GC".to_string(), w.label())].cycles as f64
+        })
+        .collect();
+    let sc_over_gc_energy: Vec<f64> = all
+        .iter()
+        .map(|w| {
+            sc[&("Steins-SC".to_string(), w.label())].energy_pj
+                / gc[&("Steins-GC".to_string(), w.label())].energy_pj
+        })
+        .collect();
+
+    // Fig. 17.
+    println!("\n== Fig. 17: recovery time (s) vs metadata cache size ==");
+    let cells = [
+        (SchemeKind::Asit, CounterMode::General, "ASIT"),
+        (SchemeKind::Star, CounterMode::General, "STAR"),
+        (SchemeKind::Steins, CounterMode::General, "Steins-GC"),
+        (SchemeKind::Steins, CounterMode::Split, "Steins-SC"),
+    ];
+    let fig17: Vec<(String, Vec<f64>)> = cells
+        .par_iter()
+        .map(|(s, m, label)| {
+            (
+                label.to_string(),
+                CACHE_SWEEP
+                    .iter()
+                    .map(|&c| recovery_at_cache_size(*s, *m, c).est_seconds)
+                    .collect(),
+            )
+        })
+        .collect();
+    print!("{:<12}", "scheme");
+    for c in CACHE_SWEEP {
+        print!("{:>10}", format!("{}KB", c >> 10));
+    }
+    println!();
+    for (label, series) in &fig17 {
+        print!("{label:<12}");
+        for s in series {
+            print!("{s:>10.4}");
+        }
+        println!();
+    }
+
+    // Headline comparison.
+    let g = |rows: &Vec<(String, Vec<f64>, f64)>, label: &str| {
+        rows.iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, _, g)| *g)
+            .unwrap_or(f64::NAN)
+    };
+    println!("\n== Headline shapes: paper vs measured ==");
+    println!("{:<46}{:>10}{:>10}", "claim", "paper", "measured");
+    let rows = [
+        ("ASIT exec time vs WB-GC (Fig. 9)", 1.20, g(&fig9, "ASIT-GC")),
+        ("STAR exec time vs WB-GC (Fig. 9)", 1.12, g(&fig9, "STAR-GC")),
+        ("Steins-GC exec time vs WB-GC (Fig. 9)", 1.00, g(&fig9, "Steins-GC")),
+        ("ASIT write latency vs WB-GC (Fig. 10)", 2.14, g(&fig10, "ASIT-GC")),
+        ("STAR write latency vs WB-GC (Fig. 10)", 1.67, g(&fig10, "STAR-GC")),
+        ("Steins-GC write latency vs WB-GC (Fig. 10)", 1.06, g(&fig10, "Steins-GC")),
+        ("Steins-GC read latency vs WB-GC (Fig. 11)", 1.00, g(&fig11, "Steins-GC")),
+        ("Steins-SC exec time vs WB-SC (Fig. 12)", 0.998, g(&fig12, "Steins-SC")),
+        ("ASIT write traffic vs WB-GC (Fig. 13)", 2.00, g(&fig13, "ASIT-GC")),
+        ("STAR write traffic vs WB-GC (Fig. 13)", 1.30, g(&fig13, "STAR-GC")),
+        ("Steins-GC write traffic vs WB-GC (Fig. 13)", 1.05, g(&fig13, "Steins-GC")),
+        ("Steins-SC write traffic vs WB-SC (Fig. 14)", 1.01, g(&fig14, "Steins-SC")),
+        ("Steins-GC energy vs WB-GC (Fig. 15)", 0.998, g(&fig15, "Steins-GC")),
+        ("Steins-SC energy vs WB-SC (Fig. 16)", 1.00, g(&fig16, "Steins-SC")),
+        ("Steins-SC / Steins-GC exec time", 0.61, gmean(&sc_over_gc_exec)),
+        ("Steins-SC / Steins-GC energy", 0.906, gmean(&sc_over_gc_energy)),
+    ];
+    for (claim, paper, measured) in rows {
+        println!("{claim:<46}{paper:>10.3}{measured:>10.3}");
+    }
+    let at4 = |label: &str| {
+        fig17
+            .iter()
+            .find(|(l, _)| l == label)
+            .and_then(|(_, s)| s.last().copied())
+            .unwrap_or(f64::NAN)
+    };
+    let recov = [
+        ("ASIT recovery @4MB (s, Fig. 17)", 0.02, at4("ASIT")),
+        ("STAR recovery @4MB (s, Fig. 17)", 0.065, at4("STAR")),
+        ("Steins-GC recovery @4MB (s, Fig. 17)", 0.08, at4("Steins-GC")),
+        ("Steins-SC recovery @4MB (s, Fig. 17)", 0.44, at4("Steins-SC")),
+    ];
+    for (claim, paper, measured) in recov {
+        println!("{claim:<46}{paper:>10.3}{measured:>10.3}");
+    }
+    println!("\nTotal sweep wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

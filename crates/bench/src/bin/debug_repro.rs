@@ -1,0 +1,90 @@
+//! Diagnostic tool: run one scheme/workload and, on an integrity failure,
+//! report which counter value the stored HMAC actually corresponds to.
+//! Select with SCHEME=wb|asit|star|steins, MODE=gc|sc, WL=phash|ptree.
+
+use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
+use steins_metadata::CounterMode;
+use steins_trace::{Workload, WorkloadKind};
+
+fn main() {
+    let scheme = match std::env::var("SCHEME").as_deref() {
+        Ok("steins") => SchemeKind::Steins,
+        Ok("asit") => SchemeKind::Asit,
+        Ok("star") => SchemeKind::Star,
+        _ => SchemeKind::WriteBack,
+    };
+    let mode = if std::env::var("MODE").as_deref() == Ok("sc") {
+        CounterMode::Split
+    } else {
+        CounterMode::General
+    };
+    let cfg = SystemConfig::sweep(scheme, mode);
+    let mut sys = SecureNvmSystem::new(cfg);
+    let kind = if std::env::var("WL").as_deref() == Ok("ptree") {
+        WorkloadKind::PTree
+    } else {
+        WorkloadKind::PHash
+    };
+    let wl = Workload::new(kind, 200_000, 42);
+    match sys.run_trace(wl.generate()) {
+        Ok(_) => println!("no failure"),
+        Err(e) => {
+            println!("error: {e}");
+            if let steins_core::IntegrityError::DataMac { addr } = e {
+                let dline = addr / 64;
+                let geo = sys.ctrl.layout().geometry.clone();
+                let (leaf, slot) = geo.leaf_of_data(dline);
+                let loff = geo.offset_of(leaf);
+                let cached = sys.ctrl.meta_peek(loff);
+                let rec = sys.ctrl.data_mac_record(dline);
+                let (rmaj, rmin) = steins_core::cme::MacRecord::unpack_recovery(rec.recovery);
+                println!("data line {dline} leaf {leaf:?} slot {slot}");
+                println!("record: mac={:#x} recovery=({rmaj},{rmin})", rec.mac);
+                if let Some(l) = cached {
+                    println!("cached leaf pair for slot: {:?}", l.counters.enc_pair(slot));
+                }
+                // probe: which pair does the stored mac match?
+                let data = sys.ctrl.nvm().peek(addr & !63);
+                'outer: for mj in rmaj.saturating_sub(3)..rmaj + 3 {
+                    for mn in 0..64u64 {
+                        if sys.ctrl.data_mac_probe(addr & !63, &data, mj, mn) == rec.mac {
+                            println!("stored mac matches pair ({mj},{mn})");
+                            break 'outer;
+                        }
+                    }
+                }
+                return;
+            }
+            if let steins_core::IntegrityError::NodeMac { node } = e {
+                let geo = sys.ctrl.layout().geometry.clone();
+                let off = geo.offset_of(node);
+                let addr = sys.ctrl.layout().node_addr(off);
+                let line = sys.ctrl.nvm().peek(addr);
+                let n = steins_metadata::SitNode::general_from_line(&line);
+                println!("node {node:?} offset {off} stored hmac {:#x}", n.hmac);
+                // Parent info.
+                let (pid, slot) = geo.parent_of(node).unwrap();
+                let poff = geo.offset_of(pid);
+                let pcache = sys.ctrl.meta_peek(poff);
+                let pline = sys.ctrl.nvm().peek(sys.ctrl.layout().node_addr(poff));
+                let pnvm = steins_metadata::SitNode::general_from_line(&pline);
+                println!(
+                    "parent {pid:?} slot {slot}: cached={:?} nvm={}",
+                    pcache.map(|p| p.counters.as_general().get(slot)),
+                    pnvm.counters.as_general().get(slot)
+                );
+                let pc_now = pcache
+                    .map(|p| p.counters.as_general().get(slot))
+                    .unwrap_or_else(|| pnvm.counters.as_general().get(slot));
+                for cand in pc_now.saturating_sub(2000)..pc_now + 2000 {
+                    let mac = sys.ctrl.mac_probe(&n, off, cand);
+                    if mac == n.hmac {
+                        println!("stored hmac matches parent counter = {cand} (current = {pc_now})");
+                        return;
+                    }
+                }
+                println!("stored hmac matches no counter within ±2000 of {pc_now} — counters tampered/diverged");
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fig. 10 — memory-controller write latency normalized to WB-GC.
+//!
+//! Paper shape: ASIT ≈ 2.14×, STAR ≈ 1.67×, Steins-GC ≈ 1.06×.
+
+fn main() {
+    steins_bench::figure_gc("Fig. 10: write latency (normalized to WB-GC)", |r| {
+        r.write_latency
+    });
+}

@@ -1,0 +1,10 @@
+//! Fig. 11 — memory-controller read latency normalized to WB-GC.
+//!
+//! Paper shape: Steins-GC ≈ WB-GC (−0.02%); ASIT/STAR pay their
+//! cache-tree and shadow-table pressure on the read path too.
+
+fn main() {
+    steins_bench::figure_gc("Fig. 11: read latency (normalized to WB-GC)", |r| {
+        r.read_latency
+    });
+}

@@ -1,0 +1,26 @@
+//! Fig. 12 — execution time normalized to WB-SC, plus the SC-vs-GC
+//! comparison (§IV-A: Steins-SC ≈ 0.998× WB-SC and ~39% faster than
+//! Steins-GC).
+
+use steins_core::SchemeKind;
+use steins_metadata::CounterMode;
+use steins_trace::WorkloadKind;
+
+fn main() {
+    steins_bench::figure_sc("Fig. 12: execution time (normalized to WB-SC)", |r| {
+        r.cycles as f64
+    });
+    // SC vs GC cross-check: Steins-SC cycles / Steins-GC cycles per workload.
+    let ops = steins_bench::ops();
+    let seed = steins_bench::seed();
+    println!("\n-- Steins-SC vs Steins-GC (execution-time ratio; paper: ~0.61) --");
+    let mut ratios = Vec::new();
+    for w in WorkloadKind::ALL {
+        let gc = steins_bench::run_one((SchemeKind::Steins, CounterMode::General), w, ops, seed);
+        let sc = steins_bench::run_one((SchemeKind::Steins, CounterMode::Split), w, ops, seed);
+        let ratio = sc.cycles as f64 / gc.cycles as f64;
+        println!("{:<12}{ratio:>10.3}", w.label());
+        ratios.push(ratio);
+    }
+    println!("{:<12}{:>10.3}", "gmean", steins_bench::gmean(&ratios));
+}

@@ -1,0 +1,9 @@
+//! Fig. 13 — NVM write traffic normalized to WB-GC.
+//!
+//! Paper shape: ASIT ≈ 2×, STAR ≈ 1.3×, Steins-GC ≈ 1.05×.
+
+fn main() {
+    steins_bench::figure_gc("Fig. 13: write traffic (normalized to WB-GC)", |r| {
+        r.nvm.writes as f64
+    });
+}

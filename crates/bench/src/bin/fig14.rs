@@ -1,0 +1,9 @@
+//! Fig. 14 — NVM write traffic normalized to WB-SC.
+//!
+//! Paper shape: Steins-SC ≈ 1.01× WB-SC.
+
+fn main() {
+    steins_bench::figure_sc("Fig. 14: write traffic (normalized to WB-SC)", |r| {
+        r.nvm.writes as f64
+    });
+}

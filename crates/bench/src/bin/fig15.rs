@@ -1,0 +1,8 @@
+//! Fig. 15 — energy consumption normalized to WB-GC.
+//!
+//! Paper shape: ASIT and STAR well above WB-GC (extra writes + HMACs);
+//! Steins-GC ≈ WB-GC (−0.2%).
+
+fn main() {
+    steins_bench::figure_gc("Fig. 15: energy (normalized to WB-GC)", |r| r.energy_pj);
+}

@@ -1,0 +1,20 @@
+//! Fig. 16 — energy consumption normalized to WB-SC (plus the paper's
+//! SC-vs-GC point: Steins-SC ≈ −9.4% vs Steins-GC).
+
+use steins_core::SchemeKind;
+use steins_metadata::CounterMode;
+use steins_trace::WorkloadKind;
+
+fn main() {
+    steins_bench::figure_sc("Fig. 16: energy (normalized to WB-SC)", |r| r.energy_pj);
+    let ops = steins_bench::ops();
+    let seed = steins_bench::seed();
+    println!("\n-- Steins-SC vs Steins-GC (energy ratio; paper: ~0.906) --");
+    let mut ratios = Vec::new();
+    for w in WorkloadKind::ALL {
+        let gc = steins_bench::run_one((SchemeKind::Steins, CounterMode::General), w, ops, seed);
+        let sc = steins_bench::run_one((SchemeKind::Steins, CounterMode::Split), w, ops, seed);
+        ratios.push(sc.energy_pj / gc.energy_pj);
+    }
+    println!("gmean ratio: {:.3}", steins_bench::gmean(&ratios));
+}

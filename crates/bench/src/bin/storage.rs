@@ -1,0 +1,54 @@
+//! §IV-E — storage overhead analysis for a 16 GB NVM.
+//!
+//! Paper numbers: GC leaf region 2 GB vs SC 256 MB; STAR +1/64 cache for
+//! set-MACs; ASIT +1/8 cache for per-line MACs; Steins instead uses one
+//! 64 B LInc register + a 128 B NV buffer.
+
+use steins_metadata::{CounterMode, SitGeometry};
+
+fn human(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn main() {
+    let data_lines = (16u64 << 30) / 64;
+    println!("== §IV-E: storage overhead over 16 GB NVM ==\n");
+    for mode in [CounterMode::General, CounterMode::Split] {
+        let g = SitGeometry::new(mode, data_lines);
+        println!(
+            "{} SIT: height {} (incl. root), leaves {} ({}), intermediate {} ({}), total {}",
+            mode.label(),
+            g.height(),
+            g.nodes_at(0),
+            human(g.leaf_bytes()),
+            g.total_nodes() - g.nodes_at(0),
+            human(g.intermediate_bytes()),
+            human(g.total_nodes() * 64),
+        );
+    }
+    let cache = 256u64 << 10;
+    println!("\nPer-scheme extras (256 KB metadata cache):");
+    println!(
+        "  ASIT    shadow table {} in NVM; cache-tree +1/8 cache space ({}); 64 B NV root register",
+        human(cache),
+        human(cache / 8)
+    );
+    println!(
+        "  STAR    bitmap {} in NVM; cache-tree +1/64 cache space ({}); 64 B NV root register",
+        human(((16u64 << 30) / 64 / 8).next_multiple_of(64)),
+        human(cache / 64)
+    );
+    println!(
+        "  Steins  offset records {} in NVM; 64 B LInc register + 128 B NV buffer on chip",
+        human((cache / 64) * 4)
+    );
+    println!("  WB      none (no recovery support)");
+}

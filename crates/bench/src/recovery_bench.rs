@@ -1,0 +1,58 @@
+//! Shared machinery for the recovery-time experiment (Fig. 17).
+//!
+//! §IV-D's setup: assume *all* cached metadata is dirty when the crash
+//! hits, and charge 100 ns per metadata read-and-verify. We reproduce it
+//! functionally: stride one write across each leaf's coverage so (nearly)
+//! every metadata-cache slot ends up holding a dirty node, crash, run the
+//! scheme's real recovery, and read off the counted NVM reads.
+
+use steins_core::{RecoveryReport, SchemeKind, SecureNvmSystem, SystemConfig};
+use steins_metadata::cache::MetaCacheConfig;
+use steins_metadata::CounterMode;
+use steins_trace::{Pattern, Workload, WorkloadKind};
+
+/// Builds a system with the given metadata-cache size, dirties (close to)
+/// the whole cache, crashes it, and recovers. Returns the recovery report.
+pub fn recovery_at_cache_size(
+    scheme: SchemeKind,
+    mode: CounterMode,
+    cache_bytes: u64,
+) -> RecoveryReport {
+    let mut cfg = SystemConfig::sweep(scheme, mode);
+    cfg.meta_cache = MetaCacheConfig {
+        capacity_bytes: cache_bytes,
+        ways: 8,
+    };
+    let slots = cfg.meta_cache.slots();
+    let coverage = mode.leaf_coverage();
+    // One write per leaf dirties that leaf; overshoot the slot count so the
+    // cache ends (nearly) full of dirty nodes, as §IV-D assumes. Size the
+    // data region (and device) to fit the stride.
+    let writes = slots * 3 / 2;
+    let footprint = writes * coverage;
+    if footprint > cfg.data_lines {
+        cfg.data_lines = footprint;
+        // Regions ≈ data (64 B/line) + MACs (16 B/line) + metadata + extras.
+        cfg.nvm.capacity_bytes = (footprint * 64 * 3 / 2).next_power_of_two();
+    }
+    let mut sys = SecureNvmSystem::new(cfg);
+    let mut wl = Workload::new(WorkloadKind::PHash, writes, 7);
+    wl.footprint_lines = footprint;
+    wl.write_ratio = 1.0;
+    wl.flush_stores = true;
+    wl.pattern = Pattern::Sequential { stride: coverage };
+    sys.run_trace(wl.generate())
+        .expect("fill run is attack-free");
+    let crashed = sys.crash();
+    let (_, report) = crashed.recover().expect("clean recovery");
+    report
+}
+
+/// The cache-size sweep of Fig. 17 (256 KB → 4 MB).
+pub const CACHE_SWEEP: [u64; 5] = [
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+];

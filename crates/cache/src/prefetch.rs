@@ -1,0 +1,192 @@
+//! Stream prefetcher.
+//!
+//! Real memory systems hide part of their miss latency behind hardware
+//! prefetchers; sequential workloads like `lbm` are almost fully covered.
+//! This is a classic stride/stream detector: it tracks a small table of
+//! recent miss streams, confirms a stride after two repeats, and then emits
+//! prefetch candidates `degree` lines ahead. The hierarchy issues the
+//! candidates as ordinary fills tagged off the critical path.
+//!
+//! Disabled by default so the recorded figure runs stay exactly
+//! reproducible; enable via [`crate::hierarchy::HierarchyConfig`] to study
+//! how much prefetching narrows the scheme gaps (misses that the
+//! prefetcher absorbs never reach the secure engine's critical path).
+
+use serde::{Deserialize, Serialize};
+
+/// Prefetcher configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Enable the prefetcher.
+    pub enabled: bool,
+    /// Tracked concurrent streams.
+    pub streams: usize,
+    /// Lines fetched ahead once a stream is confirmed.
+    pub degree: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            enabled: false,
+            streams: 8,
+            degree: 2,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stream {
+    last_line: u64,
+    stride: i64,
+    confirmations: u8,
+    lru: u64,
+}
+
+/// Stride-confirming stream prefetcher.
+pub struct StreamPrefetcher {
+    cfg: PrefetchConfig,
+    table: Vec<Stream>,
+    stamp: u64,
+    /// Prefetches issued (stats).
+    pub issued: u64,
+}
+
+impl StreamPrefetcher {
+    /// Builds the prefetcher.
+    pub fn new(cfg: PrefetchConfig) -> Self {
+        StreamPrefetcher {
+            cfg,
+            table: Vec::with_capacity(cfg.streams),
+            stamp: 0,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand miss at byte address `addr`; returns the line
+    /// addresses to prefetch (empty when disabled or unconfirmed).
+    pub fn observe_miss(&mut self, addr: u64) -> Vec<u64> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        self.stamp += 1;
+        let line = addr / 64;
+
+        // Match an existing stream whose next expected line is this one
+        // (or whose stride can be re-derived from the delta).
+        for s in self.table.iter_mut() {
+            let delta = line as i64 - s.last_line as i64;
+            if delta == 0 {
+                s.lru = self.stamp;
+                return Vec::new();
+            }
+            if delta == s.stride && delta != 0 {
+                s.last_line = line;
+                s.confirmations = s.confirmations.saturating_add(1);
+                s.lru = self.stamp;
+                if s.confirmations >= 2 {
+                    let stride = s.stride;
+                    self.issued += self.cfg.degree as u64;
+                    return (1..=self.cfg.degree as i64)
+                        .filter_map(|i| {
+                            let l = line as i64 + stride * i;
+                            (l >= 0).then(|| l as u64 * 64)
+                        })
+                        .collect();
+                }
+                return Vec::new();
+            }
+            if delta.abs() <= 64 && s.confirmations == 0 {
+                // First repeat: adopt the observed stride.
+                s.stride = delta;
+                s.last_line = line;
+                s.confirmations = 1;
+                s.lru = self.stamp;
+                return Vec::new();
+            }
+        }
+
+        // New stream: allocate (evict LRU when full).
+        let entry = Stream {
+            last_line: line,
+            stride: 0,
+            confirmations: 0,
+            lru: self.stamp,
+        };
+        if self.table.len() < self.cfg.streams {
+            self.table.push(entry);
+        } else if let Some(victim) = self.table.iter_mut().min_by_key(|s| s.lru) {
+            *victim = entry;
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> StreamPrefetcher {
+        StreamPrefetcher::new(PrefetchConfig {
+            enabled: true,
+            streams: 4,
+            degree: 2,
+        })
+    }
+
+    #[test]
+    fn disabled_emits_nothing() {
+        let mut p = StreamPrefetcher::new(PrefetchConfig::default());
+        for i in 0..10u64 {
+            assert!(p.observe_miss(i * 64).is_empty());
+        }
+        assert_eq!(p.issued, 0);
+    }
+
+    #[test]
+    fn sequential_stream_confirms_and_prefetches_ahead() {
+        let mut p = on();
+        assert!(p.observe_miss(0).is_empty()); // allocate
+        assert!(p.observe_miss(64).is_empty()); // stride adopted
+        let pf = p.observe_miss(128); // confirmed
+        assert_eq!(pf, vec![192, 256]);
+        assert_eq!(p.issued, 2);
+    }
+
+    #[test]
+    fn strided_stream_detected() {
+        let mut p = on();
+        p.observe_miss(0);
+        p.observe_miss(3 * 64);
+        let pf = p.observe_miss(6 * 64);
+        assert_eq!(pf, vec![9 * 64, 12 * 64]);
+    }
+
+    #[test]
+    fn random_misses_never_confirm() {
+        let mut p = on();
+        let mut s = 99u64;
+        for _ in 0..200 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let _ = p.observe_miss((s % 100_000) * 64);
+        }
+        // Random deltas may occasionally alias to a stride repeat, but the
+        // prefetcher must stay essentially quiet.
+        assert!(p.issued < 20, "issued {} on random traffic", p.issued);
+    }
+
+    #[test]
+    fn table_is_bounded_with_lru_replacement() {
+        let mut p = on();
+        // 10 interleaved streams into a 4-entry table: no panic, and the
+        // most recent streams still confirm.
+        for round in 0..3u64 {
+            for stream in 0..10u64 {
+                p.observe_miss((stream * 1_000_000 + round) * 64);
+            }
+        }
+        assert!(p.table.len() <= 4);
+    }
+}

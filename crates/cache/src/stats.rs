@@ -1,0 +1,62 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/write-back counters for one cache.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read or write accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines evicted (write-backs toward the next level).
+    pub writebacks: u64,
+    /// Clean evictions (silently dropped).
+    pub clean_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0,1]; 0 when no accesses occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.clean_evictions += other.clean_evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_zero_safe() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computes() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Attack injection against a crashed machine (§III-H's threat catalogue).
+//!
+//! With the machine down, the attacker owns the NVM: they can flip bits
+//! (tampering), restore old line contents they recorded earlier (replay),
+//! and rewrite the offset records (mis-marking dirty/clean). Recovery must
+//! detect all of it — the security tests drive these helpers and assert the
+//! right [`crate::IntegrityError`] comes back.
+
+use crate::crash::CrashedSystem;
+use steins_metadata::records::{record_coords, RecordLine, RECORD_EMPTY};
+
+impl CrashedSystem {
+    /// Snapshot of a metadata node's current NVM line (record now, replay
+    /// later).
+    pub fn snapshot_node(&self, offset: u64) -> [u8; 64] {
+        self.nvm.peek(self.layout.node_addr(offset))
+    }
+
+    /// Replays a previously recorded node line into NVM.
+    pub fn replay_node(&mut self, offset: u64, old_line: &[u8; 64]) {
+        self.nvm.poke(self.layout.node_addr(offset), old_line);
+    }
+
+    /// Flips one bit of a metadata node in NVM (tampering).
+    pub fn tamper_node(&mut self, offset: u64) {
+        let addr = self.layout.node_addr(offset);
+        let mut line = self.nvm.peek(addr);
+        line[13] ^= 0x40;
+        self.nvm.poke(addr, &line);
+    }
+
+    /// Flips one bit of a user data line in NVM (tampering).
+    pub fn tamper_data(&mut self, data_line: u64) {
+        let addr = self.layout.data_base + data_line * 64;
+        let mut line = self.nvm.peek(addr);
+        line[0] ^= 0x01;
+        self.nvm.poke(addr, &line);
+    }
+
+    /// Snapshot of a user data line (for data replay).
+    pub fn snapshot_data(&self, data_line: u64) -> [u8; 64] {
+        self.nvm.peek(self.layout.data_base + data_line * 64)
+    }
+
+    /// Replays a previously recorded data line.
+    pub fn replay_data(&mut self, data_line: u64, old_line: &[u8; 64]) {
+        self.nvm
+            .poke(self.layout.data_base + data_line * 64, old_line);
+    }
+
+    /// Rewrites the offset record for metadata-cache slot `slot` — either
+    /// pointing it at `Some(offset)` (marking that node dirty) or clearing
+    /// it (`None`: marking whatever was there as clean).
+    pub fn rewrite_record(&mut self, slot: u64, entry: Option<u64>) {
+        let (rline, idx) = record_coords(slot);
+        let addr = self.layout.record_addr(rline);
+        let mut line = self.nvm.peek(addr);
+        let mut rl = RecordLine::from_line(&line);
+        match entry {
+            Some(off) => rl.set(idx, off as u32),
+            None => rl.clear(idx),
+        }
+        line = rl.to_line();
+        self.nvm.poke(addr, &line);
+    }
+
+    /// Reads the persisted record entry for cache slot `slot`.
+    pub fn record_entry(&self, slot: u64) -> Option<u64> {
+        let (rline, idx) = record_coords(slot);
+        let line = self.nvm.peek(self.layout.record_addr(rline));
+        RecordLine::from_line(&line).get(idx).map(u64::from)
+    }
+
+    /// NVM address of ASIT's shadow-table line for cache slot `slot`.
+    pub fn shadow_probe(&self, slot: u64) -> u64 {
+        self.layout.shadow_addr(slot)
+    }
+
+    /// Raw NVM overwrite at an arbitrary line address (generic attack
+    /// primitive for regions without a dedicated helper).
+    pub fn poke_raw(&mut self, addr: u64, line: &[u8; 64]) {
+        self.nvm.poke(addr, line);
+    }
+
+    /// Every node offset currently marked dirty by the persisted records
+    /// (attack reconnaissance / test assertions).
+    pub fn recorded_dirty_offsets(&self) -> Vec<u64> {
+        let slots = self.cfg.meta_cache.slots();
+        let lines = slots.div_ceil(steins_metadata::records::RECORDS_PER_LINE);
+        let mut out = Vec::new();
+        for r in 0..lines {
+            let line = self.nvm.peek(self.layout.record_addr(r));
+            let rl = RecordLine::from_line(&line);
+            for (_, off) in rl.entries() {
+                if off != RECORD_EMPTY {
+                    out.push(u64::from(off));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}

@@ -1,0 +1,124 @@
+//! Counter-mode encryption helpers and the per-block MAC record.
+//!
+//! CME (§II-B): a data line is XORed with a one-time pad generated from
+//! `(line address, major counter, minor counter)` — the pad is never reused
+//! because each write advances the counter.
+//!
+//! Each data block also carries a 16-byte **MAC record**: its 64-bit HMAC
+//! and a 64-bit *recovery field* packing the encryption counter
+//! (`(major << 6) | minor` for split counters, the raw counter for general
+//! ones). §II-D: "we store the major counter in the HMAC of the data block
+//! for recovery"; DESIGN.md §2.7 documents the ECC-spare-bits substitution.
+
+use steins_crypto::CryptoEngine;
+
+/// XORs a 64 B line with the OTP for `(addr, major, minor)` — both
+/// encryption and decryption.
+pub fn xor_otp(engine: &dyn CryptoEngine, addr: u64, major: u64, minor: u64, line: &mut [u8; 64]) {
+    let otp = engine.otp(addr, major, minor);
+    for (b, o) in line.iter_mut().zip(otp.iter()) {
+        *b ^= o;
+    }
+}
+
+/// The 16-byte per-data-block MAC + recovery record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MacRecord {
+    /// 64-bit HMAC over (ciphertext ‖ address ‖ major ‖ minor).
+    pub mac: u64,
+    /// Packed recovery counter.
+    pub recovery: u64,
+}
+
+impl MacRecord {
+    /// Packs `(major, minor)` into the recovery field.
+    pub fn pack_recovery(major: u64, minor: u64) -> u64 {
+        debug_assert!(minor < 64, "minor exceeds 6 bits");
+        debug_assert!(major < (1 << 58), "major exceeds 58 bits");
+        (major << 6) | minor
+    }
+
+    /// Unpacks the recovery field into `(major, minor)`.
+    pub fn unpack_recovery(recovery: u64) -> (u64, u64) {
+        (recovery >> 6, recovery & 63)
+    }
+
+    /// Serializes into 16 bytes.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.mac.to_le_bytes());
+        out[8..].copy_from_slice(&self.recovery.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from 16 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        MacRecord {
+            mac: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            recovery: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+        }
+    }
+
+    /// Reads record `slot` (0–3) out of a 64 B MAC-region line.
+    pub fn read_slot(line: &[u8; 64], slot: usize) -> Self {
+        debug_assert!(slot < 4);
+        Self::from_bytes(&line[slot * 16..slot * 16 + 16])
+    }
+
+    /// Writes this record into `slot` of a MAC-region line.
+    pub fn write_slot(&self, line: &mut [u8; 64], slot: usize) {
+        debug_assert!(slot < 4);
+        line[slot * 16..slot * 16 + 16].copy_from_slice(&self.to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steins_crypto::{CryptoKind, SecretKey};
+
+    fn engine() -> Box<dyn CryptoEngine> {
+        steins_crypto::engine::make_engine(CryptoKind::Real, SecretKey([1; 16]))
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let e = engine();
+        let plain = [0x3C; 64];
+        let mut line = plain;
+        xor_otp(e.as_ref(), 0x1000, 7, 3, &mut line);
+        assert_ne!(line, plain, "ciphertext differs");
+        xor_otp(e.as_ref(), 0x1000, 7, 3, &mut line);
+        assert_eq!(line, plain, "XOR is an involution");
+    }
+
+    #[test]
+    fn wrong_counter_garbles() {
+        let e = engine();
+        let plain = [9u8; 64];
+        let mut line = plain;
+        xor_otp(e.as_ref(), 0x40, 1, 0, &mut line);
+        xor_otp(e.as_ref(), 0x40, 2, 0, &mut line);
+        assert_ne!(line, plain);
+    }
+
+    #[test]
+    fn recovery_pack_roundtrip() {
+        for (maj, min) in [(0u64, 0u64), (1, 63), (12345, 17), ((1 << 56) - 1, 63)] {
+            let packed = MacRecord::pack_recovery(maj, min);
+            assert_eq!(MacRecord::unpack_recovery(packed), (maj, min));
+        }
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut line = [0u8; 64];
+        let a = MacRecord { mac: 1, recovery: 2 };
+        let b = MacRecord { mac: 3, recovery: 4 };
+        a.write_slot(&mut line, 0);
+        b.write_slot(&mut line, 3);
+        assert_eq!(MacRecord::read_slot(&line, 0), a);
+        assert_eq!(MacRecord::read_slot(&line, 3), b);
+        assert_eq!(MacRecord::read_slot(&line, 1), MacRecord::default());
+    }
+}

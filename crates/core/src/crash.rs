@@ -1,0 +1,161 @@
+//! Crash injection: what survives a power failure and what does not.
+//!
+//! Lost: the metadata cache (all dirty nodes — the recovery problem), the
+//! CPU caches (dirty user lines — an application-level loss the persistent
+//! workloads avoid by flushing), and all volatile scheme state (cache-tree
+//! intermediates).
+//!
+//! Survives: the NVM contents including every write the write queue had
+//! accepted (the queue is in the ADR domain), the ADR-cached record/bitmap
+//! lines (flushed with residual power), and the on-chip NV registers — the
+//! SIT root, Steins' LIncs and NV buffer, ASIT/STAR's cache-tree root.
+
+use crate::config::{SchemeKind, SystemConfig};
+use crate::engine::SecureNvmSystem;
+use crate::linc::LincBank;
+use crate::nvbuffer::NvBuffer;
+use crate::scheme::SchemeState;
+use std::collections::HashMap;
+use steins_crypto::CryptoEngine;
+use steins_metadata::{MemoryLayout, RootNode};
+use steins_nvm::NvmDevice;
+
+/// Per-scheme non-volatile remnants.
+pub enum NvState {
+    /// WB keeps nothing (and can recover nothing).
+    WriteBack,
+    /// ASIT: cache-tree root register + shadow-table tags (non-volatile
+    /// alongside the table; see `scheme::asit`).
+    Asit {
+        /// NV cache-tree root.
+        nv_root: u64,
+        /// slot → node offset for occupied shadow entries.
+        shadow_tags: HashMap<u64, u64>,
+    },
+    /// STAR: cache-tree root register.
+    Star {
+        /// NV cache-tree root.
+        nv_root: u64,
+    },
+    /// Steins: LInc register + NV parent-counter buffer.
+    Steins {
+        /// The per-level trust bases.
+        lincs: LincBank,
+        /// Parked parent updates.
+        nv_buffer: NvBuffer,
+    },
+}
+
+/// A machine that lost power: only non-volatile state remains.
+pub struct CrashedSystem {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) layout: MemoryLayout,
+    pub(crate) crypto: Box<dyn CryptoEngine>,
+    pub(crate) nvm: NvmDevice,
+    pub(crate) root: RootNode,
+    pub(crate) nv: NvState,
+    /// Ground truth restricted to lines whose latest value was persisted
+    /// (CPU-dirty lines are genuinely lost).
+    pub(crate) truth: HashMap<u64, [u8; 64]>,
+    /// Lines whose latest stores were lost in the CPU caches.
+    pub(crate) lost_lines: Vec<u64>,
+}
+
+impl SecureNvmSystem {
+    /// Pulls the power plug. Consumes the system; only non-volatile state
+    /// crosses into the [`CrashedSystem`].
+    pub fn crash(mut self) -> CrashedSystem {
+        // CPU-cache-resident dirty lines are lost: their last-stored values
+        // never reached the controller.
+        let lost_lines = self.hier.dirty_lines();
+        let mut truth = self.truth;
+        for addr in &lost_lines {
+            truth.remove(addr);
+        }
+
+        // ADR flush: residual power pushes the controller's ADR-domain lines
+        // into NVM. (Write-queue entries were applied to the device at
+        // acceptance, so they are already durable.)
+        let nv = match self.ctrl.scheme {
+            SchemeState::WriteBack => NvState::WriteBack,
+            SchemeState::Asit(st) => NvState::Asit {
+                nv_root: st.nv_root,
+                shadow_tags: st.shadow_tags,
+            },
+            SchemeState::Star(mut st) => {
+                for (addr, line) in st.bitmap_cache.crash_flush() {
+                    self.ctrl.nvm.poke(addr, &line);
+                }
+                NvState::Star {
+                    nv_root: st.nv_root,
+                }
+            }
+            SchemeState::Steins(mut st) => {
+                for (addr, line) in st.record_cache.crash_flush() {
+                    self.ctrl.nvm.poke(addr, &line);
+                }
+                NvState::Steins {
+                    lincs: st.lincs,
+                    nv_buffer: st.nv_buffer,
+                }
+            }
+        };
+
+        CrashedSystem {
+            cfg: self.cfg,
+            layout: self.ctrl.layout,
+            crypto: self.ctrl.crypto,
+            nvm: self.ctrl.nvm,
+            root: self.ctrl.root,
+            nv,
+            truth,
+            lost_lines,
+        }
+    }
+}
+
+impl CrashedSystem {
+    /// The configuration the machine ran with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Whether the scheme can recover at all.
+    pub fn recoverable(&self) -> bool {
+        !matches!(self.cfg.scheme, SchemeKind::WriteBack)
+    }
+
+    /// Lines whose latest values were lost in the volatile CPU caches.
+    pub fn lost_lines(&self) -> &[u64] {
+        &self.lost_lines
+    }
+
+    /// Raw NVM view (used by tests and the attack helpers).
+    pub fn nvm(&self) -> &NvmDevice {
+        &self.nvm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steins_metadata::CounterMode;
+
+    #[test]
+    fn crash_preserves_persisted_truth_and_drops_cpu_dirty() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+        let mut sys = SecureNvmSystem::new(cfg);
+        // write() flushes, so this line is persisted truth.
+        sys.write(0x100 * 64, &[7; 64]).unwrap();
+        let crashed = sys.crash();
+        assert!(crashed.truth.contains_key(&(0x100 * 64)));
+        assert!(crashed.recoverable());
+    }
+
+    #[test]
+    fn wb_is_not_recoverable() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::WriteBack, CounterMode::General);
+        let sys = SecureNvmSystem::new(cfg);
+        assert!(!sys.crash().recoverable());
+    }
+}

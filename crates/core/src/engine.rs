@@ -1,0 +1,1305 @@
+//! The secure memory controller and the full trace-driven system.
+//!
+//! [`SecureMemoryController`] implements the paper's runtime (§III-E/F):
+//! counter-mode encryption, the lazy-update SIT with per-scheme hooks, the
+//! metadata cache, the write queue, and the controller front-end that
+//! serializes requests (per §IV-F, requests to one DIMM are processed
+//! serially). [`SecureNvmSystem`] wraps it with the CPU model and cache
+//! hierarchy and runs workload traces.
+//!
+//! ## Timing model
+//!
+//! Every request carries its arrival cycle; the controller front-end is
+//! busy until `front_free`. Fills stall the core (minus an MLP overlap
+//! credit); write-backs do not stall the core directly but advance
+//! `front_free` — so the *extra* metadata work a scheme performs (ASIT's
+//! shadow writes and cache-tree chains, STAR's sorting and bitmap misses,
+//! Steins' record-line misses) delays subsequent fills, which is exactly
+//! how the paper's execution-time differences arise.
+
+use crate::cme::{xor_otp, MacRecord};
+use crate::config::{LeafRecovery, SchemeKind, SystemConfig};
+use crate::error::IntegrityError;
+use crate::nvbuffer::NvBufferEntry;
+use crate::report::{LatencyStats, RunReport};
+use crate::scheme::{star, AsitState, SchemeState, StarState, SteinsState};
+use std::collections::HashMap;
+use steins_cache::{CacheHierarchy, CpuModel, MemEvent};
+use steins_crypto::{engine::make_engine, CryptoEngine};
+use steins_metadata::counter::{CounterBlock, CounterMode, SplitIncrement};
+use steins_metadata::records::record_coords;
+use steins_metadata::{MemoryLayout, MetadataCache, NodeId, RootNode, SitNode};
+use steins_nvm::{Cycle, EnergyCounters, EnergyModel, NvmDevice, WriteQueue};
+use steins_trace::{OpKind, TraceOp};
+
+/// The secure memory controller: functional state + timing + statistics.
+pub struct SecureMemoryController {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) layout: MemoryLayout,
+    pub(crate) crypto: Box<dyn CryptoEngine>,
+    pub(crate) nvm: NvmDevice,
+    pub(crate) wq: WriteQueue,
+    pub(crate) meta: MetadataCache,
+    pub(crate) root: RootNode,
+    pub(crate) scheme: SchemeState,
+    pub(crate) front_free: Cycle,
+    pub(crate) energy: EnergyCounters,
+    pub(crate) wlat: LatencyStats,
+    pub(crate) rlat: LatencyStats,
+    pinned: Vec<u64>,
+}
+
+impl SecureMemoryController {
+    /// Builds a fresh controller (zeroed NVM, empty caches).
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let layout = MemoryLayout::new(cfg.mode, cfg.data_lines, cfg.meta_cache.slots());
+        assert!(
+            layout.end <= cfg.nvm.capacity_bytes,
+            "regions ({} B) exceed device capacity ({} B); shrink data_lines",
+            layout.end,
+            cfg.nvm.capacity_bytes
+        );
+        let crypto = make_engine(cfg.crypto, cfg.secret_key());
+        let nvm = NvmDevice::new(cfg.nvm.clone());
+        let wq = WriteQueue::new(cfg.nvm.write_queue_entries);
+        let meta = MetadataCache::new(cfg.meta_cache);
+        let root = RootNode::new(layout.geometry.root_fanout());
+        let scheme = match cfg.scheme {
+            SchemeKind::WriteBack => SchemeState::WriteBack,
+            SchemeKind::Asit => SchemeState::Asit(AsitState::new(
+                crypto.as_ref(),
+                cfg.meta_cache.slots() as usize,
+            )),
+            SchemeKind::Star => SchemeState::Star(StarState::new(
+                crypto.as_ref(),
+                cfg.meta_cache.sets() as usize,
+                cfg.bitmap_cache_lines,
+            )),
+            SchemeKind::Steins => SchemeState::Steins(SteinsState::new(
+                layout.geometry.levels(),
+                cfg.nv_buffer_bytes,
+                cfg.record_cache_lines,
+            )),
+        };
+        SecureMemoryController {
+            cfg,
+            layout,
+            crypto,
+            nvm,
+            wq,
+            meta,
+            root,
+            scheme,
+            front_free: 0,
+            energy: EnergyCounters::default(),
+            wlat: LatencyStats::default(),
+            rlat: LatencyStats::default(),
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Temporary diagnostic watchpoint (STEINS_WATCH=child_offset).
+    fn watch(&self, what: &str, offset: u64, extra: u64) {
+        if let Ok(w) = std::env::var("STEINS_WATCH") {
+            if w.parse::<u64>() == Ok(offset) {
+                eprintln!("[watch {offset}] {what} extra={extra}");
+            }
+        }
+    }
+
+    /// Whether Steins is the active scheme.
+    fn is_steins(&self) -> bool {
+        matches!(self.cfg.scheme, SchemeKind::Steins)
+    }
+
+    /// Parses a metadata NVM line according to the node's level.
+    pub(crate) fn parse_node(&self, id: NodeId, line: &[u8; 64]) -> SitNode {
+        if id.level == 0 && self.cfg.mode == CounterMode::Split {
+            SitNode::split_from_line(line)
+        } else {
+            SitNode::general_from_line(line)
+        }
+    }
+
+    fn is_zero_node(node: &SitNode) -> bool {
+        node.hmac == 0 && node.to_line() == [0u8; 64]
+    }
+
+    /// Computes the 64-bit MAC a node stores when flushed with parent
+    /// counter `pc` (STAR packs the counter LSBs into the field).
+    fn node_mac_field(&mut self, node: &SitNode, offset: u64, pc: u64) -> u64 {
+        self.energy.hashes += 1;
+        let mac = self
+            .crypto
+            .mac64(&node.mac_message(self.layout.node_addr(offset), pc));
+        if matches!(self.cfg.scheme, SchemeKind::Star) {
+            star::pack_hmac(mac, pc)
+        } else {
+            mac
+        }
+    }
+
+    /// Verifies a fetched node against its parent counter. Zero nodes under
+    /// a zero parent counter are the lazily-initialized state and pass.
+    pub(crate) fn verify_node(&mut self, node: &SitNode, id: NodeId, pc: u64) -> Result<(), IntegrityError> {
+        if pc == 0 && Self::is_zero_node(node) {
+            return Ok(());
+        }
+        let offset = self.layout.geometry.offset_of(id);
+        self.energy.hashes += 1;
+        let mac = self
+            .crypto
+            .mac64(&node.mac_message(self.layout.node_addr(offset), pc));
+        let ok = if matches!(self.cfg.scheme, SchemeKind::Star) {
+            star::unpack_hmac(node.hmac).0 == mac & star::STAR_MAC_MASK
+        } else {
+            node.hmac == mac
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(IntegrityError::NodeMac { node: id })
+        }
+    }
+
+    /// The trusted parent counter for `id`, fetching/verifying ancestors as
+    /// needed. Returns `(counter, time)`.
+    fn parent_counter(&mut self, t: Cycle, id: NodeId) -> Result<(u64, Cycle), IntegrityError> {
+        match self.layout.geometry.parent_of(id) {
+            None => Ok((self.root.get(self.layout.geometry.root_slot(id)), t)),
+            Some((pid, slot)) => {
+                let t = self.ensure_cached(t, pid)?;
+                let poff = self.layout.geometry.offset_of(pid);
+                let p = self.meta.peek(poff).expect("parent just ensured");
+                Ok((p.counters.as_general().get(slot), t))
+            }
+        }
+    }
+
+    /// Fetches `id` into the metadata cache (verifying the ancestor chain)
+    /// if absent. Returns the cycle the node is available.
+    pub(crate) fn ensure_cached(&mut self, t: Cycle, id: NodeId) -> Result<Cycle, IntegrityError> {
+        let offset = self.layout.geometry.offset_of(id);
+        if self.meta.lookup(offset).is_some() {
+            self.energy.cache_accesses += 1;
+            return Ok(t);
+        }
+        // Steins drains the NV parent-counter buffer before node fetches so
+        // verification always sees up-to-date parent counters (§III-E).
+        if self.is_steins() && !self.scheme.steins_ref().nv_buffer.is_empty() {
+            self.drain_nv_buffer(t)?;
+        }
+        let (pc, t) = self.parent_counter(t, id)?;
+        // Fetching the parent can evict a dirty node whose flush walks back
+        // through `id` and installs it (e.g. the victim's parent *is* `id`).
+        // Installing again would duplicate the node with stale counters.
+        if self.meta.contains(offset) {
+            return Ok(t);
+        }
+        // If this node was flushed with a generated counter that is still
+        // parked in the NV buffer (or held by an in-progress drain), its
+        // stored HMAC was computed with that value, not the parent's stale
+        // counter (§III-E).
+        let pc = if self.is_steins() {
+            match self.scheme.steins_ref().parked_generated(offset) {
+                Some(g) => pc.max(g),
+                None => pc,
+            }
+        } else {
+            pc
+        };
+        let (line, t) = self.nvm.read(t, self.layout.node_addr(offset));
+        let node = self.parse_node(id, &line);
+        let t = t + self.cfg.hash_latency;
+        self.verify_node(&node, id, pc)?;
+        self.install_node(t, id, node, false)
+    }
+
+    /// Installs a node, making room first by flushing dirty victims **in
+    /// place** — while still resident and pinned — so that any node fetch
+    /// the flush triggers (parent walks, NV-buffer drains) observes the
+    /// victim's live counters instead of its stale NVM copy. Only clean
+    /// victims are ever silently dropped.
+    pub(crate) fn install_node(
+        &mut self,
+        t: Cycle,
+        id: NodeId,
+        node: SitNode,
+        dirty: bool,
+    ) -> Result<Cycle, IntegrityError> {
+        let offset = self.layout.geometry.offset_of(id);
+        self.pinned.push(offset);
+        let mut t = t;
+        let result = (|| {
+            loop {
+                if self.meta.contains(offset) {
+                    // Nested work (a victim flush walking back through this
+                    // node) installed it already — and may have modified it
+                    // since, so for a clean fetch the cached copy wins. A
+                    // dirty install (recovery) carries the authoritative
+                    // reconstructed value and overwrites.
+                    if dirty {
+                        self.meta.write(offset, node);
+                        self.meta.mark_dirty(offset);
+                    }
+                    return Ok(t);
+                }
+                match self.meta.probe_victim(offset, &self.pinned) {
+                    Some((voff, true)) => {
+                        t = self.flush_in_place(t, voff)?;
+                        // Loop: the flush may have reshuffled the set (or
+                        // installed `offset` itself).
+                    }
+                    _ => break,
+                }
+            }
+            let evicted = self
+                .meta
+                .install_pinned(offset, node, dirty, &self.pinned);
+            if let Some(ev) = evicted {
+                debug_assert!(!ev.dirty, "victims are flushed in place first");
+                t = self.scheme_slot_vacated(t, ev.slot, ev.offset);
+            }
+            Ok(t)
+        })();
+        self.pinned.pop();
+        result
+    }
+
+    /// Scheme work when a cache slot's previous (clean) occupant leaves:
+    /// ASIT retires the slot's shadow entry from the cache-tree. Clean
+    /// fetches cost nothing under any scheme (ASIT mirrors modifications,
+    /// not installs; STAR's cache-tree covers dirty nodes only).
+    fn scheme_slot_vacated(&mut self, mut t: Cycle, slot: u64, _offset: u64) -> Cycle {
+        if let SchemeState::Asit(st) = &mut self.scheme {
+            if st.shadow_tags.remove(&slot).is_some() {
+                let hashes = st.cache_tree.update(self.crypto.as_ref(), slot as usize, 0);
+                st.commit_root();
+                self.energy.hashes += hashes as u64;
+                t += hashes as u64 * self.cfg.hash_latency;
+            }
+        }
+        t
+    }
+
+    /// Marks a cached node dirty after a content change and runs the
+    /// per-scheme tracking/persistence hooks (§III table in `scheme`).
+    pub(crate) fn on_node_modified(&mut self, mut t: Cycle, offset: u64) -> Result<Cycle, IntegrityError> {
+        let (slot, was_clean) = self.meta.mark_dirty(offset);
+        match self.cfg.scheme {
+            SchemeKind::WriteBack => {}
+            SchemeKind::Steins => {
+                if was_clean {
+                    t = self.steins_record_update(t, slot, offset);
+                }
+            }
+            SchemeKind::Asit => {
+                t = self.asit_slot_update(t, offset);
+            }
+            SchemeKind::Star => {
+                if was_clean {
+                    t = self.star_bitmap_update(t, offset, true);
+                }
+                let set = self.meta.set_index(offset);
+                t = self.star_tree_update(t, set);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Steins §III-C: write the dirty node's offset into its record line,
+    /// fetching the line into the ADR record cache on a miss.
+    ///
+    /// The fetch and any evicted-line write-back are *posted*: the record
+    /// cache lives in the ADR domain, so the controller does not wait for
+    /// them — they cost NVM traffic and bank occupancy, not front-end time
+    /// (the write stalls only on write-queue back-pressure). This is the
+    /// cost asymmetry versus STAR's write-through bitmap below.
+    fn steins_record_update(&mut self, mut t: Cycle, cache_slot: u64, offset: u64) -> Cycle {
+        let (rline, _) = record_coords(cache_slot);
+        let raddr = self.layout.record_addr(rline);
+        let st = match &mut self.scheme {
+            SchemeState::Steins(s) => s,
+            _ => unreachable!("steins hook under steins scheme"),
+        };
+        if !st.record_cache.touch(raddr) {
+            let (line, _) = self.nvm.read(t, raddr); // posted: no t advance
+            if let Some((ev_addr, ev_line)) = st.record_cache.insert(raddr, line) {
+                t = self.wq.push(t, ev_addr, &ev_line, &mut self.nvm);
+            }
+        }
+        st.set_record(raddr, cache_slot, offset);
+        self.energy.cache_accesses += 1;
+        t
+    }
+
+    /// STAR: flip the node's dirty bit in the bitmap.
+    ///
+    /// STAR predates Steins' ADR-resident record trick: its bitmap must be
+    /// durable on its own, so every transition **writes the updated line
+    /// through to NVM** (the "extra memory access overhead" of §II-D and
+    /// the 1.3× traffic of Fig. 13). The line cache only absorbs re-reads.
+    fn star_bitmap_update(&mut self, mut t: Cycle, offset: u64, set_bit: bool) -> Cycle {
+        let (baddr, bit) = self.layout.bitmap_slot(offset);
+        let st = match &mut self.scheme {
+            SchemeState::Star(s) => s,
+            _ => unreachable!("star hook under star scheme"),
+        };
+        if !st.bitmap_cache.touch(baddr) {
+            let (line, t2) = self.nvm.read(t, baddr);
+            t = t2;
+            // Write-through lines are never dirty: drop evictions silently.
+            st.bitmap_cache.insert(baddr, line);
+        }
+        let line = st.bitmap_cache.get_mut(baddr).expect("just ensured");
+        let (byte, off) = (bit / 8, bit % 8);
+        if set_bit {
+            line[byte] |= 1 << off;
+        } else {
+            line[byte] &= !(1 << off);
+        }
+        let line = *line;
+        self.energy.cache_accesses += 1;
+        t = self.wq.push(t, baddr, &line, &mut self.nvm);
+        t
+    }
+
+    /// STAR: recompute the set-MAC (sorted dirty nodes) and the cache-tree
+    /// path above it.
+    pub(crate) fn star_tree_update(&mut self, t: Cycle, set: usize) -> Cycle {
+        let mut dirty: Vec<(u64, SitNode)> = self
+            .meta
+            .set_nodes(set)
+            .into_iter()
+            .filter(|(_, _, d)| *d)
+            .map(|(o, n, _)| (o, n))
+            .collect();
+        dirty.sort_by_key(|(o, _)| *o);
+        let leaf_mac = if dirty.is_empty() {
+            0
+        } else {
+            let mut msg = Vec::with_capacity(dirty.len() * 72);
+            for (o, n) in &dirty {
+                msg.extend_from_slice(&o.to_le_bytes());
+                msg.extend_from_slice(&n.to_line());
+            }
+            self.energy.hashes += 1;
+            self.crypto.mac64(&msg)
+        };
+        let st = match &mut self.scheme {
+            SchemeState::Star(s) => s,
+            _ => unreachable!("star hook under star scheme"),
+        };
+        let hashes = st.cache_tree.update(self.crypto.as_ref(), set, leaf_mac);
+        st.commit_root();
+        self.energy.hashes += hashes as u64;
+        let ways = self.cfg.meta_cache.ways;
+        t + StarState::sort_latency(ways)
+            + (1 + hashes as u64) * self.cfg.hash_latency
+    }
+
+    /// ASIT: mirror the slot's content into the shadow table and rebuild the
+    /// cache-tree path for it.
+    pub(crate) fn asit_slot_update(&mut self, t: Cycle, offset: u64) -> Cycle {
+        let slot = self.meta.slot_of(offset).expect("node resident");
+        let node = *self.meta.peek(offset).expect("node resident");
+        let line = node.to_line();
+        // Shadow write: the 2× traffic of Fig. 13.
+        let mut t = self
+            .wq
+            .push(t, self.layout.shadow_addr(slot), &line, &mut self.nvm);
+        // Leaf MAC over (content ‖ slot), then the path to the root.
+        let mut msg = [0u8; 72];
+        msg[..64].copy_from_slice(&line);
+        msg[64..].copy_from_slice(&slot.to_le_bytes());
+        self.energy.hashes += 1;
+        let leaf_mac = self.crypto.mac64(&msg);
+        let st = match &mut self.scheme {
+            SchemeState::Asit(s) => s,
+            _ => unreachable!("asit hook under asit scheme"),
+        };
+        st.shadow_tags.insert(slot, offset);
+        let hashes = st.cache_tree.update(self.crypto.as_ref(), slot as usize, leaf_mac);
+        st.commit_root();
+        self.energy.hashes += hashes as u64;
+        t += (1 + hashes as u64) * self.cfg.hash_latency;
+        t
+    }
+
+    /// Flushes a dirty node to NVM **in place** (§III-E): the node stays
+    /// resident (and pinned) throughout, so nested fetches triggered by the
+    /// parent walk always observe its live counters. On return the node is
+    /// clean; its NVM copy matches the cached value at flush time.
+    ///
+    /// Steins generates the parent counter locally and never touches the
+    /// parent on the critical path (NV buffer on a miss); baselines
+    /// self-increment the — possibly fetched — parent first.
+    pub(crate) fn flush_in_place(
+        &mut self,
+        mut t: Cycle,
+        offset: u64,
+    ) -> Result<Cycle, IntegrityError> {
+        let id = self.layout.geometry.node_at_offset(offset);
+        let addr = self.layout.node_addr(offset);
+        self.pinned.push(offset);
+        let result = (|| {
+            if self.is_steins() {
+                let mut node = *self.meta.peek(offset).expect("flush target resident");
+                let p_new = node.counters.parent_value();
+                node.hmac = self.node_mac_field(&node, offset, p_new);
+                t += self.cfg.hash_latency;
+                t = self.wq.push(t, addr, &node.to_line(), &mut self.nvm);
+                // The NVM copy is now current: mirror the recomputed HMAC
+                // into the cached copy and clean it before any nested work
+                // can re-dirty the node.
+                self.meta.write(offset, node);
+                self.meta.mark_clean(offset);
+                match self.layout.geometry.parent_of(id) {
+                    None => {
+                        let slot = self.layout.geometry.root_slot(id);
+                        let delta = p_new - self.root.get(slot);
+                        self.root.set(slot, p_new);
+                        self.scheme.steins().lincs.sub(id.level, delta);
+                    }
+                    Some((pid, slot)) => {
+                        let poff = self.layout.geometry.offset_of(pid);
+                        if self.meta.contains(poff) {
+                            self.watch("apply-direct", offset, p_new);
+                            t = self.steins_apply_parent(t, id, pid, slot, p_new)?;
+                        } else if self.scheme.steins_ref().draining {
+                            // Re-entrant eviction during a drain: fetch inline.
+                            self.watch("apply-inline", offset, p_new);
+                            let t2 = self.ensure_cached(t, pid)?;
+                            t = self.steins_apply_parent(t2, id, pid, slot, p_new)?;
+                        } else {
+                            if self.scheme.steins_ref().nv_buffer.is_full() {
+                                self.drain_nv_buffer(t)?;
+                            }
+                            self.watch("park", offset, p_new);
+                            self.scheme.steins().nv_buffer.push(NvBufferEntry {
+                                child_offset: offset,
+                                generated: p_new,
+                            });
+                        }
+                    }
+                }
+            } else {
+                // WB / ASIT / STAR: self-increasing parent counter, needed
+                // before the child's HMAC can be computed. The parent walk
+                // may run arbitrary nested evictions — the node is pinned
+                // and resident, so they see (and may even update) it; its
+                // value is re-read afterwards.
+                // Under eager updates the ancestors were already advanced
+                // at write time; the flush just reads the current value.
+                let eager = self.cfg.eager_update;
+                let pc = match self.layout.geometry.parent_of(id) {
+                    None => {
+                        let slot = self.layout.geometry.root_slot(id);
+                        if eager {
+                            self.root.get(slot)
+                        } else {
+                            let v = self.root.get(slot) + 1;
+                            self.root.set(slot, v);
+                            v
+                        }
+                    }
+                    Some((pid, slot)) => {
+                        t = self.ensure_cached(t, pid)?;
+                        let poff = self.layout.geometry.offset_of(pid);
+                        if eager {
+                            self.meta
+                                .peek(poff)
+                                .expect("parent just ensured")
+                                .counters
+                                .as_general()
+                                .get(slot)
+                        } else {
+                            let mut p = self.meta.read(poff).expect("parent just ensured");
+                            p.counters.as_general_mut().increment(slot);
+                            let v = p.counters.as_general().get(slot);
+                            self.meta.write(poff, p);
+                            t = self.on_node_modified(t, poff)?;
+                            v
+                        }
+                    }
+                };
+                let mut node = *self.meta.peek(offset).expect("flush target resident");
+                node.hmac = self.node_mac_field(&node, offset, pc);
+                t += self.cfg.hash_latency;
+                t = self.wq.push(t, addr, &node.to_line(), &mut self.nvm);
+                self.meta.write(offset, node);
+                self.meta.mark_clean(offset);
+                if matches!(self.cfg.scheme, SchemeKind::Star) {
+                    // dirty→clean transition: STAR must clear the bitmap bit
+                    // (the tracking write Steins avoids, §IV-B) and refresh
+                    // the set-MAC now that the node left the dirty set.
+                    t = self.star_bitmap_update(t, offset, false);
+                    let set = self.meta.set_index(offset);
+                    t = self.star_tree_update(t, set);
+                }
+            }
+            Ok(t)
+        })();
+        self.pinned.pop();
+        result
+    }
+
+    /// Applies a generated parent counter to a cached parent and transfers
+    /// the LInc delta between levels (§III-E steps ④–⑤).
+    fn steins_apply_parent(
+        &mut self,
+        t: Cycle,
+        child: NodeId,
+        pid: NodeId,
+        slot: usize,
+        p_new: u64,
+    ) -> Result<Cycle, IntegrityError> {
+        let poff = self.layout.geometry.offset_of(pid);
+        let mut p = self.meta.read(poff).expect("parent resident");
+        let p_old = p.counters.as_general().get(slot);
+        if p_new <= p_old {
+            // Already applied (a later flush of the same child raced ahead
+            // through the buffer); nothing to do.
+            self.watch("apply-skip", self.layout.geometry.offset_of(child), p_old);
+            return Ok(t);
+        }
+        self.watch("apply", self.layout.geometry.offset_of(child), p_new);
+        let delta = p_new - p_old;
+        p.counters.as_general_mut().set(slot, p_new);
+        self.meta.write(poff, p);
+        let t = self.on_node_modified(t, poff)?;
+        let st = self.scheme.steins();
+        st.lincs.sub(child.level, delta);
+        st.lincs.add(pid.level, delta);
+        Ok(t)
+    }
+
+    /// Drains the NV buffer: fetch parents (off the critical path), apply
+    /// generated counters, transfer LInc deltas (§III-E step ④–⑦).
+    fn drain_nv_buffer(&mut self, t: Cycle) -> Result<(), IntegrityError> {
+        let entries = self.scheme.steins().nv_buffer.drain();
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let st = self.scheme.steins();
+        st.draining = true;
+        st.pending = entries.clone();
+        let result = self.drain_entries(t, entries);
+        let st = self.scheme.steins();
+        st.draining = false;
+        st.pending.clear();
+        result
+    }
+
+    fn drain_entries(
+        &mut self,
+        t: Cycle,
+        entries: Vec<NvBufferEntry>,
+    ) -> Result<(), IntegrityError> {
+        for e in entries {
+            let cid = self.layout.geometry.node_at_offset(e.child_offset);
+            let (pid, slot) = self
+                .layout
+                .geometry
+                .parent_of(cid)
+                .expect("root parents are applied inline, never buffered");
+            // Background fetch: charges device occupancy but not front_free.
+            let t2 = self.ensure_cached(t, pid)?;
+            self.steins_apply_parent(t2, cid, pid, slot, e.generated)?;
+        }
+        Ok(())
+    }
+
+    // ——— MAC records (functionally ECC-embedded; see DESIGN.md §2.7) ———
+
+    pub(crate) fn get_mac_record(&self, data_line: u64) -> MacRecord {
+        let (laddr, byte) = self.layout.mac_slot(data_line);
+        let line = self.nvm.peek(laddr);
+        MacRecord::read_slot(&line, byte / 16)
+    }
+
+    pub(crate) fn set_mac_record(&mut self, data_line: u64, rec: MacRecord) {
+        let (laddr, byte) = self.layout.mac_slot(data_line);
+        let mut line = self.nvm.peek(laddr);
+        rec.write_slot(&mut line, byte / 16);
+        self.nvm.poke(laddr, &line);
+    }
+
+    /// Re-encrypts every persisted block a split leaf covers after a minor
+    /// overflow (§II-B), except the block currently being written.
+    #[allow(clippy::too_many_arguments)]
+    fn reencrypt_leaf(
+        &mut self,
+        mut t: Cycle,
+        leaf: NodeId,
+        old_major: u64,
+        old_minors: &[u8; 64],
+        new_major: u64,
+        skip_line: u64,
+    ) -> Result<Cycle, IntegrityError> {
+        for d in self.layout.geometry.data_of_leaf(leaf) {
+            if d == skip_line {
+                continue;
+            }
+            let daddr = self.layout.data_base + d * 64;
+            if !self.nvm.storage().contains(daddr) {
+                continue; // never written: nothing to re-encrypt
+            }
+            let slot = (d % self.cfg.mode.leaf_coverage()) as usize;
+            let (ct, t2) = self.nvm.read(t, daddr);
+            t = t2;
+            let mut buf = ct;
+            // Decrypt under the old pair, re-encrypt under (new major, 0).
+            xor_otp(self.crypto.as_ref(), daddr, old_major, u64::from(old_minors[slot]), &mut buf);
+            xor_otp(self.crypto.as_ref(), daddr, new_major, 0, &mut buf);
+            self.energy.aes_ops += 2;
+            self.energy.hashes += 1;
+            let mac = self.crypto.data_mac(daddr, &buf, new_major, 0);
+            self.set_mac_record(
+                d,
+                MacRecord {
+                    mac,
+                    recovery: MacRecord::pack_recovery(new_major, 0),
+                },
+            );
+            t = self.wq.push(t, daddr, &buf, &mut self.nvm);
+        }
+        Ok(t)
+    }
+
+    /// Eager update (§II-C, ablation): advance every ancestor's counter for
+    /// the written branch, fetching missing ancestors on the critical path —
+    /// the cost the lazy scheme exists to avoid.
+    fn eager_propagate(&mut self, mut t: Cycle, leaf: NodeId) -> Result<Cycle, IntegrityError> {
+        let mut child = leaf;
+        while let Some((pid, slot)) = self.layout.geometry.parent_of(child) {
+            t = self.ensure_cached(t, pid)?;
+            let poff = self.layout.geometry.offset_of(pid);
+            let mut p = self.meta.read(poff).expect("ancestor just ensured");
+            p.counters.as_general_mut().increment(slot);
+            self.meta.write(poff, p);
+            t = self.on_node_modified(t, poff)?;
+            child = pid;
+        }
+        let slot = self.layout.geometry.root_slot(child);
+        self.root.set(slot, self.root.get(slot) + 1);
+        Ok(t)
+    }
+
+    /// Secure write of one 64 B user line (LLC write-back or flush, §III-F).
+    /// Returns the cycle the controller front-end is free again.
+    pub fn write_data(
+        &mut self,
+        arrival: Cycle,
+        addr: u64,
+        plaintext: &[u8; 64],
+    ) -> Result<Cycle, IntegrityError> {
+        assert!(
+            self.layout.is_data(addr),
+            "write at {addr:#x} outside the data region ({} lines)",
+            self.layout.data_lines
+        );
+        let mut t = arrival.max(self.front_free);
+        let dline = addr / 64;
+        let (leaf_id, slot) = self.layout.geometry.leaf_of_data(dline);
+        t = self.ensure_cached(t, leaf_id)?;
+        let loff = self.layout.geometry.offset_of(leaf_id);
+        let mut leaf = self.meta.read(loff).expect("leaf just ensured");
+        let pv_before = leaf.counters.parent_value();
+        let mut reenc: Option<(u64, [u8; 64])> = None;
+        match &mut leaf.counters {
+            CounterBlock::General(g) => {
+                g.increment(slot);
+            }
+            CounterBlock::Split(s) => {
+                let old = (*s).clone();
+                let skip = self.is_steins();
+                if let SplitIncrement::Overflow { .. } = s.increment(slot, skip) {
+                    reenc = Some((old.major, old.minors));
+                }
+            }
+        }
+        let (major, minor) = leaf.counters.enc_pair(slot);
+        let pv_after = leaf.counters.parent_value();
+        self.meta.write(loff, leaf);
+        if self.is_steins() {
+            self.scheme.steins().lincs.add(0, pv_after - pv_before);
+        }
+        t = self.on_node_modified(t, loff)?;
+        if self.cfg.eager_update {
+            t = self.eager_propagate(t, leaf_id)?;
+        }
+        if let Some((old_major, old_minors)) = reenc {
+            t = self.reencrypt_leaf(t, leaf_id, old_major, &old_minors, major, dline)?;
+        }
+        // Encrypt, MAC, persist.
+        let mut line = *plaintext;
+        xor_otp(self.crypto.as_ref(), addr, major, minor, &mut line);
+        self.energy.aes_ops += 1;
+        self.energy.hashes += 1;
+        let mac = self.crypto.data_mac(addr, &line, major, minor);
+        t += self.cfg.hash_latency;
+        let recovery = match self.cfg.leaf_recovery {
+            // Osiris keeps no counter beside the data; recovery probes.
+            LeafRecovery::OsirisProbe { .. } => 0,
+            LeafRecovery::MacRecord => MacRecord::pack_recovery(major, minor),
+        };
+        self.set_mac_record(dline, MacRecord { mac, recovery });
+        t = self.wq.push(t, addr, &line, &mut self.nvm);
+        // Osiris stop-loss (§V): every `window` increments, write the leaf
+        // through so the post-crash probe distance stays bounded.
+        if let LeafRecovery::OsirisProbe { window } = self.cfg.leaf_recovery {
+            if major % window == 0 && self.meta.is_dirty(loff) {
+                t = self.flush_in_place(t, loff)?;
+            }
+        }
+        self.front_free = t;
+        self.wlat.record(arrival, t);
+        Ok(t)
+    }
+
+    /// Secure read of one 64 B user line (LLC fill, §III-F). Returns the
+    /// plaintext and the cycle it is available.
+    pub fn read_data(
+        &mut self,
+        arrival: Cycle,
+        addr: u64,
+    ) -> Result<([u8; 64], Cycle), IntegrityError> {
+        assert!(
+            self.layout.is_data(addr),
+            "read at {addr:#x} outside the data region ({} lines)",
+            self.layout.data_lines
+        );
+        let mut t = arrival.max(self.front_free);
+        let dline = addr / 64;
+        let (leaf_id, slot) = self.layout.geometry.leaf_of_data(dline);
+        t = self.ensure_cached(t, leaf_id)?;
+        let loff = self.layout.geometry.offset_of(leaf_id);
+        let (major, minor) = self
+            .meta
+            .peek(loff)
+            .expect("leaf just ensured")
+            .counters
+            .enc_pair(slot);
+        let (ct, t2) = self.nvm.read(t, addr);
+        t = t2;
+        // The OTP is generated in parallel with the NVM read (§II-B), so it
+        // adds no latency; the MAC check does.
+        self.energy.aes_ops += 1;
+        let rec = self.get_mac_record(dline);
+        if rec == MacRecord::default() && ct == [0u8; 64] {
+            // Never-written line: defined to read as zeros, nothing to MAC.
+            // (The leaf's major may be nonzero if siblings overflowed — the
+            // record, not the counter pair, says whether data exists.)
+            self.front_free = t;
+            self.rlat.record(arrival, t);
+            return Ok((ct, t));
+        }
+        self.energy.hashes += 1;
+        let mac = self.crypto.data_mac(addr, &ct, major, minor);
+        t += self.cfg.hash_latency;
+        if mac != rec.mac {
+            return Err(IntegrityError::DataMac { addr });
+        }
+        let mut out = ct;
+        xor_otp(self.crypto.as_ref(), addr, major, minor, &mut out);
+        self.front_free = t;
+        self.rlat.record(arrival, t);
+        Ok((out, t))
+    }
+
+    /// Immutable NVM device access (stats, storage inspection).
+    pub fn nvm(&self) -> &NvmDevice {
+        &self.nvm
+    }
+
+    /// Peeks a cached node (diagnostics).
+    pub fn meta_peek(&self, offset: u64) -> Option<&SitNode> {
+        self.meta.peek(offset)
+    }
+
+    /// Offsets of every dirty node currently in the metadata cache
+    /// (tests/diagnostics — the state a crash would lose).
+    pub fn meta_dirty_offsets(&self) -> Vec<u64> {
+        self.meta
+            .dirty_nodes()
+            .into_iter()
+            .map(|(_, offset, _)| offset)
+            .collect()
+    }
+
+    /// Reads a data block's MAC record (diagnostics).
+    pub fn data_mac_record(&self, data_line: u64) -> crate::cme::MacRecord {
+        self.get_mac_record(data_line)
+    }
+
+    /// Recomputes a data MAC under an arbitrary counter pair (diagnostics).
+    pub fn data_mac_probe(&self, addr: u64, data: &[u8; 64], major: u64, minor: u64) -> u64 {
+        self.crypto.data_mac(addr, data, major, minor)
+    }
+
+    /// Recomputes the MAC a node would store under parent counter `pc`
+    /// (diagnostics/ablation probing; does not touch energy counters).
+    pub fn mac_probe(&self, node: &SitNode, offset: u64, pc: u64) -> u64 {
+        let mac = self
+            .crypto
+            .mac64(&node.mac_message(self.layout.node_addr(offset), pc));
+        if matches!(self.cfg.scheme, SchemeKind::Star) {
+            star::pack_hmac(mac, pc)
+        } else {
+            mac
+        }
+    }
+
+    /// The memory layout in force.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Metadata cache hit/miss counters.
+    pub fn meta_stats(&self) -> (u64, u64) {
+        self.meta.stats()
+    }
+
+    /// Current LInc values (Steins only; used by invariant tests).
+    pub fn lincs(&self) -> Option<Vec<u64>> {
+        match &self.scheme {
+            SchemeState::Steins(s) => {
+                Some((0..s.lincs.levels()).map(|k| s.lincs.get(k)).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Recomputes, from first principles, what each LInc should be: the sum
+    /// over dirty cached nodes of (generated parent value of cached) −
+    /// (generated parent value of NVM-stale copy), **plus** parked NV-buffer
+    /// deltas not yet transferred. Used by the LInc-invariant tests.
+    pub fn recompute_lincs(&self) -> Option<Vec<u64>> {
+        let st = match &self.scheme {
+            SchemeState::Steins(s) => s,
+            _ => return None,
+        };
+        let geo = &self.layout.geometry;
+        let mut expect = vec![0u64; geo.levels()];
+        for (_, offset, node, dirty) in self.meta.resident_nodes() {
+            if !dirty {
+                continue;
+            }
+            let id = geo.node_at_offset(offset);
+            let stale = self.parse_node(id, &self.nvm.peek(self.layout.node_addr(offset)));
+            expect[id.level] +=
+                node.counters.parent_value() - stale.counters.parent_value();
+        }
+        // Parked entries: the child's NVM copy already carries the new
+        // counters, but the parent (and the level transfer) is pending, so
+        // the child's level still owes the delta and the parent's does not
+        // yet hold it.
+        for e in st.nv_buffer.entries() {
+            let cid = geo.node_at_offset(e.child_offset);
+            let (pid, slot) = geo.parent_of(cid).expect("buffered parents are non-root");
+            let stale_parent = self.parse_node(
+                pid,
+                &self.nvm.peek(self.layout.node_addr(geo.offset_of(pid))),
+            );
+            let p_old = if self.meta.is_dirty(geo.offset_of(pid)) {
+                // Parent dirty in cache: its cached value is the reference.
+                self.meta
+                    .peek(geo.offset_of(pid))
+                    .expect("dirty implies resident")
+                    .counters
+                    .as_general()
+                    .get(slot)
+            } else {
+                stale_parent.counters.as_general().get(slot)
+            };
+            if e.generated > p_old {
+                expect[cid.level] += e.generated - p_old;
+            }
+        }
+        Some(expect)
+    }
+}
+
+/// Deterministic synthetic content for trace-driven stores: a recognizable
+/// pattern over (address, version).
+pub fn synth_data(addr: u64, version: u64) -> [u8; 64] {
+    let mut line = [0u8; 64];
+    for (i, chunk) in line.chunks_exact_mut(16).enumerate() {
+        chunk[..8].copy_from_slice(&(addr ^ (i as u64) << 60).to_le_bytes());
+        chunk[8..].copy_from_slice(&version.wrapping_mul(0x9e3779b97f4a7c15).to_le_bytes());
+    }
+    line
+}
+
+/// The full system: CPU model + cache hierarchy + secure memory controller.
+pub struct SecureNvmSystem {
+    pub(crate) cfg: SystemConfig,
+    /// The secure memory controller (exposed for inspection and tests).
+    pub ctrl: SecureMemoryController,
+    pub(crate) cpu: CpuModel,
+    pub(crate) hier: CacheHierarchy,
+    /// Last-stored plaintext per line — the functional ground truth.
+    pub(crate) truth: HashMap<u64, [u8; 64]>,
+    write_seq: u64,
+}
+
+impl SecureNvmSystem {
+    /// Builds the system.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let ctrl = SecureMemoryController::new(cfg.clone());
+        SecureNvmSystem {
+            cpu: CpuModel::new(cfg.cpu),
+            hier: CacheHierarchy::new(cfg.hierarchy),
+            cfg,
+            ctrl,
+            truth: HashMap::new(),
+            write_seq: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn truth_line(&self, addr: u64) -> [u8; 64] {
+        *self
+            .truth
+            .get(&addr)
+            .expect("write-back of a line that was never stored")
+    }
+
+    /// Services the memory events one CPU access produced. Returns the fill
+    /// latency (if the access reached memory).
+    fn service_events(
+        &mut self,
+        events: &[MemEvent],
+    ) -> Result<Option<Cycle>, IntegrityError> {
+        let mut fill = None;
+        for ev in events {
+            match *ev {
+                MemEvent::WriteBack { addr } => {
+                    let data = self.truth_line(addr);
+                    self.ctrl.write_data(self.cpu.now, addr, &data)?;
+                }
+                MemEvent::Fill { addr } => {
+                    let (data, ready) = self.ctrl.read_data(self.cpu.now, addr)?;
+                    if let Some(expected) = self.truth.get(&addr) {
+                        assert_eq!(
+                            &data, expected,
+                            "decrypted fill diverged from stored plaintext at {addr:#x}"
+                        );
+                    }
+                    fill = Some(ready.saturating_sub(self.cpu.now));
+                }
+                MemEvent::Prefetch { addr } => {
+                    // Off the critical path: the fill's latency is hidden.
+                    // Stride candidates may run past the data region; skip.
+                    if self.ctrl.layout.is_data(addr) {
+                        let _ = self.ctrl.read_data(self.cpu.now, addr)?;
+                    }
+                }
+            }
+        }
+        Ok(fill)
+    }
+
+    /// Runs a trace to completion, returning the run metrics.
+    pub fn run_trace(
+        &mut self,
+        ops: impl Iterator<Item = TraceOp>,
+    ) -> Result<RunReport, IntegrityError> {
+        for op in ops {
+            if op.gap > 0 {
+                self.cpu.compute(op.gap as u64);
+            }
+            match op.kind {
+                OpKind::Load => {
+                    let acc = self.hier.access(op.addr, false);
+                    let fill = self.service_events(&acc.events)?;
+                    self.cpu.load(acc.on_chip_cycles, fill);
+                }
+                OpKind::Store => {
+                    // Write-allocate: service the miss (whose fill returns
+                    // the previously persisted contents) before the store's
+                    // new value becomes the ground truth.
+                    let acc = self.hier.access(op.addr, true);
+                    let fill = self.service_events(&acc.events)?;
+                    self.write_seq += 1;
+                    self.truth.insert(op.addr, synth_data(op.addr, self.write_seq));
+                    // Write-allocate: the store waits for its fill like a
+                    // load; write-backs ride the controller front-end.
+                    self.cpu.load(acc.on_chip_cycles, fill);
+                }
+                OpKind::Flush => {
+                    if let Some(MemEvent::WriteBack { addr }) = self.hier.flush_line(op.addr) {
+                        let data = self.truth_line(addr);
+                        let t = self.ctrl.write_data(self.cpu.now, addr, &data)?;
+                        // clwb + fence: the core orders behind acceptance.
+                        let stall = t.saturating_sub(self.cpu.now);
+                        self.cpu.store(2, stall);
+                    } else {
+                        self.cpu.compute(1);
+                    }
+                }
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// Direct API: securely writes one line and persists it (store + clwb).
+    pub fn write(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), IntegrityError> {
+        let addr = addr & !63;
+        let acc = self.hier.access(addr, true);
+        self.service_events(&acc.events)?;
+        self.truth.insert(addr, *data);
+        if let Some(MemEvent::WriteBack { addr }) = self.hier.flush_line(addr) {
+            let data = self.truth_line(addr);
+            self.ctrl.write_data(self.cpu.now, addr, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Direct API: securely reads one line (through the CPU caches; a hit
+    /// returns the cached truth, a miss decrypts and verifies from NVM).
+    pub fn read(&mut self, addr: u64) -> Result<[u8; 64], IntegrityError> {
+        let addr = addr & !63;
+        let acc = self.hier.access(addr, false);
+        let mut from_mem = None;
+        for ev in &acc.events {
+            match *ev {
+                MemEvent::WriteBack { addr: a } => {
+                    let data = self.truth_line(a);
+                    self.ctrl.write_data(self.cpu.now, a, &data)?;
+                }
+                MemEvent::Fill { addr: a } => {
+                    let (data, _) = self.ctrl.read_data(self.cpu.now, a)?;
+                    from_mem = Some(data);
+                }
+                MemEvent::Prefetch { addr: a } => {
+                    if self.ctrl.layout.is_data(a) {
+                        let _ = self.ctrl.read_data(self.cpu.now, a)?;
+                    }
+                }
+            }
+        }
+        Ok(match from_mem {
+            Some(data) => data,
+            None => self.truth.get(&addr).copied().unwrap_or([0u8; 64]),
+        })
+    }
+
+    /// Current run metrics.
+    pub fn report(&self) -> RunReport {
+        let nvm = *self.ctrl.nvm.stats();
+        let mut energy = self.ctrl.energy;
+        energy.nvm_reads = nvm.reads;
+        energy.nvm_writes = nvm.writes;
+        let (meta_hits, meta_misses) = self.ctrl.meta.stats();
+        RunReport {
+            label: self.cfg.scheme.label(self.cfg.mode),
+            cycles: self.cpu.now,
+            seconds: self.cpu.seconds(self.cfg.nvm.timings.freq_ghz),
+            instructions: self.cpu.instructions,
+            write_latency: self.ctrl.wlat.avg(),
+            read_latency: self.ctrl.rlat.avg(),
+            nvm,
+            energy_events: energy,
+            energy_pj: energy.total_pj(&EnergyModel::default()),
+            meta_hits,
+            meta_misses,
+            read_stall_cycles: self.cpu.read_stall_cycles,
+            write_stall_cycles: self.cpu.write_stall_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steins_metadata::CounterMode;
+
+    fn all_schemes() -> Vec<(SchemeKind, CounterMode)> {
+        vec![
+            (SchemeKind::WriteBack, CounterMode::General),
+            (SchemeKind::WriteBack, CounterMode::Split),
+            (SchemeKind::Asit, CounterMode::General),
+            (SchemeKind::Star, CounterMode::General),
+            (SchemeKind::Steins, CounterMode::General),
+            (SchemeKind::Steins, CounterMode::Split),
+        ]
+    }
+
+    #[test]
+    fn write_read_roundtrip_every_scheme() {
+        for (scheme, mode) in all_schemes() {
+            let cfg = SystemConfig::small_for_tests(scheme, mode);
+            let mut sys = SecureNvmSystem::new(cfg);
+            let data = [0xAB; 64];
+            sys.write(0x400, &data).unwrap();
+            assert_eq!(
+                sys.read(0x400).unwrap(),
+                data,
+                "{scheme:?}/{mode:?} roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn many_writes_roundtrip_through_evictions() {
+        for (scheme, mode) in all_schemes() {
+            let cfg = SystemConfig::small_for_tests(scheme, mode);
+            let mut sys = SecureNvmSystem::new(cfg);
+            // Enough lines to overflow the tiny metadata cache repeatedly.
+            for i in 0..600u64 {
+                let mut data = [0u8; 64];
+                data[..8].copy_from_slice(&i.to_le_bytes());
+                sys.write(i * 64, &data).unwrap();
+            }
+            for i in (0..600u64).step_by(7) {
+                let got = sys.read(i * 64).unwrap();
+                assert_eq!(
+                    u64::from_le_bytes(got[..8].try_into().unwrap()),
+                    i,
+                    "{scheme:?}/{mode:?} line {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_writes_same_line_advance_counters() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::Split);
+        let mut sys = SecureNvmSystem::new(cfg);
+        for v in 0..200u64 {
+            let mut data = [0u8; 64];
+            data[..8].copy_from_slice(&v.to_le_bytes());
+            sys.write(0, &data).unwrap();
+        }
+        let got = sys.read(0).unwrap();
+        assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), 199);
+    }
+
+    #[test]
+    fn split_minor_overflow_reencrypts_and_stays_readable() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::Split);
+        let mut sys = SecureNvmSystem::new(cfg);
+        // Neighbor in the same leaf, written once.
+        sys.write(64, &[0x11; 64]).unwrap();
+        // Hot line: > 63 writes forces a minor overflow (re-encryption).
+        for v in 0..70u64 {
+            let mut data = [0u8; 64];
+            data[..8].copy_from_slice(&v.to_le_bytes());
+            sys.write(0, &data).unwrap();
+        }
+        assert_eq!(sys.read(64).unwrap(), [0x11; 64], "neighbor survives re-encryption");
+        let got = sys.read(0).unwrap();
+        assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), 69);
+    }
+
+    #[test]
+    fn eager_update_works_and_costs_more() {
+        let run = |eager: bool| {
+            let mut cfg = SystemConfig::small_for_tests(SchemeKind::WriteBack, CounterMode::General);
+            cfg.eager_update = eager;
+            let mut sys = SecureNvmSystem::new(cfg);
+            for i in 0..400u64 {
+                sys.write((i * 13 % 1024) * 64, &[i as u8; 64]).unwrap();
+            }
+            for i in (0..1024u64).step_by(31) {
+                let _ = sys.read(i * 64).unwrap();
+            }
+            sys.report()
+        };
+        let lazy = run(false);
+        let eager = run(true);
+        // Functional behaviour is identical (the in-run truth asserts cover
+        // it); the cost signature differs: eager touches every ancestor on
+        // every write, so its metadata-cache activity is far higher.
+        assert!(
+            eager.energy_events.cache_accesses > lazy.energy_events.cache_accesses * 5 / 4,
+            "eager {} vs lazy {} metadata-cache accesses",
+            eager.energy_events.cache_accesses,
+            lazy.energy_events.cache_accesses
+        );
+    }
+
+    #[test]
+    fn linc_invariant_holds_under_mixed_traffic() {
+        for mode in [CounterMode::General, CounterMode::Split] {
+            let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, mode);
+            let mut sys = SecureNvmSystem::new(cfg);
+            for i in 0..400u64 {
+                sys.write((i * 7 % 256) * 64, &[i as u8; 64]).unwrap();
+                if i % 3 == 0 {
+                    let _ = sys.read((i % 100) * 64).unwrap();
+                }
+            }
+            let stored = sys.ctrl.lincs().unwrap();
+            let expected = sys.ctrl.recompute_lincs().unwrap();
+            assert_eq!(stored, expected, "{mode:?}: LInc invariant (§III-D)");
+        }
+    }
+
+    #[test]
+    fn trace_run_produces_consistent_report() {
+        use steins_trace::{Workload, WorkloadKind};
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+        let data_lines = cfg.data_lines;
+        let mut sys = SecureNvmSystem::new(cfg);
+        let mut wl = Workload::new(WorkloadKind::PHash, 2_000, 11);
+        wl.footprint_lines = data_lines;
+        let report = sys.run_trace(wl.generate()).unwrap();
+        assert!(report.cycles > 0);
+        assert!(report.instructions >= 2_000);
+        assert!(report.nvm.writes > 0, "persistent workload must write NVM");
+        assert!(report.write_latency > 0.0);
+        assert!(report.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn asit_writes_roughly_double_wb() {
+        use steins_trace::{Workload, WorkloadKind};
+        let run = |scheme| {
+            let cfg = SystemConfig::small_for_tests(scheme, CounterMode::General);
+            let data_lines = cfg.data_lines;
+            let mut sys = SecureNvmSystem::new(cfg);
+            let mut wl = Workload::new(WorkloadKind::PHash, 3_000, 5);
+            wl.footprint_lines = data_lines;
+            sys.run_trace(wl.generate()).unwrap().nvm.writes as f64
+        };
+        let wb = run(SchemeKind::WriteBack);
+        let asit = run(SchemeKind::Asit);
+        let ratio = asit / wb;
+        assert!(
+            ratio > 1.5 && ratio < 3.0,
+            "ASIT write amplification off: {ratio:.2} (wb={wb}, asit={asit})"
+        );
+    }
+
+    #[test]
+    fn steins_traffic_close_to_wb() {
+        use steins_trace::{Workload, WorkloadKind};
+        let run = |scheme| {
+            let cfg = SystemConfig::small_for_tests(scheme, CounterMode::General);
+            let data_lines = cfg.data_lines;
+            let mut sys = SecureNvmSystem::new(cfg);
+            let mut wl = Workload::new(WorkloadKind::PHash, 3_000, 5);
+            wl.footprint_lines = data_lines;
+            sys.run_trace(wl.generate()).unwrap().nvm.writes as f64
+        };
+        let wb = run(SchemeKind::WriteBack);
+        let steins = run(SchemeKind::Steins);
+        let ratio = steins / wb;
+        // The tiny test config (4 record-cache lines, 128-slot metadata
+        // cache) thrashes the record cache far more than Table I's sizing;
+        // the figure-scale check of the paper's ≈1.05× lives in the bench
+        // harness. Here we only require Steins ≪ ASIT's 2×.
+        assert!(
+            ratio < 1.45,
+            "Steins write amplification should be small: {ratio:.2}"
+        );
+    }
+}

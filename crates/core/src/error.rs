@@ -1,0 +1,96 @@
+//! Integrity-violation errors.
+//!
+//! Every verification failure the secure controller or a recovery engine can
+//! raise. Tests use these to assert that injected attacks are *detected at
+//! the right layer* (tampering by HMAC, replay by LInc/root, §III-H).
+
+use steins_metadata::NodeId;
+
+/// A detected integrity violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IntegrityError {
+    /// A user data block failed its HMAC check.
+    DataMac {
+        /// Line address of the failing block.
+        addr: u64,
+    },
+    /// A SIT node failed its HMAC check against its parent counter.
+    NodeMac {
+        /// Which node.
+        node: NodeId,
+    },
+    /// During recovery, the recomputed per-level increment disagreed with
+    /// the stored `LInc` — the signature of a replay (§III-D).
+    LIncMismatch {
+        /// Tree level whose sum failed.
+        level: usize,
+        /// Stored trusted value.
+        stored: u64,
+        /// Recomputed value (smaller ⇒ replay).
+        recomputed: u64,
+    },
+    /// ASIT/STAR: the rebuilt cache-tree root disagreed with the on-chip
+    /// register.
+    CacheTreeMismatch {
+        /// Stored trusted root.
+        stored: u64,
+        /// Recomputed root.
+        recomputed: u64,
+    },
+    /// The scheme cannot recover at all (WB after a crash with dirty
+    /// metadata).
+    RecoveryUnsupported,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::DataMac { addr } => {
+                write!(f, "data HMAC mismatch at address {addr:#x} (tampering detected)")
+            }
+            IntegrityError::NodeMac { node } => write!(
+                f,
+                "SIT node HMAC mismatch at level {} index {} (tampering detected)",
+                node.level, node.index
+            ),
+            IntegrityError::LIncMismatch {
+                level,
+                stored,
+                recomputed,
+            } => write!(
+                f,
+                "L{level}Inc mismatch: stored {stored}, recomputed {recomputed} (replay detected)"
+            ),
+            IntegrityError::CacheTreeMismatch { stored, recomputed } => write!(
+                f,
+                "cache-tree root mismatch: stored {stored:#x}, recomputed {recomputed:#x}"
+            ),
+            IntegrityError::RecoveryUnsupported => {
+                write!(f, "scheme does not support metadata recovery")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IntegrityError::LIncMismatch {
+            level: 3,
+            stored: 10,
+            recomputed: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("L3Inc"));
+        assert!(s.contains("replay"));
+        let e = IntegrityError::NodeMac {
+            node: NodeId { level: 1, index: 5 },
+        };
+        assert!(e.to_string().contains("level 1"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The Steins secure memory controller and its competitors.
+//!
+//! This crate is the paper's primary contribution plus every baseline it is
+//! evaluated against:
+//!
+//! * [`engine`] — the secure memory controller: counter-mode encryption,
+//!   lazy-update SGX-style integrity tree, metadata cache, write queue, and
+//!   the per-scheme runtime hooks; plus [`engine::SecureNvmSystem`], the
+//!   full system (CPU model + cache hierarchy + controller) that runs
+//!   traces.
+//! * [`scheme`] — the four recovery schemes: **WB** (write-back baseline,
+//!   no recovery), **ASIT** (Anubis: shadow table + cache-tree), **STAR**
+//!   (dirty bitmap + sorted-set cache-tree), and **Steins**
+//!   (counter-generation + offset records + LIncs + NV buffer).
+//! * [`crash`] / [`recovery`] — crash injection (volatile state loss with
+//!   ADR flush) and the per-scheme recovery engines with full verification.
+//! * [`attack`] — tampering/replay injection used by the security tests.
+//! * [`cme`], [`linc`], [`nvbuffer`], [`cachetree`] — building blocks.
+//! * [`bmt`] — the Bonsai-Merkle-Tree baseline of §II-C, quantifying why
+//!   the paper (and this engine) build on the SIT instead.
+//! * [`report`] — run metrics backing every figure of §IV.
+
+pub mod attack;
+pub mod bmt;
+pub mod cachetree;
+pub mod cme;
+pub mod config;
+pub mod crash;
+pub mod engine;
+pub mod error;
+pub mod linc;
+pub mod nvbuffer;
+pub mod recovery;
+pub mod report;
+pub mod scheme;
+
+pub use config::{SchemeKind, SystemConfig};
+pub use crash::CrashedSystem;
+pub use engine::SecureNvmSystem;
+pub use error::IntegrityError;
+pub use recovery::RecoveryReport;
+pub use report::RunReport;
+
+// Re-export the counter mode so downstream users need only this crate.
+pub use steins_metadata::CounterMode;

@@ -1,0 +1,104 @@
+//! Run metrics — the raw series behind every figure of §IV.
+
+use serde::{Deserialize, Serialize};
+use steins_nvm::{EnergyCounters, EnergyModel, NvmStats};
+
+/// Arrival→completion latency accumulator.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Completed operations.
+    pub count: u64,
+    /// Summed latency in cycles.
+    pub total_cycles: u64,
+}
+
+impl LatencyStats {
+    /// Records one operation spanning `[arrival, done]`.
+    pub fn record(&mut self, arrival: u64, done: u64) {
+        debug_assert!(done >= arrival);
+        self.count += 1;
+        self.total_cycles += done - arrival;
+    }
+
+    /// Mean latency in cycles (0 when empty).
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything a figure needs from one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme-and-mode label ("Steins-SC", "WB-GC", …).
+    pub label: String,
+    /// Execution time in cycles (Figs. 9, 12).
+    pub cycles: u64,
+    /// Execution time in seconds at the configured clock.
+    pub seconds: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Mean MC write latency, cycles (Fig. 10): writeback arrival →
+    /// data + metadata path complete.
+    pub write_latency: f64,
+    /// Mean MC read latency, cycles (Fig. 11): fill arrival → verified data.
+    pub read_latency: f64,
+    /// NVM device statistics (Figs. 13, 14 use `writes`).
+    pub nvm: NvmStats,
+    /// Crypto/cache event counters.
+    pub energy_events: EnergyCounters,
+    /// Total energy, picojoules (Figs. 15, 16).
+    pub energy_pj: f64,
+    /// Metadata cache hits and misses.
+    pub meta_hits: u64,
+    /// Metadata cache misses.
+    pub meta_misses: u64,
+    /// Cycles the core spent stalled on reads.
+    pub read_stall_cycles: u64,
+    /// Cycles the core spent stalled on the write path.
+    pub write_stall_cycles: u64,
+}
+
+impl RunReport {
+    /// Recomputes `energy_pj` under a different energy model (ablations).
+    pub fn energy_under(&self, model: &EnergyModel) -> f64 {
+        self.energy_events.total_pj(model)
+    }
+
+    /// Write traffic in bytes.
+    pub fn write_traffic(&self) -> u64 {
+        self.nvm.write_traffic_bytes()
+    }
+
+    /// Metadata cache hit rate.
+    pub fn meta_hit_rate(&self) -> f64 {
+        let total = self.meta_hits + self.meta_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.meta_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_average() {
+        let mut s = LatencyStats::default();
+        s.record(10, 20);
+        s.record(0, 30);
+        assert_eq!(s.count, 2);
+        assert!((s.avg() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_latency_is_zero() {
+        assert_eq!(LatencyStats::default().avg(), 0.0);
+    }
+}

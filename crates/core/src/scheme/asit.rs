@@ -1,0 +1,58 @@
+//! ASIT (Anubis for SGX Integrity Trees) runtime state.
+//!
+//! ASIT mirrors every metadata-cache line into a **shadow table** in NVM —
+//! one 64 B entry per cache slot, written on install and on every
+//! modification (the 2× write traffic of Fig. 13) — and verifies recovery
+//! through a 4-level **cache-tree** whose leaves MAC each cache slot's
+//! content (the serial HMAC chains behind ASIT's Fig. 9/10 slowdowns).
+
+use crate::cachetree::CacheTree;
+use std::collections::HashMap;
+use steins_crypto::CryptoEngine;
+
+/// Mutable ASIT state.
+pub struct AsitState {
+    /// Cache-tree over cache slots (intermediate levels volatile, root in an
+    /// NV register).
+    pub cache_tree: CacheTree,
+    /// The NV-register copy of the cache-tree root (survives crashes).
+    pub nv_root: u64,
+    /// Which node offset each shadow-table slot currently mirrors. Real
+    /// hardware keeps these tags in the shadow entries' spare/ECC bits; they
+    /// are non-volatile alongside the table itself.
+    pub shadow_tags: HashMap<u64, u64>,
+}
+
+impl AsitState {
+    /// Fresh state for a metadata cache with `slots` lines.
+    pub fn new(engine: &dyn CryptoEngine, slots: usize) -> Self {
+        let cache_tree = CacheTree::new(engine, slots);
+        let nv_root = cache_tree.root();
+        AsitState {
+            cache_tree,
+            nv_root,
+            shadow_tags: HashMap::new(),
+        }
+    }
+
+    /// Commits the current cache-tree root to the NV register.
+    pub fn commit_root(&mut self) {
+        self.nv_root = self.cache_tree.root();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steins_crypto::{engine::make_engine, CryptoKind, SecretKey};
+
+    #[test]
+    fn commit_tracks_tree() {
+        let e = make_engine(CryptoKind::Fast, SecretKey([1; 16]));
+        let mut s = AsitState::new(e.as_ref(), 64);
+        s.cache_tree.update(e.as_ref(), 3, 99);
+        assert_ne!(s.nv_root, s.cache_tree.root());
+        s.commit_root();
+        assert_eq!(s.nv_root, s.cache_tree.root());
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-scheme runtime state.
+//!
+//! The engine owns one [`SchemeState`] and invokes it at three points:
+//! node **installation** (fetch into the metadata cache), node
+//! **modification** (any counter change of a cached node), and dirty node
+//! **eviction** (flush to NVM). What each scheme does at those points — and
+//! what it therefore pays at runtime — is the entire subject of the paper's
+//! Figs. 9–16:
+//!
+//! | scheme | install | modification | eviction |
+//! |--------|---------|--------------|----------|
+//! | WB     | —       | —            | parent read on critical path |
+//! | ASIT   | shadow write + cache-tree path | shadow write + cache-tree path | parent read + cache-tree |
+//! | STAR   | —       | set-sort + cache-tree path; bitmap on clean→dirty | parent read + bitmap on dirty→clean + cache-tree |
+//! | Steins | —       | record line on clean→dirty only; LInc add | generated counter (no parent read); NV buffer on parent miss; LInc transfer |
+
+pub mod asit;
+pub mod star;
+pub mod steins;
+
+pub use asit::AsitState;
+pub use star::StarState;
+pub use steins::SteinsState;
+
+/// Scheme-specific mutable state held by the controller.
+pub enum SchemeState {
+    /// Write-back baseline: nothing extra.
+    WriteBack,
+    /// Anubis/ASIT.
+    Asit(AsitState),
+    /// STAR.
+    Star(StarState),
+    /// Steins.
+    Steins(SteinsState),
+}
+
+impl SchemeState {
+    /// Steins state accessor (panics if another scheme is active — engine
+    /// call sites are scheme-gated).
+    pub fn steins(&mut self) -> &mut SteinsState {
+        match self {
+            SchemeState::Steins(s) => s,
+            _ => panic!("not running Steins"),
+        }
+    }
+
+    /// Immutable Steins accessor.
+    pub fn steins_ref(&self) -> &SteinsState {
+        match self {
+            SchemeState::Steins(s) => s,
+            _ => panic!("not running Steins"),
+        }
+    }
+
+    /// ASIT accessor.
+    pub fn asit(&mut self) -> &mut AsitState {
+        match self {
+            SchemeState::Asit(s) => s,
+            _ => panic!("not running ASIT"),
+        }
+    }
+
+    /// STAR accessor.
+    pub fn star(&mut self) -> &mut StarState {
+        match self {
+            SchemeState::Star(s) => s,
+            _ => panic!("not running STAR"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! STAR runtime state.
+//!
+//! STAR tracks dirty nodes in a multi-layer **bitmap** (updated on both
+//! clean→dirty *and* dirty→clean transitions — twice Steins' record
+//! traffic) and verifies recovery through a cache-tree whose leaves are
+//! per-set MACs over the set's dirty nodes **sorted by address** (the
+//! sorting cost §II-D calls out). Parent-counter LSBs ride in the child
+//! node's HMAC field — here 16 LSBs beside a 48-bit MAC, so a stale parent
+//! counter can be reconstructed from children at recovery as long as it
+//! advanced < 2^16 between its own flushes (amply true: a metadata cache
+//! holds thousands of nodes, not tens of thousands of evictions of one
+//! child between parent evictions).
+
+use crate::cachetree::CacheTree;
+use steins_crypto::CryptoEngine;
+use steins_nvm::AdrRegion;
+
+/// Mask selecting the 48-bit MAC portion of a STAR node's `hmac` field.
+pub const STAR_MAC_MASK: u64 = (1 << 48) - 1;
+
+/// Packs a 48-bit MAC and the parent counter's low 16 bits into the node's
+/// 64-bit HMAC field.
+pub fn pack_hmac(mac: u64, parent_counter: u64) -> u64 {
+    (mac & STAR_MAC_MASK) | ((parent_counter & 0xFFFF) << 48)
+}
+
+/// Extracts `(mac48, parent_lsbs)` from the packed field.
+pub fn unpack_hmac(field: u64) -> (u64, u16) {
+    (field & STAR_MAC_MASK, (field >> 48) as u16)
+}
+
+/// Reconstructs a full parent counter from its stale value and the 16 LSBs
+/// a child carried: keep the stale high bits, splice the LSBs, bump by 2^16
+/// if that went backwards (the counter advanced past an LSB wrap).
+pub fn reconstruct_counter(stale: u64, lsbs: u16) -> u64 {
+    let candidate = (stale & !0xFFFF) | u64::from(lsbs);
+    if candidate < stale {
+        candidate + 0x1_0000
+    } else {
+        candidate
+    }
+}
+
+/// Mutable STAR state.
+pub struct StarState {
+    /// Cache-tree over metadata-cache *sets* (leaves = set-MACs of sorted
+    /// dirty nodes).
+    pub cache_tree: CacheTree,
+    /// NV-register copy of the root.
+    pub nv_root: u64,
+    /// Bitmap lines cached in the controller (ADR-domain; evictions write
+    /// back to the bitmap region).
+    pub bitmap_cache: AdrRegion,
+}
+
+impl StarState {
+    /// Fresh state for a cache with `sets` sets.
+    pub fn new(engine: &dyn CryptoEngine, sets: usize, bitmap_cache_lines: usize) -> Self {
+        let cache_tree = CacheTree::new(engine, sets);
+        let nv_root = cache_tree.root();
+        StarState {
+            cache_tree,
+            nv_root,
+            bitmap_cache: AdrRegion::new(bitmap_cache_lines),
+        }
+    }
+
+    /// Commits the cache-tree root to the NV register.
+    pub fn commit_root(&mut self) {
+        self.nv_root = self.cache_tree.root();
+    }
+
+    /// Approximate cycles an in-set address sort costs (a small sorting
+    /// network; §II-D: "STAR needs to sort the dirty nodes in the same set
+    /// by the addresses").
+    pub fn sort_latency(ways: usize) -> u64 {
+        // Batcher network depth ≈ log²(n) stages of compare-exchange.
+        let n = ways.max(2) as u64;
+        let log = 64 - n.leading_zeros() as u64;
+        log * log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmac_packing_roundtrip() {
+        let (mac, lsbs) = unpack_hmac(pack_hmac(0x0000_FFFF_FFFF_FFFF, 0x3_1A35));
+        assert_eq!(mac, 0x0000_FFFF_FFFF_FFFF);
+        assert_eq!(lsbs, 0x1A35);
+    }
+
+    #[test]
+    fn counter_reconstruction() {
+        // No wrap: stale 0x10005, child saw 0x10007.
+        assert_eq!(reconstruct_counter(0x10005, 0x0007), 0x10007);
+        // Wrap: stale 0x1FFFE, child saw 0x20003.
+        assert_eq!(reconstruct_counter(0x1FFFE, 0x0003), 0x20003);
+        // Equal: stale exact.
+        assert_eq!(reconstruct_counter(0x42, 0x42), 0x42);
+    }
+
+    #[test]
+    fn sort_latency_grows_with_ways() {
+        assert!(StarState::sort_latency(16) > StarState::sort_latency(8));
+        assert!(StarState::sort_latency(8) > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Steins' runtime state: LIncs, NV buffer, and the ADR record-line cache.
+
+use crate::linc::LincBank;
+use crate::nvbuffer::{NvBuffer, NvBufferEntry};
+use steins_metadata::records::{record_coords, RecordLine};
+use steins_nvm::AdrRegion;
+
+/// Mutable Steins state (§III).
+pub struct SteinsState {
+    /// Per-level trust bases (on-chip NV register, §III-D).
+    pub lincs: LincBank,
+    /// Parked parent-counter updates (on-chip NV buffer, §III-E).
+    pub nv_buffer: NvBuffer,
+    /// Record lines cached in the memory controller, inside the ADR domain
+    /// (§III-C); evictions write back to the record region in NVM.
+    pub record_cache: AdrRegion,
+    /// Re-entrancy guard: evictions triggered *while draining* the NV buffer
+    /// fall back to inline parent fetches instead of re-parking.
+    pub draining: bool,
+    /// Entries taken out of the buffer by an in-progress drain but not yet
+    /// applied to their parents. Node verification consults these (a child
+    /// flushed with a parked generated counter must verify against it even
+    /// mid-drain).
+    pub pending: Vec<NvBufferEntry>,
+}
+
+impl SteinsState {
+    /// Fresh state for a tree with `levels` NVM levels.
+    pub fn new(levels: usize, nv_buffer_bytes: usize, record_cache_lines: usize) -> Self {
+        SteinsState {
+            lincs: LincBank::new(levels),
+            nv_buffer: NvBuffer::new(nv_buffer_bytes),
+            record_cache: AdrRegion::new(record_cache_lines),
+            draining: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The newest parked generated-counter for `child_offset`, searching
+    /// both the live buffer and any entries an in-progress drain holds.
+    pub fn parked_generated(&self, child_offset: u64) -> Option<u64> {
+        self.pending
+            .iter()
+            .chain(self.nv_buffer.entries())
+            .filter(|e| e.child_offset == child_offset)
+            .map(|e| e.generated)
+            .max()
+    }
+
+    /// Updates the record entry for metadata-cache slot `cache_slot` to
+    /// point at `node_offset`, operating on the cached record line.
+    /// The caller must have ensured the record line at `record_addr` is
+    /// resident (fetching it from NVM on miss).
+    pub fn set_record(&mut self, record_addr: u64, cache_slot: u64, node_offset: u64) {
+        let (_, entry) = record_coords(cache_slot);
+        let line = self
+            .record_cache
+            .get_mut(record_addr)
+            .expect("record line resident");
+        let mut rl = RecordLine::from_line(line);
+        rl.set(entry, node_offset as u32);
+        *line = rl.to_line();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steins_metadata::records::RECORDS_PER_LINE;
+
+    #[test]
+    fn set_record_updates_the_right_entry() {
+        let mut s = SteinsState::new(4, 128, 2);
+        // Pretend the record line for slots 0..16 lives at address 0x1000
+        // and was fetched (all-empty).
+        s.record_cache.insert(0x1000, RecordLine::default().to_line());
+        s.set_record(0x1000, 5, 777);
+        let rl = RecordLine::from_line(s.record_cache.get(0x1000).unwrap());
+        assert_eq!(rl.get(5), Some(777));
+        assert_eq!(rl.get(4), None);
+        assert_eq!(RECORDS_PER_LINE, 16);
+    }
+}

@@ -1,0 +1,345 @@
+//! AES-128 block cipher, implemented from scratch per FIPS-197.
+//!
+//! Counter-mode encryption in secure NVM generates a 64-byte one-time pad by
+//! encrypting four 16-byte counter/address seeds. Only encryption is on the
+//! hot path; decryption is provided for completeness and round-trip tests.
+//!
+//! The implementation is a straightforward table-free byte-oriented AES: the
+//! S-box is precomputed once (it is a constant), rounds operate on a 16-byte
+//! column-major state. This is not constant-time — it models a *hardware*
+//! AES unit inside a simulator, it is not a production cipher for secrets on
+//! shared hosts.
+
+/// The AES S-box (SubBytes lookup), generated from the multiplicative inverse
+/// in GF(2^8) followed by the FIPS-197 affine transformation.
+const fn build_sbox() -> [u8; 256] {
+    // GF(2^8) multiplication with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+    const fn gmul(mut a: u8, mut b: u8) -> u8 {
+        let mut p = 0u8;
+        let mut i = 0;
+        while i < 8 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            let hi = a & 0x80;
+            a <<= 1;
+            if hi != 0 {
+                a ^= 0x1b;
+            }
+            b >>= 1;
+            i += 1;
+        }
+        p
+    }
+    // a^254 = a^{-1} in GF(2^8), via square-and-multiply.
+    const fn ginv(a: u8) -> u8 {
+        if a == 0 {
+            return 0;
+        }
+        let mut result = 1u8;
+        let mut base = a;
+        let mut exp = 254u32;
+        while exp > 0 {
+            if exp & 1 != 0 {
+                result = gmul(result, base);
+            }
+            base = gmul(base, base);
+            exp >>= 1;
+        }
+        result
+    }
+    let mut sbox = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let inv = ginv(i as u8);
+        // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        let mut x = inv;
+        let mut y = inv;
+        let mut r = 0;
+        while r < 4 {
+            y = y.rotate_left(1);
+            x ^= y;
+            r += 1;
+        }
+        sbox[i] = x ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+const SBOX: [u8; 256] = build_sbox();
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+#[inline]
+fn mul(a: u8, b: u8) -> u8 {
+    // Small generic GF(2^8) multiply; b is always a small constant here
+    // (1,2,3 for MixColumns; 9,11,13,14 for the inverse), so the loop is
+    // short and branch-predictable.
+    let mut p = 0u8;
+    let mut a = a;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// AES-128 with a precomputed key schedule (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys of AES-128.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    #[inline]
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    #[inline]
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    #[inline]
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    // State layout: state[c*4 + r] = row r, column c (FIPS-197 column-major).
+    #[inline]
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+            for c in 0..4 {
+                state[c * 4 + r] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    #[inline]
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+            for c in 0..4 {
+                state[c * 4 + r] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    #[inline]
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = &mut state[c * 4..c * 4 + 4];
+            let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+            col[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            col[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            col[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            col[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        }
+    }
+
+    #[inline]
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = &mut state[c * 4..c * 4 + 4];
+            let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+            col[0] = mul(a0, 14) ^ mul(a1, 11) ^ mul(a2, 13) ^ mul(a3, 9);
+            col[1] = mul(a0, 9) ^ mul(a1, 14) ^ mul(a2, 11) ^ mul(a3, 13);
+            col[2] = mul(a0, 13) ^ mul(a1, 9) ^ mul(a2, 14) ^ mul(a3, 11);
+            col[3] = mul(a0, 11) ^ mul(a1, 13) ^ mul(a2, 9) ^ mul(a3, 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Generates a 64-byte one-time pad from a 16-byte seed by encrypting
+    /// `seed || ctr_i` for four consecutive block counters, exactly like the
+    /// hardware CME pipelines in Supermem/Anubis which fan a (line address,
+    /// counter) seed across four AES lanes.
+    pub fn otp64(&self, seed: &[u8; 16]) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for i in 0..4u8 {
+            let mut block = *seed;
+            block[15] ^= i; // per-lane tweak keeps the four pads distinct
+            self.encrypt_block(&mut block);
+            out[i as usize * 16..i as usize * 16 + 16].copy_from_slice(&block);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_matches_fips197_samples() {
+        // Spot values from the FIPS-197 S-box table.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B: key 2b7e1516..., plaintext 3243f6a8...
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        aes.decrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0,
+                0x37, 0x07, 0x34
+            ]
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn roundtrip_many_blocks() {
+        let aes = Aes128::new(&[0xA5; 16]);
+        for i in 0u64..64 {
+            let mut block = [0u8; 16];
+            block[..8].copy_from_slice(&i.to_le_bytes());
+            block[8..].copy_from_slice(&(i.wrapping_mul(0x9e3779b9)).to_le_bytes());
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original, "encryption must change the block");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn otp64_lanes_are_distinct() {
+        let aes = Aes128::new(&[3; 16]);
+        let otp = aes.otp64(&[9; 16]);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(otp[i * 16..i * 16 + 16], otp[j * 16..j * 16 + 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn otp64_differs_per_seed() {
+        let aes = Aes128::new(&[3; 16]);
+        let a = aes.otp64(&[1; 16]);
+        let b = aes.otp64(&[2; 16]);
+        assert_ne!(a[..], b[..]);
+    }
+}

@@ -1,0 +1,116 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS-198-1), built on [`crate::sha256::Sha256`].
+//!
+//! Secure-NVM metadata MACs are 64-bit; [`HmacSha256::mac64`] truncates the
+//! full HMAC to its first 8 bytes, the standard truncation used by SGX-style
+//! integrity-tree designs (VAULT, Anubis, STAR, SCUE).
+
+use crate::sha256::Sha256;
+
+/// Keyed HMAC-SHA-256 instance with precomputed inner/outer pads.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance for `key` (any length; hashed if > 64 bytes).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            let d = Sha256::digest(key);
+            k[..32].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Full 32-byte HMAC of `msg`.
+    pub fn mac(&self, msg: &[u8]) -> [u8; 32] {
+        let mut inner = self.inner.clone();
+        inner.update(msg);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// 64-bit truncated HMAC, the wire format of secure-NVM metadata MACs.
+    pub fn mac64(&self, msg: &[u8]) -> u64 {
+        let d = self.mac(msg);
+        u64::from_le_bytes(d[..8].try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        let h = HmacSha256::new(&[0x0b; 20]);
+        assert_eq!(
+            hex(&h.mac(b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let h = HmacSha256::new(b"Jefe");
+        assert_eq!(
+            hex(&h.mac(b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let h = HmacSha256::new(&[0xaa; 20]);
+        assert_eq!(
+            hex(&h.mac(&[0xdd; 50])),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let h = HmacSha256::new(&[0xaa; 131]);
+        assert_eq!(
+            hex(&h.mac(b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn mac64_is_prefix_of_mac() {
+        let h = HmacSha256::new(b"key");
+        let full = h.mac(b"message");
+        assert_eq!(
+            h.mac64(b"message"),
+            u64::from_le_bytes(full[..8].try_into().unwrap())
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        let a = HmacSha256::new(b"k1").mac64(b"m");
+        let b = HmacSha256::new(b"k2").mac64(b"m");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,442 @@
+//! The memory-controller metadata cache (Table I: 256 KB, 8-way, LRU, 64 B).
+//!
+//! Unlike the tag-only CPU caches, this cache holds *live node values*: the
+//! secure engine mutates cached nodes in place and the crash model needs the
+//! exact dirty contents that are lost. Slots are identified by a flat index
+//! `set · ways + way`, the coordinate Steins' offset records are keyed by
+//! (§III-C: "a record for each metadata cache line").
+
+use crate::node::SitNode;
+use steins_crypto as _; // crate-level dependency kept for doc links
+use serde::{Deserialize, Serialize};
+
+/// Metadata cache geometry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MetaCacheConfig {
+    /// Capacity in bytes (nodes are 64 B).
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl MetaCacheConfig {
+    /// Table I default: 256 KB, 8-way.
+    pub fn table1() -> Self {
+        MetaCacheConfig {
+            capacity_bytes: 256 << 10,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / 64 / self.ways as u64
+    }
+
+    /// Total slots (= cache lines = record entries).
+    pub fn slots(&self) -> u64 {
+        self.capacity_bytes / 64
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    valid: bool,
+    dirty: bool,
+    /// Node offset within the metadata region (the cache's tag).
+    offset: u64,
+    node: SitNode,
+    lru: u64,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            valid: false,
+            dirty: false,
+            offset: 0,
+            node: SitNode::zero_general(),
+            lru: 0,
+        }
+    }
+}
+
+/// A node evicted to make room.
+#[derive(Clone, Debug)]
+pub struct EvictedNode {
+    /// Its metadata-region offset.
+    pub offset: u64,
+    /// The evicted contents.
+    pub node: SitNode,
+    /// Whether it was dirty (must be flushed through the secure write path).
+    pub dirty: bool,
+    /// The flat slot index it vacated.
+    pub slot: u64,
+}
+
+/// Value-holding, true-LRU, set-associative metadata cache keyed by node
+/// offset.
+pub struct MetadataCache {
+    cfg: MetaCacheConfig,
+    sets: Vec<Vec<Slot>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetadataCache {
+    /// Builds an empty cache.
+    pub fn new(cfg: MetaCacheConfig) -> Self {
+        assert!(cfg.sets() >= 1, "metadata cache too small");
+        let sets = (0..cfg.sets())
+            .map(|_| vec![Slot::default(); cfg.ways])
+            .collect();
+        MetadataCache {
+            cfg,
+            sets,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, offset: u64) -> usize {
+        (offset % self.cfg.sets()) as usize
+    }
+
+    /// Flat slot index of `(set, way)`.
+    fn flat(&self, set: usize, way: usize) -> u64 {
+        set as u64 * self.cfg.ways as u64 + way as u64
+    }
+
+    /// Looks up the node at `offset`, updating LRU and hit/miss counters.
+    pub fn lookup(&mut self, offset: u64) -> Option<&mut SitNode> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(offset);
+        let slot = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.offset == offset);
+        match slot {
+            Some(s) => {
+                s.lru = stamp;
+                self.hits += 1;
+                Some(&mut s.node)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Copy-out read: like [`Self::lookup`] but returns the node by value,
+    /// which keeps engine code free of long-lived borrows.
+    pub fn read(&mut self, offset: u64) -> Option<SitNode> {
+        self.lookup(offset).map(|n| *n)
+    }
+
+    /// Copy-in write of a resident node's contents (no hit/miss accounting;
+    /// pairs with [`Self::read`]). Returns `false` if the node is absent.
+    pub fn write(&mut self, offset: u64, node: SitNode) -> bool {
+        let set = self.set_of(offset);
+        if let Some(s) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.offset == offset)
+        {
+            s.node = node;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The set index `offset` maps to (STAR's set-MACs are per cache set).
+    pub fn set_index(&self, offset: u64) -> usize {
+        self.set_of(offset)
+    }
+
+    /// All resident nodes of one set as `(offset, node, dirty)`, in way
+    /// order (STAR sorts these by address before MACing).
+    pub fn set_nodes(&self, set: usize) -> Vec<(u64, SitNode, bool)> {
+        self.sets[set]
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.offset, s.node, s.dirty))
+            .collect()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Peeks without LRU/stat side effects.
+    pub fn peek(&self, offset: u64) -> Option<&SitNode> {
+        let set = self.set_of(offset);
+        self.sets[set]
+            .iter()
+            .find(|s| s.valid && s.offset == offset)
+            .map(|s| &s.node)
+    }
+
+    /// Whether `offset` is resident.
+    pub fn contains(&self, offset: u64) -> bool {
+        self.peek(offset).is_some()
+    }
+
+    /// Whether `offset` is resident and dirty.
+    pub fn is_dirty(&self, offset: u64) -> bool {
+        let set = self.set_of(offset);
+        self.sets[set]
+            .iter()
+            .any(|s| s.valid && s.offset == offset && s.dirty)
+    }
+
+    /// Marks a resident node dirty. Returns `(slot, was_clean)`; panics if
+    /// the node is absent (engine bug).
+    pub fn mark_dirty(&mut self, offset: u64) -> (u64, bool) {
+        let set = self.set_of(offset);
+        let ways = self.cfg.ways;
+        for way in 0..ways {
+            let s = &mut self.sets[set][way];
+            if s.valid && s.offset == offset {
+                let was_clean = !s.dirty;
+                s.dirty = true;
+                return (self.flat(set, way), was_clean);
+            }
+        }
+        panic!("mark_dirty on non-resident node offset {offset}");
+    }
+
+    /// Clears the dirty bit (after a flush that kept the node resident).
+    pub fn mark_clean(&mut self, offset: u64) {
+        let set = self.set_of(offset);
+        if let Some(s) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.offset == offset)
+        {
+            s.dirty = false;
+        }
+    }
+
+    /// Installs `node` at `offset`, evicting the LRU way if the set is full.
+    /// The caller handles the eviction through the secure flush path.
+    pub fn install(&mut self, offset: u64, node: SitNode, dirty: bool) -> Option<EvictedNode> {
+        self.install_pinned(offset, node, dirty, &[])
+    }
+
+    /// Reports what [`Self::install_pinned`] would evict for `offset` right
+    /// now, without evicting: `None` if a free way exists, otherwise the
+    /// victim's `(offset, dirty)`. The engine uses this to flush dirty
+    /// victims *in place* (still resident, still visible to nested fetches)
+    /// before the actual install.
+    pub fn probe_victim(&self, offset: u64, pinned: &[u64]) -> Option<(u64, bool)> {
+        let set = &self.sets[self.set_of(offset)];
+        if set.iter().any(|w| !w.valid) {
+            return None;
+        }
+        set.iter()
+            .filter(|w| !pinned.contains(&w.offset))
+            .min_by_key(|w| w.lru)
+            .map(|w| (w.offset, w.dirty))
+    }
+
+    /// Like [`Self::install`], but never evicts a way holding one of the
+    /// `pinned` offsets. The secure engine pins the ancestor chain it is
+    /// operating on so recursive evictions cannot displace in-flight nodes.
+    ///
+    /// Panics if every way of the set is pinned — with ≥ 8 ways and tree
+    /// heights ≤ 9 this needs a pathological set collision the shipped
+    /// configurations cannot produce.
+    pub fn install_pinned(
+        &mut self,
+        offset: u64,
+        node: SitNode,
+        dirty: bool,
+        pinned: &[u64],
+    ) -> Option<EvictedNode> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(offset);
+        let ways = self.cfg.ways;
+        assert!(
+            !self.contains(offset),
+            "install over resident node {offset} (duplicate would desync counters)"
+        );
+        // Pick an invalid way, else the LRU way among non-pinned ones.
+        let way = (0..ways)
+            .find(|&w| !self.sets[set][w].valid)
+            .or_else(|| {
+                (0..ways)
+                    .filter(|&w| !pinned.contains(&self.sets[set][w].offset))
+                    .min_by_key(|&w| self.sets[set][w].lru)
+            })
+            .expect("metadata cache set fully pinned: associativity exhausted");
+        let victim = &self.sets[set][way];
+        let evicted = if victim.valid {
+            Some(EvictedNode {
+                offset: victim.offset,
+                node: victim.node,
+                dirty: victim.dirty,
+                slot: self.flat(set, way),
+            })
+        } else {
+            None
+        };
+        self.sets[set][way] = Slot {
+            valid: true,
+            dirty,
+            offset,
+            node,
+            lru: stamp,
+        };
+        evicted
+    }
+
+    /// The flat slot index currently holding `offset`.
+    pub fn slot_of(&self, offset: u64) -> Option<u64> {
+        let set = self.set_of(offset);
+        (0..self.cfg.ways)
+            .find(|&w| self.sets[set][w].valid && self.sets[set][w].offset == offset)
+            .map(|w| self.flat(set, w))
+    }
+
+    /// All dirty resident nodes as `(slot, offset, node)` — the state a
+    /// crash destroys.
+    pub fn dirty_nodes(&self) -> Vec<(u64, u64, SitNode)> {
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for (way, s) in set.iter().enumerate() {
+                if s.valid && s.dirty {
+                    out.push((self.flat(set_idx, way), s.offset, s.node));
+                }
+            }
+        }
+        out
+    }
+
+    /// All resident nodes as `(slot, offset, node, dirty)`.
+    pub fn resident_nodes(&self) -> Vec<(u64, u64, SitNode, bool)> {
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for (way, s) in set.iter().enumerate() {
+                if s.valid {
+                    out.push((self.flat(set_idx, way), s.offset, s.node, s.dirty));
+                }
+            }
+        }
+        out
+    }
+
+    /// Crash: every resident line vanishes.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for s in set.iter_mut() {
+                *s = Slot::default();
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &MetaCacheConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MetadataCache {
+        // 2 sets × 2 ways.
+        MetadataCache::new(MetaCacheConfig {
+            capacity_bytes: 4 * 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn table1_geometry() {
+        let c = MetaCacheConfig::table1();
+        assert_eq!(c.slots(), 4096);
+        assert_eq!(c.sets(), 512);
+    }
+
+    #[test]
+    fn install_lookup_roundtrip() {
+        let mut c = tiny();
+        let mut node = SitNode::zero_general();
+        node.hmac = 77;
+        assert!(c.install(4, node, false).is_none());
+        assert_eq!(c.lookup(4).map(|n| n.hmac), Some(77));
+        assert!(c.lookup(6).is_none());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn mark_dirty_reports_first_transition() {
+        let mut c = tiny();
+        c.install(0, SitNode::zero_general(), false);
+        let (slot, was_clean) = c.mark_dirty(0);
+        assert!(was_clean);
+        let (slot2, was_clean2) = c.mark_dirty(0);
+        assert_eq!(slot, slot2);
+        assert!(!was_clean2, "second marking is not a transition");
+        assert!(c.is_dirty(0));
+    }
+
+    #[test]
+    fn lru_eviction_returns_victim_contents() {
+        let mut c = tiny();
+        let mut n0 = SitNode::zero_general();
+        n0.hmac = 10;
+        // Offsets 0,2,4 share set 0 (sets=2).
+        c.install(0, n0, true);
+        c.install(2, SitNode::zero_general(), false);
+        c.lookup(2); // 0 becomes LRU
+        let ev = c.install(4, SitNode::zero_general(), false).expect("evicts");
+        assert_eq!(ev.offset, 0);
+        assert!(ev.dirty);
+        assert_eq!(ev.node.hmac, 10);
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn dirty_nodes_enumeration_and_clear() {
+        let mut c = tiny();
+        c.install(0, SitNode::zero_general(), true);
+        c.install(1, SitNode::zero_general(), false);
+        c.install(2, SitNode::zero_general(), true);
+        let dirty = c.dirty_nodes();
+        let offsets: Vec<u64> = dirty.iter().map(|(_, o, _)| *o).collect();
+        assert_eq!(offsets.len(), 2);
+        assert!(offsets.contains(&0) && offsets.contains(&2));
+        c.clear();
+        assert!(c.dirty_nodes().is_empty());
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn slot_indices_are_stable_coordinates() {
+        let mut c = tiny();
+        c.install(0, SitNode::zero_general(), false);
+        let slot = c.slot_of(0).unwrap();
+        let (slot2, _) = c.mark_dirty(0);
+        assert_eq!(slot, slot2);
+        assert!(slot < c.config().slots());
+    }
+
+    #[test]
+    fn in_place_mutation_via_lookup() {
+        let mut c = tiny();
+        c.install(8, SitNode::zero_general(), false);
+        c.lookup(8).unwrap().counters.as_general_mut().set(3, 99);
+        assert_eq!(c.peek(8).unwrap().counters.as_general().get(3), 99);
+    }
+}

@@ -1,0 +1,359 @@
+//! Counter blocks and Steins' parent-counter generation functions.
+//!
+//! Two layouts, both 56 bytes of counters inside a 64 B node (§II-C, §II-D):
+//!
+//! * **General**: eight 56-bit counters, one per child — every SIT level in
+//!   GC mode, and all intermediate levels in SC mode.
+//! * **Split**: one 64-bit major + sixty-four 6-bit minors, covering 64
+//!   children — the leaf level in SC mode (§II-D: "the major counter is set
+//!   to 64-bit and the minor counter is set to 6-bit").
+//!
+//! Steins replaces the parent's *self-increasing* counter with a value
+//! **generated from the child block** (§III-B):
+//!
+//! * Eq. 1 (general): `Parent = Σ C_i`
+//! * Eq. 2 (split): `Parent = Major · 2^6 + Σ minors`, where on minor
+//!   overflow the major *skips*: `Major += ceil(Σ minors / 2^6)` and the
+//!   minors reset — keeping the generated value strictly monotone while
+//!   roughly halving overflow pressure versus weighting the major by
+//!   `2^6 · 64`.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum value of a 56-bit SIT counter.
+pub const CTR56_MAX: u64 = (1 << 56) - 1;
+
+/// Maximum value of a 6-bit minor counter.
+pub const MINOR_MAX: u8 = (1 << 6) - 1;
+
+/// Leaf-counter organization (the paper's GC/SC variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterMode {
+    /// General counter blocks everywhere; each leaf covers 8 data blocks.
+    General,
+    /// Split counter blocks at the leaves; each leaf covers 64 data blocks.
+    Split,
+}
+
+impl CounterMode {
+    /// Data blocks covered by one leaf node.
+    pub fn leaf_coverage(&self) -> u64 {
+        match self {
+            CounterMode::General => 8,
+            CounterMode::Split => 64,
+        }
+    }
+
+    /// Short label used in figures ("GC"/"SC").
+    pub fn label(&self) -> &'static str {
+        match self {
+            CounterMode::General => "GC",
+            CounterMode::Split => "SC",
+        }
+    }
+}
+
+/// Eight 56-bit counters (a general counter block).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneralCounters(pub [u64; 8]);
+
+impl GeneralCounters {
+    /// Increments counter `slot`, returning the overflow flag (56-bit wrap
+    /// would require re-keying; in simulation it never fires).
+    pub fn increment(&mut self, slot: usize) -> bool {
+        debug_assert!(slot < 8);
+        self.0[slot] += 1;
+        self.0[slot] > CTR56_MAX
+    }
+
+    /// Sets counter `slot` (used when a parent adopts a generated value).
+    pub fn set(&mut self, slot: usize, value: u64) {
+        debug_assert!(slot < 8);
+        debug_assert!(value <= CTR56_MAX, "56-bit counter overflow");
+        self.0[slot] = value;
+    }
+
+    /// Reads counter `slot`.
+    pub fn get(&self, slot: usize) -> u64 {
+        self.0[slot]
+    }
+
+    /// Eq. 1: the generated parent counter.
+    pub fn parent_value(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+/// One 64-bit major + 64 six-bit minors (a split counter block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitCounters {
+    /// Shared major counter.
+    pub major: u64,
+    /// Per-block minor counters (each ≤ [`MINOR_MAX`]).
+    pub minors: [u8; 64],
+}
+
+impl Default for SplitCounters {
+    fn default() -> Self {
+        SplitCounters {
+            major: 0,
+            minors: [0; 64],
+        }
+    }
+}
+
+/// What happened on a split-counter increment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitIncrement {
+    /// The minor simply advanced.
+    Minor,
+    /// The minor overflowed: minors reset, major advanced by `major_delta`,
+    /// and all 64 covered data blocks must be re-encrypted.
+    Overflow {
+        /// Amount added to the major counter (1 traditionally; the rounded-up
+        /// skip under Steins' scheme).
+        major_delta: u64,
+    },
+}
+
+impl SplitCounters {
+    /// Increments minor `slot`.
+    ///
+    /// `skip_update = true` applies Steins' Eq. 2 alignment on overflow
+    /// (`major += ceil(S/64)` where `S` is the attempted minor sum);
+    /// `false` applies the traditional split-counter reset (`major += 1`,
+    /// used by the WB/ASIT/STAR baselines).
+    pub fn increment(&mut self, slot: usize, skip_update: bool) -> SplitIncrement {
+        debug_assert!(slot < 64);
+        if self.minors[slot] < MINOR_MAX {
+            self.minors[slot] += 1;
+            return SplitIncrement::Minor;
+        }
+        // Overflow: compute the attempted sum S = Σ minors + 1.
+        let s: u64 = self.minors.iter().map(|&m| m as u64).sum::<u64>() + 1;
+        let major_delta = if skip_update {
+            s.div_ceil(u64::from(MINOR_MAX) + 1)
+        } else {
+            1
+        };
+        self.major += major_delta;
+        self.minors = [0; 64];
+        SplitIncrement::Overflow { major_delta }
+    }
+
+    /// Reads minor `slot`.
+    pub fn minor(&self, slot: usize) -> u8 {
+        self.minors[slot]
+    }
+
+    /// Eq. 2: the generated parent counter,
+    /// `major · 2^6 + Σ minors`.
+    pub fn parent_value(&self) -> u64 {
+        self.major * (u64::from(MINOR_MAX) + 1)
+            + self.minors.iter().map(|&m| u64::from(m)).sum::<u64>()
+    }
+}
+
+/// A counter block of either layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterBlock {
+    /// General layout.
+    General(GeneralCounters),
+    /// Split layout (leaf nodes in SC mode only).
+    Split(SplitCounters),
+}
+
+impl CounterBlock {
+    /// Zeroed block of the given layout.
+    pub fn zero_general() -> Self {
+        CounterBlock::General(GeneralCounters::default())
+    }
+
+    /// Zeroed split block.
+    pub fn zero_split() -> Self {
+        CounterBlock::Split(SplitCounters::default())
+    }
+
+    /// The generated parent counter (Eq. 1 or Eq. 2).
+    pub fn parent_value(&self) -> u64 {
+        match self {
+            CounterBlock::General(g) => g.parent_value(),
+            CounterBlock::Split(s) => s.parent_value(),
+        }
+    }
+
+    /// Number of children this block covers.
+    pub fn fanout(&self) -> usize {
+        match self {
+            CounterBlock::General(_) => 8,
+            CounterBlock::Split(_) => 64,
+        }
+    }
+
+    /// The (major, minor) encryption-counter pair for child `slot`.
+    /// General blocks expose `(counter, 0)`.
+    pub fn enc_pair(&self, slot: usize) -> (u64, u64) {
+        match self {
+            CounterBlock::General(g) => (g.get(slot), 0),
+            CounterBlock::Split(s) => (s.major, u64::from(s.minor(slot))),
+        }
+    }
+
+    /// Borrow as general counters (panics on a split block — intermediate
+    /// SIT levels are always general).
+    pub fn as_general(&self) -> &GeneralCounters {
+        match self {
+            CounterBlock::General(g) => g,
+            CounterBlock::Split(_) => panic!("expected general counter block"),
+        }
+    }
+
+    /// Mutable general view (same contract as [`Self::as_general`]).
+    pub fn as_general_mut(&mut self) -> &mut GeneralCounters {
+        match self {
+            CounterBlock::General(g) => g,
+            CounterBlock::Split(_) => panic!("expected general counter block"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn general_parent_is_sum() {
+        let mut g = GeneralCounters::default();
+        g.set(0, 5);
+        g.set(7, 10);
+        assert_eq!(g.parent_value(), 15);
+        g.increment(0);
+        assert_eq!(g.parent_value(), 16);
+    }
+
+    #[test]
+    fn split_minor_increment() {
+        let mut s = SplitCounters::default();
+        assert_eq!(s.increment(3, true), SplitIncrement::Minor);
+        assert_eq!(s.minor(3), 1);
+        assert_eq!(s.parent_value(), 1);
+    }
+
+    #[test]
+    fn split_overflow_traditional() {
+        let mut s = SplitCounters::default();
+        s.minors[0] = MINOR_MAX;
+        let out = s.increment(0, false);
+        assert_eq!(out, SplitIncrement::Overflow { major_delta: 1 });
+        assert_eq!(s.major, 1);
+        assert_eq!(s.minors, [0; 64]);
+    }
+
+    #[test]
+    fn split_overflow_skip_update_aligns_up() {
+        // Only minor 0 is hot: S = 64, delta = ceil(64/64) = 1.
+        let mut s = SplitCounters::default();
+        s.minors[0] = MINOR_MAX;
+        assert_eq!(
+            s.increment(0, true),
+            SplitIncrement::Overflow { major_delta: 1 }
+        );
+        // All minors hot: S = 63·64 + 1 = 4033, delta = ceil(4033/64) = 64.
+        let mut s = SplitCounters {
+            major: 0,
+            minors: [MINOR_MAX; 64],
+        };
+        let before = s.parent_value();
+        assert_eq!(before, 63 * 64);
+        let out = s.increment(5, true);
+        assert_eq!(out, SplitIncrement::Overflow { major_delta: 64 });
+        assert!(s.parent_value() > before, "monotone across overflow");
+        assert_eq!(s.parent_value(), 64 * 64);
+    }
+
+    #[test]
+    fn paper_corner_case_major_skips_by_two() {
+        // §III-B2: "the sum of minor counters reaches 2^6 + 1 (immediately
+        // following a minor counter overflow)" ⇒ major increases by two.
+        let mut s = SplitCounters::default();
+        s.minors[0] = MINOR_MAX; // 63
+        s.minors[1] = 1;
+        // S = 63 + 1 + 1 = 65 = 2^6 + 1 ⇒ delta = ceil(65/64) = 2.
+        assert_eq!(
+            s.increment(0, true),
+            SplitIncrement::Overflow { major_delta: 2 }
+        );
+        assert_eq!(s.major, 2);
+    }
+
+    #[test]
+    fn enc_pair_distinguishes_layouts() {
+        let mut g = GeneralCounters::default();
+        g.set(2, 9);
+        assert_eq!(CounterBlock::General(g).enc_pair(2), (9, 0));
+        let mut s = SplitCounters::default();
+        s.major = 4;
+        s.minors[10] = 3;
+        assert_eq!(CounterBlock::Split(s).enc_pair(10), (4, 3));
+    }
+
+    #[test]
+    fn leaf_coverage() {
+        assert_eq!(CounterMode::General.leaf_coverage(), 8);
+        assert_eq!(CounterMode::Split.leaf_coverage(), 64);
+    }
+
+    proptest! {
+        /// Core Steins invariant (§III-B): the generated parent counter is
+        /// strictly monotone under any sequence of child increments, for
+        /// both layouts and both overflow policies.
+        #[test]
+        fn parent_value_strictly_monotone_general(slots in proptest::collection::vec(0usize..8, 1..200)) {
+            let mut g = GeneralCounters::default();
+            let mut prev = g.parent_value();
+            for s in slots {
+                g.increment(s);
+                let now = g.parent_value();
+                prop_assert!(now > prev);
+                prev = now;
+            }
+        }
+
+        #[test]
+        fn parent_value_strictly_monotone_split(
+            slots in proptest::collection::vec(0usize..64, 1..500),
+            skip in proptest::bool::ANY,
+        ) {
+            let mut s = SplitCounters::default();
+            let mut prev = s.parent_value();
+            for slot in slots {
+                let out = s.increment(slot, skip);
+                let now = s.parent_value();
+                if skip {
+                    prop_assert!(now > prev, "skip-update must stay monotone");
+                } else if matches!(out, SplitIncrement::Minor) {
+                    prop_assert!(now > prev);
+                }
+                // Traditional reset may *not* be monotone in the generated
+                // value — that is exactly why baselines cannot use Eq. 2.
+                prev = now;
+            }
+        }
+
+        /// Skip-update alignment: after an overflow the generated value is a
+        /// multiple of 64 and at least the attempted sum.
+        #[test]
+        fn skip_update_alignment(hot in proptest::collection::vec(0u8..=MINOR_MAX, 64)) {
+            let mut minors = [0u8; 64];
+            minors.copy_from_slice(&hot);
+            minors[7] = MINOR_MAX; // force overflow on slot 7
+            let mut s = SplitCounters { major: 3, minors };
+            let before = s.parent_value();
+            s.increment(7, true);
+            let after = s.parent_value();
+            prop_assert_eq!(after % 64, 0);
+            prop_assert!(after > before);
+        }
+    }
+}

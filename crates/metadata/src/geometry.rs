@@ -1,0 +1,300 @@
+//! SIT tree geometry: level sizes, parent/child maps, node offsets.
+//!
+//! The tree covers `data_lines` 64 B data blocks. Level 0 (the leaves) are
+//! counter blocks covering 8 (GC) or 64 (SC) data blocks each; every
+//! intermediate level is 8-ary general nodes; the **root** is an on-chip
+//! register covering up to 64 top-level nodes (§IV: SIT height 9 for GC /
+//! 8 for SC over 16 GB, including the root).
+//!
+//! Node identity is `(level, index)`; the *offset* of a node is its line
+//! index inside the contiguous metadata region — the quantity Steins'
+//! 4-byte records store (§III-C).
+
+use crate::counter::CounterMode;
+use serde::{Deserialize, Serialize};
+
+/// Maximum children the on-chip root register covers.
+pub const ROOT_FANOUT: u64 = 64;
+
+/// Internal (non-leaf, non-root) fanout.
+pub const NODE_FANOUT: u64 = 8;
+
+/// A node's identity within the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId {
+    /// Level, 0 = leaves, `levels()-1` = top NVM level (children of root).
+    pub level: usize,
+    /// Index within the level.
+    pub index: u64,
+}
+
+/// Shape of one SIT instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SitGeometry {
+    mode: CounterMode,
+    data_lines: u64,
+    /// Node counts per level, `[0]` = leaves.
+    counts: Vec<u64>,
+    /// Offset (in lines) of each level's first node within the metadata
+    /// region.
+    bases: Vec<u64>,
+}
+
+impl SitGeometry {
+    /// Builds the geometry for `data_lines` data blocks in `mode`.
+    pub fn new(mode: CounterMode, data_lines: u64) -> Self {
+        assert!(data_lines >= 1, "empty data region");
+        let mut counts = vec![data_lines.div_ceil(mode.leaf_coverage())];
+        while *counts.last().expect("nonempty") > ROOT_FANOUT {
+            let next = counts.last().unwrap().div_ceil(NODE_FANOUT);
+            counts.push(next);
+        }
+        let mut bases = Vec::with_capacity(counts.len());
+        let mut acc = 0u64;
+        for &c in &counts {
+            bases.push(acc);
+            acc += c;
+        }
+        SitGeometry {
+            mode,
+            data_lines,
+            counts,
+            bases,
+        }
+    }
+
+    /// Counter mode.
+    pub fn mode(&self) -> CounterMode {
+        self.mode
+    }
+
+    /// Number of data lines covered.
+    pub fn data_lines(&self) -> u64 {
+        self.data_lines
+    }
+
+    /// Number of NVM-resident levels (excluding the root).
+    pub fn levels(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total tree height including the on-chip root.
+    pub fn height(&self) -> usize {
+        self.levels() + 1
+    }
+
+    /// Node count at `level`.
+    pub fn nodes_at(&self, level: usize) -> u64 {
+        self.counts[level]
+    }
+
+    /// Total NVM-resident nodes (= metadata region size in lines).
+    pub fn total_nodes(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Children of the root (= node count of the top level).
+    pub fn root_fanout(&self) -> usize {
+        *self.counts.last().expect("nonempty") as usize
+    }
+
+    /// The top NVM level (whose parent is the root).
+    pub fn top_level(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// Leaf covering data line `d`, plus the child slot `d` occupies.
+    pub fn leaf_of_data(&self, data_line: u64) -> (NodeId, usize) {
+        debug_assert!(data_line < self.data_lines);
+        let cov = self.mode.leaf_coverage();
+        (
+            NodeId {
+                level: 0,
+                index: data_line / cov,
+            },
+            (data_line % cov) as usize,
+        )
+    }
+
+    /// Parent of `node`, plus the slot `node` occupies in it. `None` when
+    /// the parent is the root (use [`Self::root_slot`]).
+    pub fn parent_of(&self, node: NodeId) -> Option<(NodeId, usize)> {
+        if node.level == self.top_level() {
+            None
+        } else {
+            Some((
+                NodeId {
+                    level: node.level + 1,
+                    index: node.index / NODE_FANOUT,
+                },
+                (node.index % NODE_FANOUT) as usize,
+            ))
+        }
+    }
+
+    /// Root slot of a top-level node.
+    pub fn root_slot(&self, node: NodeId) -> usize {
+        debug_assert_eq!(node.level, self.top_level());
+        node.index as usize
+    }
+
+    /// Children of an *intermediate* node (level ≥ 1): the level-below node
+    /// ids in slot order, clipped to the level's actual population.
+    pub fn children_of(&self, node: NodeId) -> Vec<NodeId> {
+        assert!(node.level >= 1, "leaf children are data blocks");
+        let child_level = node.level - 1;
+        let first = node.index * NODE_FANOUT;
+        let last = (first + NODE_FANOUT).min(self.counts[child_level]);
+        (first..last)
+            .map(|index| NodeId {
+                level: child_level,
+                index,
+            })
+            .collect()
+    }
+
+    /// Data lines covered by a leaf, in slot order.
+    pub fn data_of_leaf(&self, leaf: NodeId) -> Vec<u64> {
+        debug_assert_eq!(leaf.level, 0);
+        let cov = self.mode.leaf_coverage();
+        let first = leaf.index * cov;
+        let last = (first + cov).min(self.data_lines);
+        (first..last).collect()
+    }
+
+    /// The node's offset (line index) within the metadata region — what a
+    /// 4-byte record stores.
+    pub fn offset_of(&self, node: NodeId) -> u64 {
+        debug_assert!(node.index < self.counts[node.level]);
+        self.bases[node.level] + node.index
+    }
+
+    /// Inverse of [`Self::offset_of`].
+    pub fn node_at_offset(&self, offset: u64) -> NodeId {
+        for level in (0..self.counts.len()).rev() {
+            if offset >= self.bases[level] {
+                let index = offset - self.bases[level];
+                debug_assert!(index < self.counts[level], "offset past level end");
+                return NodeId { level, index };
+            }
+        }
+        unreachable!("offset below level 0 base")
+    }
+
+    /// Storage the leaf level occupies, in bytes (§IV-E's headline numbers:
+    /// 2 GB for GC vs 256 MB for SC over 16 GB).
+    pub fn leaf_bytes(&self) -> u64 {
+        self.counts[0] * 64
+    }
+
+    /// Storage of all intermediate (non-leaf) levels, bytes.
+    pub fn intermediate_bytes(&self) -> u64 {
+        (self.total_nodes() - self.counts[0]) * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_heights_for_16gb() {
+        let data_lines = (16u64 << 30) / 64; // 2^28
+        let gc = SitGeometry::new(CounterMode::General, data_lines);
+        assert_eq!(gc.height(), 9, "Table I: 9 levels incl. root (GC)");
+        let sc = SitGeometry::new(CounterMode::Split, data_lines);
+        assert_eq!(sc.height(), 8, "Table I: 8 levels incl. root (SC)");
+    }
+
+    #[test]
+    fn paper_leaf_storage_for_16gb() {
+        let data_lines = (16u64 << 30) / 64;
+        let gc = SitGeometry::new(CounterMode::General, data_lines);
+        assert_eq!(gc.leaf_bytes(), 2 << 30, "§IV-E: 2 GB GC leaves");
+        let sc = SitGeometry::new(CounterMode::Split, data_lines);
+        assert_eq!(sc.leaf_bytes(), 256 << 20, "§IV-E: 256 MB SC leaves");
+        assert!(sc.intermediate_bytes() < gc.intermediate_bytes());
+    }
+
+    #[test]
+    fn small_tree_shape() {
+        // 1024 data lines, GC: leaves 128, then 16 ≤ 64 ⇒ stop.
+        let g = SitGeometry::new(CounterMode::General, 1024);
+        assert_eq!(g.levels(), 2);
+        assert_eq!(g.nodes_at(0), 128);
+        assert_eq!(g.nodes_at(1), 16);
+        assert_eq!(g.root_fanout(), 16);
+        assert_eq!(g.total_nodes(), 144);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let g = SitGeometry::new(CounterMode::General, 1024);
+        let leaf = NodeId { level: 0, index: 77 };
+        let (parent, slot) = g.parent_of(leaf).expect("has parent");
+        assert_eq!(parent, NodeId { level: 1, index: 9 });
+        assert_eq!(slot, 5);
+        assert!(g.children_of(parent).contains(&leaf));
+        assert!(g.parent_of(parent).is_none(), "level 1 is top");
+        assert_eq!(g.root_slot(parent), 9);
+    }
+
+    #[test]
+    fn leaf_data_mapping() {
+        let g = SitGeometry::new(CounterMode::Split, 1000);
+        let (leaf, slot) = g.leaf_of_data(130);
+        assert_eq!(leaf, NodeId { level: 0, index: 2 });
+        assert_eq!(slot, 2);
+        assert!(g.data_of_leaf(leaf).contains(&130));
+        // Last leaf is clipped.
+        let last = NodeId {
+            level: 0,
+            index: g.nodes_at(0) - 1,
+        };
+        assert_eq!(g.data_of_leaf(last).len(), (1000 % 64) as usize);
+    }
+
+    #[test]
+    fn offsets_are_dense_and_invertible() {
+        let g = SitGeometry::new(CounterMode::General, 4096);
+        let mut seen = vec![false; g.total_nodes() as usize];
+        for level in 0..g.levels() {
+            for index in 0..g.nodes_at(level) {
+                let id = NodeId { level, index };
+                let off = g.offset_of(id);
+                assert!(!seen[off as usize], "offset collision at {off}");
+                seen[off as usize] = true;
+                assert_eq!(g.node_at_offset(off), id);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #[test]
+        fn offset_roundtrip_prop(data_lines in 1u64..100_000, mode_sel in proptest::bool::ANY, pick in proptest::num::u64::ANY) {
+            let mode = if mode_sel { CounterMode::Split } else { CounterMode::General };
+            let g = SitGeometry::new(mode, data_lines);
+            let off = pick % g.total_nodes();
+            prop_assert_eq!(g.offset_of(g.node_at_offset(off)), off);
+        }
+
+        #[test]
+        fn every_data_line_has_a_leaf_and_path_to_root(data_lines in 1u64..100_000, d in proptest::num::u64::ANY) {
+            let g = SitGeometry::new(CounterMode::General, data_lines);
+            let d = d % data_lines;
+            let (mut node, _) = g.leaf_of_data(d);
+            let mut hops = 0;
+            while let Some((p, slot)) = g.parent_of(node) {
+                prop_assert!(slot < 8);
+                prop_assert!(p.index < g.nodes_at(p.level));
+                node = p;
+                hops += 1;
+                prop_assert!(hops < 64, "path must terminate");
+            }
+            prop_assert_eq!(node.level, g.top_level());
+            prop_assert!(g.root_slot(node) < g.root_fanout());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! SIT nodes and the on-chip root, with bit-exact 64 B serialization.
+//!
+//! * General node: `8 × 56-bit counters (56 B) ‖ 64-bit HMAC (8 B)`.
+//! * Split leaf: `64-bit major (8 B) ‖ 64 × 6-bit minors (48 B) ‖ HMAC (8 B)`.
+//!
+//! The node HMAC is computed over `(counter bytes ‖ node address ‖ parent
+//! counter)` under the MAC key (§II-C) — [`SitNode::mac_message`] builds
+//! that exact byte string so every scheme MACs identically.
+
+use crate::counter::{CounterBlock, GeneralCounters, SplitCounters, CTR56_MAX, MINOR_MAX};
+use serde::{Deserialize, Serialize};
+
+/// 64-byte line, re-declared locally to keep this crate independent of the
+/// device crate.
+pub type Line = [u8; 64];
+
+/// One SIT node: a counter block plus its 64-bit HMAC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SitNode {
+    /// The counters.
+    pub counters: CounterBlock,
+    /// 64-bit truncated HMAC over counters ‖ address ‖ parent counter.
+    pub hmac: u64,
+}
+
+impl SitNode {
+    /// Fresh all-zero general node.
+    pub fn zero_general() -> Self {
+        SitNode {
+            counters: CounterBlock::zero_general(),
+            hmac: 0,
+        }
+    }
+
+    /// Fresh all-zero split node.
+    pub fn zero_split() -> Self {
+        SitNode {
+            counters: CounterBlock::zero_split(),
+            hmac: 0,
+        }
+    }
+
+    /// Serializes the counter payload (56 bytes, no HMAC).
+    pub fn counter_bytes(&self) -> [u8; 56] {
+        let mut out = [0u8; 56];
+        match &self.counters {
+            CounterBlock::General(g) => {
+                // 8 × 56-bit, little-endian, packed back to back.
+                for (i, &c) in g.0.iter().enumerate() {
+                    debug_assert!(c <= CTR56_MAX);
+                    let bytes = c.to_le_bytes();
+                    out[i * 7..i * 7 + 7].copy_from_slice(&bytes[..7]);
+                }
+            }
+            CounterBlock::Split(s) => {
+                out[..8].copy_from_slice(&s.major.to_le_bytes());
+                // 64 × 6-bit minors into 48 bytes: 4 minors per 3 bytes.
+                for (group, chunk) in s.minors.chunks_exact(4).enumerate() {
+                    let packed: u32 = u32::from(chunk[0])
+                        | u32::from(chunk[1]) << 6
+                        | u32::from(chunk[2]) << 12
+                        | u32::from(chunk[3]) << 18;
+                    let b = packed.to_le_bytes();
+                    out[8 + group * 3..8 + group * 3 + 3].copy_from_slice(&b[..3]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the full node into a 64 B line.
+    pub fn to_line(&self) -> Line {
+        let mut line = [0u8; 64];
+        line[..56].copy_from_slice(&self.counter_bytes());
+        line[56..].copy_from_slice(&self.hmac.to_le_bytes());
+        line
+    }
+
+    /// Deserializes a general node from a 64 B line.
+    pub fn general_from_line(line: &Line) -> Self {
+        let mut g = GeneralCounters::default();
+        for i in 0..8 {
+            let mut bytes = [0u8; 8];
+            bytes[..7].copy_from_slice(&line[i * 7..i * 7 + 7]);
+            g.0[i] = u64::from_le_bytes(bytes);
+        }
+        SitNode {
+            counters: CounterBlock::General(g),
+            hmac: u64::from_le_bytes(line[56..64].try_into().unwrap()),
+        }
+    }
+
+    /// Deserializes a split node from a 64 B line.
+    pub fn split_from_line(line: &Line) -> Self {
+        let major = u64::from_le_bytes(line[..8].try_into().unwrap());
+        let mut minors = [0u8; 64];
+        for group in 0..16 {
+            let mut b = [0u8; 4];
+            b[..3].copy_from_slice(&line[8 + group * 3..8 + group * 3 + 3]);
+            let packed = u32::from_le_bytes(b);
+            for j in 0..4 {
+                minors[group * 4 + j] = ((packed >> (6 * j)) as u8) & MINOR_MAX;
+            }
+        }
+        SitNode {
+            counters: CounterBlock::Split(SplitCounters { major, minors }),
+            hmac: u64::from_le_bytes(line[56..64].try_into().unwrap()),
+        }
+    }
+
+    /// The exact byte string the node HMAC covers:
+    /// `counters (56 B) ‖ node address (8 B) ‖ parent counter (8 B)`.
+    pub fn mac_message(&self, node_addr: u64, parent_counter: u64) -> [u8; 72] {
+        let mut msg = [0u8; 72];
+        msg[..56].copy_from_slice(&self.counter_bytes());
+        msg[56..64].copy_from_slice(&node_addr.to_le_bytes());
+        msg[64..72].copy_from_slice(&parent_counter.to_le_bytes());
+        msg
+    }
+}
+
+/// The on-chip root: up to 64 trusted counters in a non-volatile register
+/// file. It needs no HMAC (it never leaves the trusted domain) and covers
+/// the top NVM level directly — giving the paper's 9-level (GC) / 8-level
+/// (SC) total heights over 16 GB.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RootNode {
+    /// One counter per top-level node.
+    pub counters: Vec<u64>,
+}
+
+impl RootNode {
+    /// Root covering `children` top-level nodes (≤ 64).
+    pub fn new(children: usize) -> Self {
+        assert!(children <= 64, "root register covers at most 64 nodes");
+        RootNode {
+            counters: vec![0; children],
+        }
+    }
+
+    /// Counter for top-level node `slot`.
+    pub fn get(&self, slot: usize) -> u64 {
+        self.counters[slot]
+    }
+
+    /// Sets the counter for top-level node `slot`.
+    pub fn set(&mut self, slot: usize, value: u64) {
+        self.counters[slot] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn general_roundtrip_exact() {
+        let mut g = GeneralCounters::default();
+        for i in 0..8 {
+            g.set(i, (i as u64 + 1) * 0x0011_2233_4455 % CTR56_MAX);
+        }
+        let node = SitNode {
+            counters: CounterBlock::General(g),
+            hmac: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let line = node.to_line();
+        assert_eq!(SitNode::general_from_line(&line), node);
+    }
+
+    #[test]
+    fn split_roundtrip_exact() {
+        let mut s = SplitCounters::default();
+        s.major = u64::MAX - 7;
+        for i in 0..64 {
+            s.minors[i] = (i as u8 * 7) & MINOR_MAX;
+        }
+        let node = SitNode {
+            counters: CounterBlock::Split(s),
+            hmac: 42,
+        };
+        let line = node.to_line();
+        assert_eq!(SitNode::split_from_line(&line), node);
+    }
+
+    #[test]
+    fn zero_nodes_serialize_to_zero_lines() {
+        assert_eq!(SitNode::zero_general().to_line(), [0u8; 64]);
+        assert_eq!(SitNode::zero_split().to_line(), [0u8; 64]);
+    }
+
+    #[test]
+    fn mac_message_binds_all_inputs() {
+        let node = SitNode::zero_general();
+        let m1 = node.mac_message(0x40, 1);
+        assert_ne!(m1[..], node.mac_message(0x80, 1)[..]);
+        assert_ne!(m1[..], node.mac_message(0x40, 2)[..]);
+        let mut node2 = node;
+        node2.counters.as_general_mut().set(0, 1);
+        assert_ne!(m1[..], node2.mac_message(0x40, 1)[..]);
+    }
+
+    #[test]
+    fn root_bounds() {
+        let mut r = RootNode::new(16);
+        r.set(15, 9);
+        assert_eq!(r.get(15), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn root_too_wide_rejected() {
+        RootNode::new(65);
+    }
+
+    proptest! {
+        #[test]
+        fn general_roundtrip_prop(ctrs in proptest::collection::vec(0u64..=CTR56_MAX, 8), hmac in proptest::num::u64::ANY) {
+            let mut g = GeneralCounters::default();
+            for (i, &c) in ctrs.iter().enumerate() { g.set(i, c); }
+            let node = SitNode { counters: CounterBlock::General(g), hmac };
+            prop_assert_eq!(SitNode::general_from_line(&node.to_line()), node);
+        }
+
+        #[test]
+        fn split_roundtrip_prop(
+            major in proptest::num::u64::ANY,
+            minors in proptest::collection::vec(0u8..=MINOR_MAX, 64),
+            hmac in proptest::num::u64::ANY,
+        ) {
+            let mut m = [0u8; 64];
+            m.copy_from_slice(&minors);
+            let node = SitNode { counters: CounterBlock::Split(SplitCounters { major, minors: m }), hmac };
+            prop_assert_eq!(SitNode::split_from_line(&node.to_line()), node);
+        }
+
+        /// Distinct counter blocks never serialize identically (the packing
+        /// is injective).
+        #[test]
+        fn general_packing_injective(a in proptest::collection::vec(0u64..=CTR56_MAX, 8), b in proptest::collection::vec(0u64..=CTR56_MAX, 8)) {
+            let mut ga = GeneralCounters::default();
+            let mut gb = GeneralCounters::default();
+            for i in 0..8 { ga.set(i, a[i]); gb.set(i, b[i]); }
+            let na = SitNode { counters: CounterBlock::General(ga), hmac: 0 };
+            let nb = SitNode { counters: CounterBlock::General(gb), hmac: 0 };
+            prop_assert_eq!(na.to_line() == nb.to_line(), a == b);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Steins' offset record lines (§III-C).
+//!
+//! One 4-byte entry per metadata-cache slot, holding the metadata-region
+//! *offset* of the (possibly) dirty node resident in that slot. A 64 B line
+//! packs 16 entries, so a 256 KB cache (4096 slots) needs a 16 KB record
+//! region. `0xFFFF_FFFF` marks an empty/clean slot — offset 0 is a valid
+//! node, so the sentinel is the all-ones pattern, and 4-byte offsets cap
+//! the metadata region at 256 GB as the paper notes.
+
+/// Entries per 64 B record line.
+pub const RECORDS_PER_LINE: u64 = 16;
+
+/// Sentinel for "no dirty node tracked in this slot".
+pub const RECORD_EMPTY: u32 = u32::MAX;
+
+/// A decoded record line: 16 offsets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordLine(pub [u32; 16]);
+
+impl Default for RecordLine {
+    fn default() -> Self {
+        RecordLine([RECORD_EMPTY; 16])
+    }
+}
+
+impl RecordLine {
+    /// Decodes from a 64 B line.
+    pub fn from_line(line: &[u8; 64]) -> Self {
+        let mut entries = [0u32; 16];
+        for (i, chunk) in line.chunks_exact(4).enumerate() {
+            entries[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        RecordLine(entries)
+    }
+
+    /// Encodes into a 64 B line.
+    pub fn to_line(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, e) in self.0.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&e.to_le_bytes());
+        }
+        out
+    }
+
+    /// Entry for record-slot `idx` (0–15); `None` when empty.
+    pub fn get(&self, idx: usize) -> Option<u32> {
+        match self.0[idx] {
+            RECORD_EMPTY => None,
+            off => Some(off),
+        }
+    }
+
+    /// Sets entry `idx` to `offset`.
+    pub fn set(&mut self, idx: usize, offset: u32) {
+        debug_assert_ne!(offset, RECORD_EMPTY, "offset collides with sentinel");
+        self.0[idx] = offset;
+    }
+
+    /// Clears entry `idx`.
+    pub fn clear(&mut self, idx: usize) {
+        self.0[idx] = RECORD_EMPTY;
+    }
+
+    /// Iterates non-empty entries as `(entry_idx, offset)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e != RECORD_EMPTY)
+            .map(|(i, &e)| (i, e))
+    }
+}
+
+/// Maps a metadata-cache slot index to its record line and entry.
+pub fn record_coords(cache_slot: u64) -> (u64, usize) {
+    (
+        cache_slot / RECORDS_PER_LINE,
+        (cache_slot % RECORDS_PER_LINE) as usize,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_nvm_lines_decode_as_offset_zero_entries() {
+        // A zeroed NVM line decodes as 16 entries of offset 0 — *not* empty.
+        // The paper's scheme tolerates this: treating clean nodes as dirty
+        // is harmless (§III-H), so recovery of a zero-initialized record
+        // region just redundantly "recovers" node 0.
+        let rl = RecordLine::from_line(&[0u8; 64]);
+        assert_eq!(rl.entries().count(), 16);
+        assert!(rl.entries().all(|(_, off)| off == 0));
+    }
+
+    #[test]
+    fn default_is_all_empty() {
+        let rl = RecordLine::default();
+        assert_eq!(rl.entries().count(), 0);
+        // And its encoding decodes back to all-empty.
+        assert_eq!(RecordLine::from_line(&rl.to_line()), rl);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut rl = RecordLine::default();
+        rl.set(3, 1234);
+        assert_eq!(rl.get(3), Some(1234));
+        assert_eq!(rl.get(4), None);
+        rl.clear(3);
+        assert_eq!(rl.get(3), None);
+    }
+
+    #[test]
+    fn coords_map_16_slots_per_line() {
+        assert_eq!(record_coords(0), (0, 0));
+        assert_eq!(record_coords(15), (0, 15));
+        assert_eq!(record_coords(16), (1, 0));
+        assert_eq!(record_coords(4095), (255, 15));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_prop(entries in proptest::collection::vec(proptest::num::u32::ANY, 16)) {
+            let mut rl = RecordLine::default();
+            for (i, &e) in entries.iter().enumerate() {
+                rl.0[i] = e;
+            }
+            prop_assert_eq!(RecordLine::from_line(&rl.to_line()), rl);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! NVM device organization parameters.
+
+use crate::timing::NvmTimings;
+use serde::{Deserialize, Serialize};
+
+/// Organization + timing of one NVM channel (Table I: 16 GB, 64-entry write
+/// queue).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NvmConfig {
+    /// Total device capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of banks the channel interleaves across.
+    pub banks: usize,
+    /// Row-buffer size in bytes (one open row per bank).
+    pub row_bytes: u64,
+    /// Write-queue depth in the memory controller.
+    pub write_queue_entries: usize,
+    /// Timing set.
+    pub timings: NvmTimings,
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        NvmConfig {
+            capacity_bytes: 16 << 30, // 16 GB, Table I
+            banks: 8,
+            row_bytes: 4096,
+            write_queue_entries: 64,
+            timings: NvmTimings::default(),
+        }
+    }
+}
+
+impl NvmConfig {
+    /// A scaled-down configuration for unit/integration tests: 4 MB device,
+    /// same timings, shallow write queue to exercise stall paths quickly.
+    pub fn small_for_tests() -> Self {
+        NvmConfig {
+            capacity_bytes: 4 << 20,
+            banks: 4,
+            row_bytes: 1024,
+            write_queue_entries: 8,
+            timings: NvmTimings::default(),
+        }
+    }
+
+    /// Number of 64 B lines the device holds.
+    pub fn lines(&self) -> u64 {
+        self.capacity_bytes / crate::storage::LINE_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = NvmConfig::default();
+        assert_eq!(c.capacity_bytes, 16 << 30);
+        assert_eq!(c.write_queue_entries, 64);
+        assert_eq!(c.lines(), (16u64 << 30) / 64);
+    }
+}

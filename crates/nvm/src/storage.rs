@@ -1,0 +1,100 @@
+//! Sparse 64 B-line backing store.
+//!
+//! The simulated device addresses 16 GB; materializing that is pointless for
+//! a simulator, so lines live in a hash map keyed by line index and absent
+//! lines read as all-zeroes (matching a freshly initialized secure region
+//! whose counters are all zero).
+
+use std::collections::HashMap;
+
+/// Cache-line granularity of the whole system (Table I: 64 B everywhere).
+pub const LINE_BYTES: usize = 64;
+
+/// One 64-byte memory line.
+pub type Line = [u8; LINE_BYTES];
+
+/// Sparse line-granular storage with zero-fill semantics.
+#[derive(Clone, Default)]
+pub struct SparseStore {
+    lines: HashMap<u64, Line>,
+}
+
+impl SparseStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the line holding byte address `addr` (which must be 64 B
+    /// aligned conceptually; callers pass line-aligned addresses).
+    pub fn read(&self, addr: u64) -> Line {
+        debug_assert_eq!(addr % LINE_BYTES as u64, 0, "unaligned line read");
+        self.lines
+            .get(&(addr / LINE_BYTES as u64))
+            .copied()
+            .unwrap_or([0u8; LINE_BYTES])
+    }
+
+    /// Writes a full line at byte address `addr`.
+    pub fn write(&mut self, addr: u64, line: &Line) {
+        debug_assert_eq!(addr % LINE_BYTES as u64, 0, "unaligned line write");
+        self.lines.insert(addr / LINE_BYTES as u64, *line);
+    }
+
+    /// Whether the line was ever written (used by attack injection to pick
+    /// interesting targets).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.lines.contains_key(&(addr / LINE_BYTES as u64))
+    }
+
+    /// Number of distinct lines written.
+    pub fn population(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Iterates over `(byte_addr, line)` pairs of populated lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Line)> {
+        self.lines.iter().map(|(k, v)| (k * LINE_BYTES as u64, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_by_default() {
+        let s = SparseStore::new();
+        assert_eq!(s.read(0), [0u8; 64]);
+        assert_eq!(s.read(1 << 33), [0u8; 64]); // beyond-4GB addressing works
+        assert_eq!(s.population(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = SparseStore::new();
+        let line = [0xCD; 64];
+        s.write(640, &line);
+        assert_eq!(s.read(640), line);
+        assert_eq!(s.read(704), [0u8; 64]);
+        assert!(s.contains(640));
+        assert!(!s.contains(704));
+        assert_eq!(s.population(), 1);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = SparseStore::new();
+        s.write(0, &[1; 64]);
+        s.write(0, &[2; 64]);
+        assert_eq!(s.read(0), [2; 64]);
+        assert_eq!(s.population(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    #[cfg(debug_assertions)]
+    fn unaligned_read_panics_in_debug() {
+        SparseStore::new().read(3);
+    }
+}

@@ -1,0 +1,106 @@
+//! NVM timing parameters (Table I of the paper).
+//!
+//! The paper models PCM behind a DDR interface with
+//! `tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns`. Reads cost a row
+//! activate (tRCD) plus CAS latency (tCL) on a row-buffer miss, or just tCL
+//! on a hit. Writes cost the write CAS delay (tCWD) plus the long PCM write
+//! recovery (tWR = 300 ns), which is why write pressure — and everything the
+//! recovery schemes add to it — dominates the figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Nanosecond-denominated NVM timing set, convertible to MC cycles.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NvmTimings {
+    /// Row-to-column delay (activate), ns.
+    pub t_rcd_ns: f64,
+    /// CAS (read column access) latency, ns.
+    pub t_cl_ns: f64,
+    /// Write CAS delay, ns.
+    pub t_cwd_ns: f64,
+    /// Four-activate window, ns (rate-limits activates across banks).
+    pub t_faw_ns: f64,
+    /// Write-to-read turnaround, ns.
+    pub t_wtr_ns: f64,
+    /// Write recovery (PCM cell programming), ns.
+    pub t_wr_ns: f64,
+    /// Clock frequency the cycle counts are denominated in, GHz.
+    pub freq_ghz: f64,
+}
+
+impl Default for NvmTimings {
+    /// Table I values at the paper's 2 GHz core clock.
+    fn default() -> Self {
+        NvmTimings {
+            t_rcd_ns: 48.0,
+            t_cl_ns: 15.0,
+            t_cwd_ns: 13.0,
+            t_faw_ns: 50.0,
+            t_wtr_ns: 7.5,
+            t_wr_ns: 300.0,
+            freq_ghz: 2.0,
+        }
+    }
+}
+
+impl NvmTimings {
+    /// Converts nanoseconds to (rounded-up) clock cycles.
+    pub fn cycles(&self, ns: f64) -> u64 {
+        (ns * self.freq_ghz).ceil() as u64
+    }
+
+    /// Read latency in cycles: `tRCD + tCL` on a row miss, `tCL` on a hit.
+    pub fn read_cycles(&self, row_hit: bool) -> u64 {
+        if row_hit {
+            self.cycles(self.t_cl_ns)
+        } else {
+            self.cycles(self.t_rcd_ns + self.t_cl_ns)
+        }
+    }
+
+    /// Write occupancy in cycles: `tCWD + tWR` (the bank is busy programming
+    /// cells for the whole recovery window).
+    pub fn write_cycles(&self) -> u64 {
+        self.cycles(self.t_cwd_ns + self.t_wr_ns)
+    }
+
+    /// Write-to-read turnaround in cycles.
+    pub fn wtr_cycles(&self) -> u64 {
+        self.cycles(self.t_wtr_ns)
+    }
+
+    /// Minimum spacing between activates imposed by tFAW, amortized per
+    /// activate (tFAW windows 4 activates).
+    pub fn faw_spacing_cycles(&self) -> u64 {
+        self.cycles(self.t_faw_ns / 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_at_2ghz() {
+        let t = NvmTimings::default();
+        assert_eq!(t.cycles(300.0), 600);
+        assert_eq!(t.read_cycles(false), 126); // (48+15) * 2
+        assert_eq!(t.read_cycles(true), 30);
+        assert_eq!(t.write_cycles(), 626); // (13+300) * 2
+        assert_eq!(t.wtr_cycles(), 15);
+    }
+
+    #[test]
+    fn cycles_rounds_up() {
+        let t = NvmTimings::default();
+        assert_eq!(t.cycles(7.5), 15);
+        assert_eq!(t.cycles(0.3), 1);
+        assert_eq!(t.cycles(0.0), 0);
+    }
+
+    #[test]
+    fn row_hit_is_cheaper() {
+        let t = NvmTimings::default();
+        assert!(t.read_cycles(true) < t.read_cycles(false));
+    }
+}

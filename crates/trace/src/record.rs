@@ -1,0 +1,50 @@
+//! Trace record types.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of memory operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read a 64 B line.
+    Load,
+    /// Write a 64 B line.
+    Store,
+    /// Persist a line (clwb-style): force it out of the CPU caches to the
+    /// memory controller. Persistent-memory workloads emit these after
+    /// stores; volatile workloads never do.
+    Flush,
+}
+
+/// One operation of a memory trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Non-memory instructions the core retires before this operation.
+    pub gap: u32,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Byte address (64 B aligned).
+    pub addr: u64,
+}
+
+impl TraceOp {
+    /// Constructs an op, aligning the address to the 64 B line grid.
+    pub fn new(gap: u32, kind: OpKind, addr: u64) -> Self {
+        TraceOp {
+            gap,
+            kind,
+            addr: addr & !63,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_line_aligned() {
+        let op = TraceOp::new(3, OpKind::Load, 0x1234_5678);
+        assert_eq!(op.addr % 64, 0);
+        assert_eq!(op.addr, 0x1234_5678 & !63);
+    }
+}

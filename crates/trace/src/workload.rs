@@ -1,0 +1,320 @@
+//! The ten evaluated workloads and the trace generator.
+//!
+//! Eight SPEC2006/2017-class benchmarks (the set ASIT evaluates) plus two
+//! persistent-memory workloads (the set STAR evaluates). Each entry states
+//! the behaviour class it reproduces; calibration targets the published
+//! memory character of the benchmark (footprint ≫ LLC, read/write mix,
+//! locality), not its computation.
+
+use crate::pattern::{Pattern, PatternState};
+use crate::record::{OpKind, TraceOp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Named workloads of the paper's Figs. 9–16.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// SPEC2017 `lbm_r`: fluid dynamics; streaming sequential sweeps,
+    /// write-heavy, very high spatial locality.
+    Lbm,
+    /// SPEC2006 `mcf`: network simplex; dependent pointer chasing, almost
+    /// no spatial locality, read-dominated.
+    Mcf,
+    /// SPEC2006 `libquantum`: quantum simulation; long unit-stride streams
+    /// over a large vector, moderate writes.
+    Libquantum,
+    /// SPEC2006 `cactusADM`: ADM stencil; multi-stream large-stride sweeps
+    /// behaving like random access at the row-buffer level (the paper calls
+    /// its access pattern "random").
+    CactusAdm,
+    /// SPEC2006 `milc`: lattice QCD; scattered random accesses over a large
+    /// footprint, mixed reads/writes.
+    Milc,
+    /// SPEC2006 `GemsFDTD`: finite-difference time domain; several
+    /// interleaved sequential field sweeps.
+    GemsFdtd,
+    /// SPEC2006 `omnetpp`: discrete-event simulation; Zipfian hot event
+    /// structures.
+    Omnetpp,
+    /// SPEC2006 `soplex`: LP solver; mix of sequential matrix sweeps and
+    /// random pivots, read-heavy.
+    Soplex,
+    /// Persistent hash table (STAR-style): random updates, every store
+    /// persisted with a flush — write-intensive, no locality.
+    PHash,
+    /// Persistent B-tree (STAR-style): Zipfian keyed updates with flushes,
+    /// some node locality.
+    PTree,
+}
+
+impl WorkloadKind {
+    /// All ten, in the order the figures print them.
+    pub const ALL: [WorkloadKind; 10] = [
+        WorkloadKind::Lbm,
+        WorkloadKind::Mcf,
+        WorkloadKind::Libquantum,
+        WorkloadKind::CactusAdm,
+        WorkloadKind::Milc,
+        WorkloadKind::GemsFdtd,
+        WorkloadKind::Omnetpp,
+        WorkloadKind::Soplex,
+        WorkloadKind::PHash,
+        WorkloadKind::PTree,
+    ];
+
+    /// Display label matching the paper's figure axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Lbm => "lbm_r",
+            WorkloadKind::Mcf => "mcf",
+            WorkloadKind::Libquantum => "libquantum",
+            WorkloadKind::CactusAdm => "cactusADM",
+            WorkloadKind::Milc => "milc",
+            WorkloadKind::GemsFdtd => "GemsFDTD",
+            WorkloadKind::Omnetpp => "omnetpp",
+            WorkloadKind::Soplex => "soplex",
+            WorkloadKind::PHash => "phash",
+            WorkloadKind::PTree => "ptree",
+        }
+    }
+}
+
+/// Parameterization of one workload run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    /// Which behaviour class.
+    pub kind: WorkloadKind,
+    /// Footprint in 64 B lines.
+    pub footprint_lines: u64,
+    /// Fraction of memory ops that are stores.
+    pub write_ratio: f64,
+    /// Mean non-memory instructions between memory ops.
+    pub mean_gap: u32,
+    /// Persist stores with flushes (persistent-memory workloads).
+    pub flush_stores: bool,
+    /// Locality pattern.
+    pub pattern: Pattern,
+    /// Number of memory operations to generate.
+    pub ops: u64,
+    /// RNG seed (traces are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The calibrated configuration for `kind` with `ops` memory operations.
+    pub fn new(kind: WorkloadKind, ops: u64, seed: u64) -> Self {
+        // Footprints are scaled so every workload's working set exceeds the
+        // 2 MB LLC and stresses the 256 KB metadata cache, while remaining
+        // cheap to simulate (sparse store population ≤ a few hundred MB of
+        // host memory per run).
+        let (footprint_lines, write_ratio, mean_gap, flush_stores, pattern) = match kind {
+            WorkloadKind::Lbm => (
+                1 << 16, // 4 MB
+                0.45,
+                3,
+                false,
+                Pattern::Sequential { stride: 1 },
+            ),
+            WorkloadKind::Mcf => (1 << 16, 0.12, 2, false, Pattern::PointerChase),
+            WorkloadKind::Libquantum => (
+                1 << 16,
+                0.25,
+                4,
+                false,
+                Pattern::Sequential { stride: 1 },
+            ),
+            WorkloadKind::CactusAdm => (
+                1 << 17,
+                0.40,
+                3,
+                false,
+                Pattern::MultiStream {
+                    streams: 8,
+                    stride: 1021, // prime ⇒ row-buffer-hostile
+                },
+            ),
+            WorkloadKind::Milc => (1 << 16, 0.35, 5, false, Pattern::Random),
+            WorkloadKind::GemsFdtd => (
+                1 << 16,
+                0.35,
+                4,
+                false,
+                Pattern::MultiStream {
+                    streams: 4,
+                    stride: 1,
+                },
+            ),
+            WorkloadKind::Omnetpp => (1 << 16, 0.30, 6, false, Pattern::Zipfian { s: 0.9 }),
+            WorkloadKind::Soplex => (
+                1 << 16,
+                0.20,
+                4,
+                false,
+                Pattern::SeqRandMix { p_rand: 0.3 },
+            ),
+            WorkloadKind::PHash => (1 << 15, 0.70, 4, true, Pattern::Random),
+            WorkloadKind::PTree => (1 << 15, 0.60, 5, true, Pattern::Zipfian { s: 0.8 }),
+        };
+        Workload {
+            kind,
+            footprint_lines,
+            write_ratio,
+            mean_gap,
+            flush_stores,
+            pattern,
+            ops,
+            seed,
+        }
+    }
+
+    /// Starts generating the trace.
+    pub fn generate(&self) -> TraceGen {
+        TraceGen {
+            pattern: PatternState::new(
+                self.pattern.clone(),
+                self.footprint_lines,
+                self.seed ^ 0xA5A5,
+            ),
+            rng: SmallRng::seed_from_u64(self.seed),
+            write_ratio: self.write_ratio,
+            mean_gap: self.mean_gap,
+            flush_stores: self.flush_stores,
+            remaining: self.ops,
+            pending_flush: None,
+        }
+    }
+}
+
+/// Lazy trace iterator: yields `ops` memory operations (flushes emitted
+/// after persisted stores do not count toward `ops`).
+pub struct TraceGen {
+    pattern: PatternState,
+    rng: SmallRng,
+    write_ratio: f64,
+    mean_gap: u32,
+    flush_stores: bool,
+    remaining: u64,
+    pending_flush: Option<u64>,
+}
+
+impl Iterator for TraceGen {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        if let Some(addr) = self.pending_flush.take() {
+            return Some(TraceOp::new(0, OpKind::Flush, addr));
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let line = self.pattern.next_line();
+        let addr = line * 64;
+        let is_store = self.rng.gen::<f64>() < self.write_ratio;
+        // Geometric-ish gap around the mean: uniform in [0, 2·mean].
+        let gap = if self.mean_gap == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.mean_gap * 2)
+        };
+        if is_store {
+            if self.flush_stores {
+                self.pending_flush = Some(addr);
+            }
+            Some(TraceOp::new(gap, OpKind::Store, addr))
+        } else {
+            Some(TraceOp::new(gap, OpKind::Load, addr))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = Workload::new(WorkloadKind::Milc, 1000, 42);
+        let a: Vec<TraceOp> = w.generate().collect();
+        let b: Vec<TraceOp> = w.generate().collect();
+        assert_eq!(a, b);
+        let w2 = Workload::new(WorkloadKind::Milc, 1000, 43);
+        let c: Vec<TraceOp> = w2.generate().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_ratio_approximately_honored() {
+        for kind in WorkloadKind::ALL {
+            let w = Workload::new(kind, 20_000, 7);
+            let ops: Vec<TraceOp> = w.generate().collect();
+            let stores = ops.iter().filter(|o| o.kind == OpKind::Store).count();
+            let mems = ops
+                .iter()
+                .filter(|o| o.kind != OpKind::Flush)
+                .count();
+            let ratio = stores as f64 / mems as f64;
+            assert!(
+                (ratio - w.write_ratio).abs() < 0.03,
+                "{kind:?}: ratio {ratio} vs target {}",
+                w.write_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_workloads_flush_every_store() {
+        let w = Workload::new(WorkloadKind::PHash, 5_000, 1);
+        let ops: Vec<TraceOp> = w.generate().collect();
+        let mut expect_flush_of = None;
+        for op in &ops {
+            match (op.kind, expect_flush_of) {
+                (OpKind::Flush, Some(addr)) => {
+                    assert_eq!(op.addr, addr, "flush targets the stored line");
+                    expect_flush_of = None;
+                }
+                (OpKind::Flush, None) => panic!("flush without a store"),
+                (OpKind::Store, None) => expect_flush_of = Some(op.addr),
+                (OpKind::Load, None) => {}
+                (_, Some(_)) => panic!("store not followed by its flush"),
+            }
+        }
+    }
+
+    #[test]
+    fn volatile_workloads_never_flush() {
+        let w = Workload::new(WorkloadKind::Lbm, 5_000, 1);
+        assert!(w.generate().all(|o| o.kind != OpKind::Flush));
+    }
+
+    #[test]
+    fn footprint_respected() {
+        for kind in WorkloadKind::ALL {
+            let w = Workload::new(kind, 10_000, 3);
+            let max = w.footprint_lines * 64;
+            assert!(
+                w.generate().all(|o| o.addr < max),
+                "{kind:?} exceeded footprint"
+            );
+        }
+    }
+
+    #[test]
+    fn op_count_excludes_flushes() {
+        let w = Workload::new(WorkloadKind::PTree, 2_000, 9);
+        let mems = w
+            .generate()
+            .filter(|o| o.kind != OpKind::Flush)
+            .count();
+        assert_eq!(mems, 2_000);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 10);
+    }
+}

@@ -1,0 +1,137 @@
+//! Zipfian sampler over `{0, …, n−1}`.
+//!
+//! Uses rejection-inversion-free direct inversion on a precomputed harmonic
+//! prefix for small `n`, and a two-level (bucketed) approximation for large
+//! `n` so construction stays O(√n)-ish in memory. Workloads like `omnetpp`
+//! (event queues) and the persistent B-tree have hot-key distributions that
+//! Zipf captures.
+
+use rand::Rng;
+
+/// Zipfian distribution with exponent `s` over `n` items.
+pub struct Zipf {
+    n: u64,
+    /// Cumulative weights at bucket boundaries; bucket b spans
+    /// `[b·stride, min((b+1)·stride, n))`.
+    bucket_cum: Vec<f64>,
+    stride: u64,
+    s: f64,
+    total: f64,
+}
+
+impl Zipf {
+    /// Builds a Zipf(s) sampler over `n ≥ 1` items.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one item");
+        let stride = ((n as f64).sqrt().ceil() as u64).max(1);
+        let buckets = n.div_ceil(stride);
+        let mut bucket_cum = Vec::with_capacity(buckets as usize + 1);
+        bucket_cum.push(0.0);
+        let mut total = 0.0;
+        for b in 0..buckets {
+            let lo = b * stride;
+            let hi = ((b + 1) * stride).min(n);
+            let mut w = 0.0;
+            for i in lo..hi {
+                w += 1.0 / ((i + 1) as f64).powf(s);
+            }
+            total += w;
+            bucket_cum.push(total);
+        }
+        Zipf {
+            n,
+            bucket_cum,
+            stride,
+            s,
+            total,
+        }
+    }
+
+    /// Samples a rank in `{0, …, n−1}` (0 = hottest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let target = rng.gen::<f64>() * self.total;
+        // Binary search the bucket, then walk within it.
+        let mut lo = 0usize;
+        let mut hi = self.bucket_cum.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.bucket_cum[mid] <= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let bucket = lo as u64;
+        let mut acc = self.bucket_cum[lo];
+        let start = bucket * self.stride;
+        let end = ((bucket + 1) * self.stride).min(self.n);
+        for i in start..end {
+            acc += 1.0 / ((i + 1) as f64).powf(self.s);
+            if acc >= target {
+                return i;
+            }
+        }
+        end - 1
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[100]);
+        assert!(counts[0] > counts[9999]);
+        // Zipf(1.0): rank 0 should take roughly 1/H(n) ≈ 10% of mass.
+        assert!(counts[0] > 5_000, "rank 0 got {}", counts[0]);
+    }
+
+    #[test]
+    fn single_item_degenerate() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn s_zero_is_near_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        assert!(
+            (max as f64) < 1.5 * (min as f64).max(1.0),
+            "uniform-ish: min={min} max={max}"
+        );
+    }
+}

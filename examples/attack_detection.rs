@@ -1,0 +1,103 @@
+//! Attack detection (§III-H): every attack class against the persisted
+//! state of a crashed machine is detected during recovery.
+//!
+//! Run: `cargo run --release --example attack_detection`
+
+use steins::core::IntegrityError;
+use steins::prelude::*;
+
+/// Builds a system, does some work, and crashes it.
+fn crashed_machine() -> steins::core::CrashedSystem {
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+    let mut sys = SecureNvmSystem::new(cfg);
+    for i in 0..300u64 {
+        sys.write((i * 13 % 512) * 64, &[i as u8; 64]).unwrap();
+    }
+    sys.crash()
+}
+
+fn main() {
+    // 1. Tampering with a persisted SIT node: caught by the node HMAC.
+    let mut crashed = crashed_machine();
+    let victim = crashed.recorded_dirty_offsets()[0];
+    crashed.tamper_node(victim);
+    match crashed.recover() {
+        Err(IntegrityError::NodeMac { node }) => {
+            println!("✓ node tampering detected: level {} index {}", node.level, node.index)
+        }
+        Err(e) => println!("✓ node tampering detected ({e})"),
+        Ok(_) => panic!("tampered node accepted!"),
+    }
+
+    // 2. Replaying an old version of a node: HMAC self-consistent, but the
+    //    per-level LInc (or an ancestor HMAC) exposes the rollback.
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+    let mut sys = SecureNvmSystem::new(cfg);
+    // A working set wider than the metadata cache, so leaves keep getting
+    // evicted (persisted) — a precondition for a meaningful rollback.
+    for i in 0..2000u64 {
+        sys.write((i * 7 % 4096) * 64, &[i as u8; 64]).unwrap();
+    }
+    // Snapshot a leaf's current persisted version…
+    let snapshot_offset = 2u64;
+    let addr = sys.ctrl.layout().node_addr(snapshot_offset);
+    let old = sys.ctrl.nvm().peek(addr);
+    // …advance the system until that node's NVM copy actually moves on
+    // (a rollback to an identical line would be a no-op, not an attack)…
+    let mut i = 2000u64;
+    while sys.ctrl.nvm().peek(addr) == old {
+        sys.write((i * 7 % 4096) * 64, &[i as u8; 64]).unwrap();
+        i += 1;
+        assert!(i < 500_000, "node never re-persisted");
+    }
+    let mut crashed = sys.crash();
+    // …and roll the node back to the recorded old version.
+    crashed.replay_node(snapshot_offset, &old);
+    match crashed.recover() {
+        Err(e) => println!("✓ node replay detected ({e})"),
+        Ok(_) => panic!("replayed node accepted!"),
+    }
+
+    // 3. Tampering with user data: caught by the data HMAC.
+    let mut crashed = crashed_machine();
+    crashed.tamper_data(5);
+    match crashed.recover() {
+        Err(IntegrityError::DataMac { addr }) => {
+            println!("✓ data tampering detected at {addr:#x}")
+        }
+        Err(e) => println!("✓ data tampering detected ({e})"),
+        Ok(_) => {
+            // Line 5's leaf may not be marked dirty — then recovery never
+            // touches it and runtime verification catches it on first read.
+            println!("– data line not visited by recovery; runtime read would catch it");
+        }
+    }
+
+    // 4. Rewriting the offset records to hide a dirty node ("mark dirty as
+    //    clean"): the recomputed LInc comes up short — replay signature.
+    let mut crashed = crashed_machine();
+    // Clear every record entry: recovery sees no dirty nodes at all.
+    let slots = crashed.config().meta_cache.slots();
+    for s in 0..slots {
+        crashed.rewrite_record(s, None);
+    }
+    match crashed.recover() {
+        Err(IntegrityError::LIncMismatch { level, stored, recomputed }) => println!(
+            "✓ record suppression detected: L{level}Inc stored {stored} vs recomputed {recomputed}"
+        ),
+        Err(e) => println!("✓ record suppression detected ({e})"),
+        Ok(_) => panic!("suppressed records accepted!"),
+    }
+
+    // 5. Marking clean nodes as dirty is harmless (§III-H): recovery just
+    //    redundantly re-derives them and the LInc sums are unchanged.
+    let mut crashed = crashed_machine();
+    crashed.rewrite_record(0, Some(0)); // node 0: a (likely clean) leaf
+    match crashed.recover() {
+        Ok((_, report)) => println!(
+            "✓ spurious dirty marking harmless: recovery verified {} nodes",
+            report.nodes_recovered
+        ),
+        Err(e) => panic!("spurious dirty marking must be harmless: {e}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! A tiny persistent key-value store on top of the secure NVM — the kind of
+//! application the paper's persistent workloads (phash/ptree) model.
+//!
+//! Keys hash to fixed 64 B slots; every put is written through the secure
+//! path and persisted (store + clwb semantics), so a crash loses nothing
+//! that `put` returned for — exactly the contract persistent-memory
+//! software expects, now with confidentiality + integrity + fast recovery.
+//!
+//! Run: `cargo run --release --example persistent_kvstore`
+
+use steins::prelude::*;
+
+/// Fixed-size open-addressed KV store over the secure NVM.
+struct SecureKv {
+    sys: SecureNvmSystem,
+    slots: u64,
+}
+
+impl SecureKv {
+    fn new(scheme: SchemeKind, mode: CounterMode) -> Self {
+        let cfg = SystemConfig::small_for_tests(scheme, mode);
+        let slots = cfg.data_lines.min(1024);
+        SecureKv {
+            sys: SecureNvmSystem::new(cfg),
+            slots,
+        }
+    }
+
+    fn slot_of(&self, key: &str) -> u64 {
+        // FNV-1a over the key, mapped to a line.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.slots) * 64
+    }
+
+    /// Stores up to 48 bytes of value under `key` (persisted on return).
+    fn put(&mut self, key: &str, value: &[u8]) {
+        assert!(value.len() <= 48, "value too large for one slot");
+        let mut line = [0u8; 64];
+        line[0] = 1; // occupied
+        line[1] = value.len() as u8;
+        let kh = self.slot_of(key);
+        line[2..10].copy_from_slice(&kh.to_le_bytes());
+        line[16..16 + value.len()].copy_from_slice(value);
+        self.sys.write(self.slot_of(key), &line).expect("secure put");
+    }
+
+    /// Fetches the value stored under `key`.
+    fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        let line = self.sys.read(self.slot_of(key)).expect("secure get");
+        if line[0] != 1 {
+            return None;
+        }
+        let len = line[1] as usize;
+        Some(line[16..16 + len].to_vec())
+    }
+
+    /// Crashes the machine and recovers, returning the store rebuilt on the
+    /// recovered system.
+    fn crash_and_recover(self) -> Self {
+        let slots = self.slots;
+        let (sys, report) = self.sys.crash().recover().expect("recovery verifies");
+        println!(
+            "  …recovered: {} nodes, {} NVM reads",
+            report.nodes_recovered, report.nvm_reads
+        );
+        SecureKv { sys, slots }
+    }
+}
+
+fn main() {
+    let mut kv = SecureKv::new(SchemeKind::Steins, CounterMode::Split);
+
+    println!("populating the store…");
+    for i in 0..200 {
+        kv.put(&format!("user:{i}"), format!("value-{i}").as_bytes());
+    }
+    kv.put("motd", b"el psy kongroo");
+
+    assert_eq!(kv.get("motd").as_deref(), Some(&b"el psy kongroo"[..]));
+    assert_eq!(kv.get("user:42").as_deref(), Some(&b"value-42"[..]));
+    assert_eq!(kv.get("missing-key"), None);
+    println!("reads verified before crash ✓");
+
+    println!("crash + recover…");
+    let mut kv = kv.crash_and_recover();
+
+    assert_eq!(kv.get("motd").as_deref(), Some(&b"el psy kongroo"[..]));
+    for i in (0..200).step_by(17) {
+        assert_eq!(
+            kv.get(&format!("user:{i}")).as_deref(),
+            Some(format!("value-{i}").as_bytes())
+        );
+    }
+    println!("all sampled keys intact after recovery ✓");
+
+    // Keep working after recovery.
+    kv.put("post-crash", b"still running");
+    assert_eq!(kv.get("post-crash").as_deref(), Some(&b"still running"[..]));
+    println!("post-recovery writes work ✓");
+}

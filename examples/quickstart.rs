@@ -1,0 +1,55 @@
+//! Quickstart: a Steins-protected NVM in five minutes.
+//!
+//! Builds a small secure NVM with Steins (split counters), writes and reads
+//! through the encrypted + integrity-protected path, crashes the machine,
+//! recovers, and verifies the data survived.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use steins::prelude::*;
+
+fn main() {
+    // A scaled-down system (tiny caches) so everything happens quickly;
+    // `SystemConfig::table1` gives the paper's full 16 GB configuration.
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::Split);
+    let mut sys = SecureNvmSystem::new(cfg);
+
+    // Write a few lines. Each write is counter-mode encrypted, MACed, and
+    // folded into the SGX-style integrity tree.
+    println!("writing 64 lines through the secure path…");
+    for i in 0u64..64 {
+        let mut data = [0u8; 64];
+        data[..8].copy_from_slice(&i.to_le_bytes());
+        data[8..16].copy_from_slice(b"steins!!");
+        sys.write(i * 64, &data).expect("secure write");
+    }
+
+    // Read one back: decrypted and verified.
+    let line = sys.read(17 * 64).expect("secure read");
+    assert_eq!(u64::from_le_bytes(line[..8].try_into().unwrap()), 17);
+    println!("read back line 17: ok (decrypted + HMAC verified)");
+
+    // Power failure: all volatile metadata (the dirty SIT nodes in the
+    // metadata cache) is lost. Only NVM, the ADR domain and the on-chip
+    // NV registers (root, LIncs, NV buffer) survive.
+    println!("pulling the plug…");
+    let crashed = sys.crash();
+
+    // Recovery (§III-G): locate dirty nodes from the offset records,
+    // regenerate their counters from persistent children, verify
+    // tampering via HMACs and replay via the per-level LIncs.
+    let (mut recovered, report) = crashed.recover().expect("recovery must verify");
+    println!(
+        "recovered {} dirty nodes with {} NVM reads (≈{:.3} ms at 100 ns/read)",
+        report.nodes_recovered,
+        report.nvm_reads,
+        report.est_seconds * 1e3
+    );
+
+    // Everything is still there.
+    for i in 0u64..64 {
+        let line = recovered.read(i * 64).expect("post-recovery read");
+        assert_eq!(u64::from_le_bytes(line[..8].try_into().unwrap()), i);
+    }
+    println!("all 64 lines verified after recovery ✓");
+}

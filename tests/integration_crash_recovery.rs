@@ -1,0 +1,139 @@
+//! Cross-crate integration: crash/recovery correctness under every
+//! recoverable scheme, including property-style "crash anywhere" sweeps.
+
+use steins::prelude::*;
+
+fn recoverable_cells() -> Vec<(SchemeKind, CounterMode)> {
+    vec![
+        (SchemeKind::Asit, CounterMode::General),
+        (SchemeKind::Star, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::Split),
+    ]
+}
+
+/// Deterministic mixed op stream; returns the expected final contents.
+fn drive(sys: &mut SecureNvmSystem, ops: u64, seed: u64) -> Vec<(u64, [u8; 64])> {
+    let mut state = seed;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut expected: std::collections::HashMap<u64, [u8; 64]> = Default::default();
+    for i in 0..ops {
+        let addr = (next() % 2048) * 64;
+        if next() % 3 == 0 {
+            let _ = sys.read(addr).unwrap();
+        } else {
+            let mut data = [0u8; 64];
+            data[..8].copy_from_slice(&i.to_le_bytes());
+            data[8..16].copy_from_slice(&addr.to_le_bytes());
+            sys.write(addr, &data).unwrap();
+            expected.insert(addr, data);
+        }
+    }
+    let mut v: Vec<_> = expected.into_iter().collect();
+    v.sort_by_key(|(a, _)| *a);
+    v
+}
+
+#[test]
+fn crash_anywhere_recovers_everywhere() {
+    // Crash after different amounts of work; recovery must always verify
+    // and every persisted write must read back.
+    for (scheme, mode) in recoverable_cells() {
+        for crash_at in [1u64, 17, 130, 700] {
+            let cfg = SystemConfig::small_for_tests(scheme, mode);
+            let mut sys = SecureNvmSystem::new(cfg);
+            let expected = drive(&mut sys, crash_at, 42 + crash_at);
+            let crashed = sys.crash();
+            let (mut recovered, report) = crashed
+                .recover()
+                .unwrap_or_else(|e| panic!("{scheme:?}/{mode:?} @{crash_at}: {e}"));
+            assert!(report.est_seconds >= 0.0);
+            for (addr, data) in expected {
+                assert_eq!(
+                    recovered.read(addr).unwrap(),
+                    data,
+                    "{scheme:?}/{mode:?} @{crash_at}: {addr:#x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_crash_recover_cycles() {
+    for (scheme, mode) in recoverable_cells() {
+        let cfg = SystemConfig::small_for_tests(scheme, mode);
+        let mut sys = SecureNvmSystem::new(cfg);
+        let mut all_expected = Vec::new();
+        for round in 0..4u64 {
+            let expected = drive(&mut sys, 150, round * 1000 + 5);
+            all_expected = expected; // later writes shadow earlier ones
+            let (recovered, _) = sys
+                .crash()
+                .recover()
+                .unwrap_or_else(|e| panic!("{scheme:?}/{mode:?} round {round}: {e}"));
+            sys = recovered;
+        }
+        for (addr, data) in all_expected {
+            assert_eq!(sys.read(addr).unwrap(), data, "{scheme:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn recovery_effort_ordering_matches_fig17() {
+    // Same workload, same crash point: reads(ASIT) < reads(Steins-GC) and
+    // reads(Steins-GC) < reads(Steins-SC).
+    let reads = |scheme, mode| {
+        let cfg = SystemConfig::small_for_tests(scheme, mode);
+        let mut sys = SecureNvmSystem::new(cfg);
+        drive(&mut sys, 600, 7);
+        let (_, report) = sys.crash().recover().expect("clean recovery");
+        report.nvm_reads
+    };
+    let asit = reads(SchemeKind::Asit, CounterMode::General);
+    let steins_gc = reads(SchemeKind::Steins, CounterMode::General);
+    let steins_sc = reads(SchemeKind::Steins, CounterMode::Split);
+    assert!(asit < steins_gc, "asit={asit} steins_gc={steins_gc}");
+    assert!(
+        steins_gc < steins_sc,
+        "steins_gc={steins_gc} steins_sc={steins_sc}"
+    );
+}
+
+#[test]
+fn steins_linc_invariant_across_crash_boundary() {
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::Split);
+    let mut sys = SecureNvmSystem::new(cfg);
+    drive(&mut sys, 400, 3);
+    assert_eq!(
+        sys.ctrl.lincs().unwrap(),
+        sys.ctrl.recompute_lincs().unwrap(),
+        "pre-crash LInc invariant"
+    );
+    let (mut recovered, _) = sys.crash().recover().unwrap();
+    assert_eq!(
+        recovered.ctrl.lincs().unwrap(),
+        recovered.ctrl.recompute_lincs().unwrap(),
+        "post-recovery LInc invariant"
+    );
+    drive(&mut recovered, 200, 9);
+    assert_eq!(
+        recovered.ctrl.lincs().unwrap(),
+        recovered.ctrl.recompute_lincs().unwrap(),
+        "post-recovery-work LInc invariant"
+    );
+}
+
+#[test]
+fn wb_refuses_recovery() {
+    let cfg = SystemConfig::small_for_tests(SchemeKind::WriteBack, CounterMode::General);
+    let mut sys = SecureNvmSystem::new(cfg);
+    drive(&mut sys, 100, 1);
+    assert!(sys.crash().recover().is_err());
+}

@@ -1,0 +1,207 @@
+//! Cross-crate security integration: §III-H's attack catalogue, asserted
+//! for every recoverable scheme where applicable, plus property-style
+//! randomized attack sweeps.
+
+use steins::core::IntegrityError;
+use steins::prelude::*;
+
+fn exercised_system(scheme: SchemeKind, mode: CounterMode, seed: u64) -> SecureNvmSystem {
+    let cfg = SystemConfig::small_for_tests(scheme, mode);
+    let mut sys = SecureNvmSystem::new(cfg);
+    let mut s = seed | 1;
+    for i in 0..700u64 {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        sys.write((s % 3000) * 64, &[i as u8; 64]).unwrap();
+    }
+    sys
+}
+
+#[test]
+fn tampered_dirty_node_detected_by_all_schemes() {
+    for (scheme, mode) in [
+        (SchemeKind::Asit, CounterMode::General),
+        (SchemeKind::Star, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::Split),
+    ] {
+        let sys = exercised_system(scheme, mode, 11);
+        let mut crashed = sys.crash();
+        // Tamper with a node every scheme's recovery must visit. For
+        // Steins, the records name them; for ASIT/STAR pick a low leaf
+        // that the workload certainly dirtied.
+        let victim = if scheme == SchemeKind::Steins {
+            crashed.recorded_dirty_offsets()[0]
+        } else {
+            1
+        };
+        crashed.tamper_node(victim);
+        match crashed.recover() {
+            Err(_) => {} // any integrity error is a detection
+            Ok((mut recovered, _)) => {
+                // If recovery did not visit the victim (clean node under
+                // ASIT/STAR), the runtime fetch must catch it instead.
+                let geo = recovered.ctrl.layout().geometry.clone();
+                let id = geo.node_at_offset(victim);
+                assert!(
+                    id.level != 0 || {
+                        let d = geo.data_of_leaf(id)[0];
+                        recovered.read(d * 64).is_err()
+                    },
+                    "{scheme:?}/{mode:?}: tampering slipped through"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn steins_replay_of_restored_node_detected() {
+    // Roll a node back to a genuinely older persisted version.
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+    let mut sys = SecureNvmSystem::new(cfg);
+    for i in 0..1500u64 {
+        sys.write((i * 7 % 4096) * 64, &[i as u8; 64]).unwrap();
+    }
+    let offset = 3u64;
+    let addr = sys.ctrl.layout().node_addr(offset);
+    let old = sys.ctrl.nvm().peek(addr);
+    let mut i = 1500u64;
+    while sys.ctrl.nvm().peek(addr) == old {
+        sys.write((i * 7 % 4096) * 64, &[i as u8; 64]).unwrap();
+        i += 1;
+        assert!(i < 200_000, "node never re-persisted; widen the workload");
+    }
+    let mut crashed = sys.crash();
+    crashed.replay_node(offset, &old);
+    assert!(
+        crashed.recover().is_err(),
+        "replayed node must not verify"
+    );
+}
+
+#[test]
+fn steins_record_suppression_detected() {
+    let sys = exercised_system(SchemeKind::Steins, CounterMode::General, 5);
+    let mut crashed = sys.crash();
+    let slots = crashed.config().meta_cache.slots();
+    for s in 0..slots {
+        crashed.rewrite_record(s, None);
+    }
+    match crashed.recover() {
+        Err(IntegrityError::LIncMismatch { recomputed, stored, .. }) => {
+            assert!(recomputed < stored, "suppression makes the sum fall short");
+        }
+        Err(_) => {}
+        Ok(_) => panic!("hiding dirty nodes must be detected"),
+    }
+}
+
+#[test]
+fn steins_spurious_dirty_marks_are_harmless() {
+    // §III-H: marking clean nodes dirty must not break recovery.
+    // A light workload confined to high addresses, so the low leaves
+    // (offsets 0..8) stay genuinely clean.
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::Split);
+    let mut sys = SecureNvmSystem::new(cfg);
+    for i in 0..40u64 {
+        sys.write((2048 + i * 13 % 1000) * 64, &[i as u8; 64]).unwrap();
+    }
+    let mut crashed = sys.crash();
+    // Plant spurious marks pointing at clean leaves, only over record slots
+    // that carry no live entry (fresh zeroed lines decode as "offset 0",
+    // which is itself a clean leaf here) — overwriting a live entry would
+    // hide a real dirty node, which §III-H rightly flags as an attack.
+    let slots = crashed.config().meta_cache.slots();
+    let mut planted = 0u64;
+    for slot in 0..slots {
+        if planted == 4 {
+            break;
+        }
+        // Fresh (zeroed) record lines decode as "offset 0"; leaf 0 is clean
+        // by construction here, so such entries carry no live information.
+        let entry = crashed.record_entry(slot);
+        let is_fresh = matches!(entry, None | Some(0));
+        if is_fresh {
+            crashed.rewrite_record(slot, Some(planted * 2)); // clean low leaves
+            planted += 1;
+        }
+    }
+    assert!(planted > 0, "need at least one plantable record slot");
+    let (mut recovered, _) = crashed
+        .recover()
+        .expect("spurious dirty marks are harmless");
+    let _ = recovered.read(0).unwrap();
+}
+
+#[test]
+fn data_replay_detected_at_runtime_or_recovery() {
+    let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+    let mut sys = SecureNvmSystem::new(cfg);
+    // Persist v1 of a line, snapshot it, persist v2.
+    sys.write(0x40 * 64, &[1; 64]).unwrap();
+    let snapshot = sys.ctrl.nvm().peek(0x40 * 64);
+    sys.write(0x40 * 64, &[2; 64]).unwrap();
+    let mut crashed = sys.crash();
+    crashed.replay_data(0x40, &snapshot);
+    match crashed.recover() {
+        Err(IntegrityError::DataMac { .. }) => {} // caught during leaf recovery
+        Err(e) => panic!("unexpected error class: {e}"),
+        Ok((mut recovered, _)) => {
+            assert!(
+                recovered.read(0x40 * 64).is_err(),
+                "replayed data must fail its MAC under the advanced counter"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_node_tampering_never_slips_through_steins() {
+    // Property-style sweep: tamper a random recorded-dirty node; recovery
+    // must error every time.
+    for seed in 0..10u64 {
+        let sys = exercised_system(SchemeKind::Steins, CounterMode::General, seed * 31 + 7);
+        let mut crashed = sys.crash();
+        let dirty = crashed.recorded_dirty_offsets();
+        if dirty.is_empty() {
+            continue;
+        }
+        let victim = dirty[(seed as usize * 17) % dirty.len()];
+        crashed.tamper_node(victim);
+        assert!(
+            crashed.recover().is_err(),
+            "seed {seed}: tampering offset {victim} undetected"
+        );
+    }
+}
+
+#[test]
+fn asit_shadow_tampering_detected() {
+    let sys = exercised_system(SchemeKind::Asit, CounterMode::General, 3);
+    let mut crashed = sys.crash();
+    // Corrupt a shadow-table line directly (the ST holds the only fresh
+    // copies of dirty nodes).
+    let shadow0 = crashed.config().meta_cache.slots(); // probe a few slots
+    let layout_shadow_base = {
+        // tamper the first occupied ST line we can find
+        let mut found = None;
+        for slot in 0..shadow0 {
+            let addr = crashed.shadow_probe(slot);
+            if crashed.nvm().peek(addr) != [0u8; 64] {
+                found = Some(addr);
+                break;
+            }
+        }
+        found.expect("workload must have dirtied metadata")
+    };
+    let mut line = crashed.nvm().peek(layout_shadow_base);
+    line[7] ^= 0x80;
+    crashed.poke_raw(layout_shadow_base, &line);
+    match crashed.recover() {
+        Err(IntegrityError::CacheTreeMismatch { .. }) => {}
+        Err(e) => panic!("expected cache-tree mismatch, got {e}"),
+        Ok(_) => panic!("tampered shadow table accepted"),
+    }
+}
