@@ -2,7 +2,7 @@
 //! record-cache size, NV-buffer size, and hash latency sensitivity.
 //! Prints simulated metrics per configuration, then benches one point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use steins_bench::micro;
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
@@ -14,7 +14,7 @@ fn run(cfg: SystemConfig) -> (u64, u64) {
     (r.cycles, r.nvm.writes)
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     println!("\n-- ablation: record-cache lines (Steins-GC, phash) --");
     for lines in [1usize, 4, 16, 64] {
         let mut cfg = SystemConfig::sweep(SchemeKind::Steins, CounterMode::General);
@@ -37,7 +37,10 @@ fn bench_ablation(c: &mut Criterion) {
             let mut cfg = SystemConfig::sweep(scheme, CounterMode::General);
             cfg.hash_latency = lat;
             let (cycles, _) = run(cfg);
-            println!("  {lat:>3} cy {}: cycles={cycles}", scheme.label(CounterMode::General));
+            println!(
+                "  {lat:>3} cy {}: cycles={cycles}",
+                scheme.label(CounterMode::General)
+            );
         }
     }
 
@@ -57,17 +60,11 @@ fn bench_ablation(c: &mut Criterion) {
         }
     }
 
-    let mut g = c.benchmark_group("ablation_host");
-    g.sample_size(10);
-    g.bench_function("steins_default_point", |b| {
-        b.iter(|| run(SystemConfig::sweep(SchemeKind::Steins, CounterMode::General)))
+    let mut g = micro::group("ablation_host");
+    g.bench("steins_default_point", || {
+        std::hint::black_box(run(SystemConfig::sweep(
+            SchemeKind::Steins,
+            CounterMode::General,
+        )));
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ablation
-}
-criterion_main!(benches);

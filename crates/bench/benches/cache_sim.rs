@@ -1,50 +1,35 @@
 //! Component benchmark: cache-model throughput — the simulator's hottest
 //! inner loops (set-associative lookup, hierarchy walks, metadata cache).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use steins_bench::micro;
 use steins_cache::{CacheConfig, CacheHierarchy, HierarchyConfig, SetAssocCache};
 use steins_metadata::cache::{MetaCacheConfig, MetadataCache};
 use steins_metadata::SitNode;
 
-fn bench_caches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_sim");
-    g.throughput(Throughput::Elements(1));
+fn main() {
+    let mut g = micro::group("cache_sim");
 
-    g.bench_function("set_assoc_access", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::new(256 << 10, 8));
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            std::hint::black_box(cache.access((i % (1 << 20)) * 64, i & 1 == 0))
-        })
+    let mut cache = SetAssocCache::new(CacheConfig::new(256 << 10, 8));
+    let mut i = 0u64;
+    g.bench("set_assoc_access", || {
+        i = i.wrapping_add(0x9e3779b97f4a7c15);
+        std::hint::black_box(cache.access((i % (1 << 20)) * 64, i & 1 == 0));
     });
 
-    g.bench_function("hierarchy_access", |b| {
-        let mut h = CacheHierarchy::new(HierarchyConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            std::hint::black_box(h.access((i % (1 << 20)) * 64, i & 3 == 0))
-        })
+    let mut h = CacheHierarchy::new(HierarchyConfig::default());
+    let mut i = 0u64;
+    g.bench("hierarchy_access", || {
+        i = i.wrapping_add(0x9e3779b97f4a7c15);
+        std::hint::black_box(h.access((i % (1 << 20)) * 64, i & 3 == 0));
     });
 
-    g.bench_function("metadata_cache_lookup_install", |b| {
-        let mut m = MetadataCache::new(MetaCacheConfig::table1());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9e3779b97f4a7c15);
-            let off = i % 100_000;
-            if m.lookup(off).is_none() {
-                std::hint::black_box(m.install(off, SitNode::zero_general(), false));
-            }
-        })
+    let mut m = MetadataCache::new(MetaCacheConfig::table1());
+    let mut i = 0u64;
+    g.bench("metadata_cache_lookup_install", || {
+        i = i.wrapping_add(0x9e3779b97f4a7c15);
+        let off = i % 100_000;
+        if m.lookup(off).is_none() {
+            std::hint::black_box(m.install(off, SitNode::zero_general(), false));
+        }
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_caches
-}
-criterion_main!(benches);

@@ -1,46 +1,36 @@
 //! Component benchmark: the from-scratch crypto primitives — the MC's
 //! per-access costs (OTP generation, 64-bit MACs) at both fidelity levels.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use steins_bench::micro;
 use steins_crypto::{engine::make_engine, Aes128, CryptoKind, SecretKey, Sha256, SipHash24};
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
-    g.throughput(Throughput::Bytes(64));
+fn main() {
+    let mut g = micro::group("crypto");
 
     let aes = Aes128::new(&[7; 16]);
-    g.bench_function("aes128_otp64", |b| {
-        let seed = [3u8; 16];
-        b.iter(|| std::hint::black_box(aes.otp64(&seed)))
+    let seed = [3u8; 16];
+    g.bench("aes128_otp64", || {
+        std::hint::black_box(aes.otp64(&seed));
     });
 
-    g.bench_function("sha256_64B", |b| {
-        let data = [9u8; 64];
-        b.iter(|| std::hint::black_box(Sha256::digest(&data)))
+    let data = [9u8; 64];
+    g.bench("sha256_64B", || {
+        std::hint::black_box(Sha256::digest(&data));
     });
 
     let sip = SipHash24::new(&[5; 16]);
-    g.bench_function("siphash24_64B", |b| {
-        let data = [9u8; 64];
-        b.iter(|| std::hint::black_box(sip.hash(&data)))
+    g.bench("siphash24_64B", || {
+        std::hint::black_box(sip.hash(&data));
     });
 
     for kind in [CryptoKind::Real, CryptoKind::Fast] {
         let e = make_engine(kind, SecretKey([1; 16]));
         let data = [4u8; 64];
-        g.bench_function(format!("data_mac_{kind:?}"), |b| {
-            b.iter(|| std::hint::black_box(e.data_mac(0x40, &data, 7, 3)))
+        g.bench(&format!("data_mac_{kind:?}"), || {
+            std::hint::black_box(e.data_mac(0x40, &data, 7, 3));
         });
-        g.bench_function(format!("otp_{kind:?}"), |b| {
-            b.iter(|| std::hint::black_box(e.otp(0x40, 7, 3)))
+        g.bench(&format!("otp_{kind:?}"), || {
+            std::hint::black_box(e.otp(0x40, 7, 3));
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crypto
-}
-criterion_main!(benches);

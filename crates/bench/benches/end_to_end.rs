@@ -1,38 +1,26 @@
 //! Macro benchmark: whole-simulator throughput (trace ops per second of
 //! host time) per scheme — the cost of regenerating the paper's figures.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use steins_bench::micro;
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     const OPS: u64 = 20_000;
-    let mut g = c.benchmark_group("end_to_end");
-    g.throughput(Throughput::Elements(OPS));
-    g.sample_size(10);
+    let mut g = micro::group("end_to_end").measurement_time(std::time::Duration::from_secs(4));
     for (scheme, mode) in [
         (SchemeKind::WriteBack, CounterMode::General),
         (SchemeKind::Steins, CounterMode::General),
         (SchemeKind::Steins, CounterMode::Split),
     ] {
         for wl in [WorkloadKind::Lbm, WorkloadKind::Milc] {
-            g.bench_function(format!("{}/{}", scheme.label(mode), wl.label()), |b| {
-                b.iter(|| {
-                    let cfg = SystemConfig::sweep(scheme, mode);
-                    let mut sys = SecureNvmSystem::new(cfg);
-                    let w = Workload::new(wl, OPS, 5);
-                    std::hint::black_box(sys.run_trace(w.generate()).unwrap())
-                })
+            g.bench(&format!("{}/{}", scheme.label(mode), wl.label()), || {
+                let cfg = SystemConfig::sweep(scheme, mode);
+                let mut sys = SecureNvmSystem::new(cfg);
+                let w = Workload::new(wl, OPS, 5);
+                std::hint::black_box(sys.run_trace(w.generate()).unwrap());
             });
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_end_to_end
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Macro benchmark: recovery host throughput + simulated recovery effort
 //! per scheme (the mechanism behind Fig. 17).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use steins_bench::micro;
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
@@ -16,28 +16,20 @@ fn crashed(scheme: SchemeKind, mode: CounterMode) -> steins_core::CrashedSystem 
     sys.crash()
 }
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("recovery");
+fn main() {
+    let mut g = micro::group("recovery");
     for (scheme, mode) in [
         (SchemeKind::Asit, CounterMode::General),
         (SchemeKind::Star, CounterMode::General),
         (SchemeKind::Steins, CounterMode::General),
         (SchemeKind::Steins, CounterMode::Split),
     ] {
-        g.bench_function(scheme.label(mode), |b| {
-            b.iter_batched(
-                || crashed(scheme, mode),
-                |crashed| std::hint::black_box(crashed.recover().expect("verifies")),
-                criterion::BatchSize::PerIteration,
-            )
-        });
+        g.bench_batched(
+            &scheme.label(mode),
+            || crashed(scheme, mode),
+            |crashed| {
+                std::hint::black_box(crashed.recover().expect("verifies"));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_recovery
-}
-criterion_main!(benches);

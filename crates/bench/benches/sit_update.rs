@@ -2,7 +2,7 @@
 //! *and* host work each scheme's metadata hooks add to one secure write —
 //! plus the §II-C BMT-vs-SIT serial-hash comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use steins_bench::micro;
 use steins_core::bmt::BmtSystem;
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
@@ -16,12 +16,14 @@ fn print_bmt_vs_sit() {
         CounterMode::General,
     ));
     for i in 0..WRITES {
-        bmt.write((i * 13 % (1 << 18)) * 64, &[i as u8; 64]).unwrap();
+        bmt.write((i * 13 % (1 << 18)) * 64, &[i as u8; 64])
+            .unwrap();
     }
     let cfg = SystemConfig::sweep(SchemeKind::WriteBack, CounterMode::General);
     let mut sit = SecureNvmSystem::new(cfg);
     for i in 0..WRITES {
-        sit.write((i * 13 % (1 << 18)) * 64, &[i as u8; 64]).unwrap();
+        sit.write((i * 13 % (1 << 18)) * 64, &[i as u8; 64])
+            .unwrap();
     }
     let sit_hashes = sit.report().energy_events.hashes;
     println!(
@@ -34,10 +36,9 @@ fn print_bmt_vs_sit() {
     );
 }
 
-fn bench_write_path(c: &mut Criterion) {
+fn main() {
     print_bmt_vs_sit();
-    let mut g = c.benchmark_group("sit_update");
-    g.throughput(Throughput::Elements(1));
+    let mut g = micro::group("sit_update");
     for (scheme, mode) in [
         (SchemeKind::WriteBack, CounterMode::General),
         (SchemeKind::Asit, CounterMode::General),
@@ -45,28 +46,16 @@ fn bench_write_path(c: &mut Criterion) {
         (SchemeKind::Steins, CounterMode::General),
         (SchemeKind::Steins, CounterMode::Split),
     ] {
-        g.bench_function(scheme.label(mode), |b| {
-            let mut cfg = SystemConfig::sweep(scheme, mode);
-            cfg.crypto = steins_crypto::CryptoKind::Fast;
-            let mut sys = SecureNvmSystem::new(cfg);
-            let mut i = 0u64;
-            let mut now = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(0x9e3779b97f4a7c15);
-                let addr = (i % (1 << 18)) * 64;
-                now += 1000;
-                std::hint::black_box(
-                    sys.ctrl.write_data(now, addr, &[i as u8; 64]).unwrap(),
-                )
-            })
+        let mut cfg = SystemConfig::sweep(scheme, mode);
+        cfg.crypto = steins_crypto::CryptoKind::Fast;
+        let mut sys = SecureNvmSystem::new(cfg);
+        let mut i = 0u64;
+        let mut now = 0u64;
+        g.bench(&scheme.label(mode), || {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            let addr = (i % (1 << 18)) * 64;
+            now += 1000;
+            std::hint::black_box(sys.ctrl.write_data(now, addr, &[i as u8; 64]).unwrap());
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_write_path
-}
-criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Macro benchmark: *simulated* write latency per scheme (the quantity of
 //! Fig. 10), measured as MC cycles per secure write on a fixed write burst.
-//! Criterion measures host time; the printed custom metric is the simulated
-//! latency ratio.
+//! The harness measures host time; the printed custom metric is the
+//! simulated latency ratio.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use steins_bench::micro;
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
@@ -15,7 +15,7 @@ fn simulated_write_latency(scheme: SchemeKind, mode: CounterMode) -> f64 {
     sys.run_trace(wl.generate()).unwrap().write_latency
 }
 
-fn bench_simulated_write_latency(c: &mut Criterion) {
+fn main() {
     // Print the Fig. 10-style numbers once, then benchmark the host cost of
     // producing them (simulator throughput).
     let wb = simulated_write_latency(SchemeKind::WriteBack, CounterMode::General);
@@ -32,16 +32,11 @@ fn bench_simulated_write_latency(c: &mut Criterion) {
             lat / wb
         );
     }
-    let mut g = c.benchmark_group("write_path_host");
-    g.bench_function("steins_gc_30k_phash", |b| {
-        b.iter(|| simulated_write_latency(SchemeKind::Steins, CounterMode::General))
+    let mut g = micro::group("write_path_host");
+    g.bench("steins_gc_30k_phash", || {
+        std::hint::black_box(simulated_write_latency(
+            SchemeKind::Steins,
+            CounterMode::General,
+        ));
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulated_write_latency
-}
-criterion_main!(benches);

@@ -3,7 +3,6 @@
 //!
 //! `cargo run -p steins-bench --release --bin all`
 
-use rayon::prelude::*;
 use steins_bench::recovery_bench::{recovery_at_cache_size, CACHE_SWEEP};
 use steins_bench::{gmean, print_normalized, run_matrix, GC_MATRIX, SC_MATRIX};
 use steins_core::SchemeKind;
@@ -24,14 +23,70 @@ fn main() {
     let sc = run_matrix(&SC_MATRIX, &WorkloadKind::ALL);
 
     let all = WorkloadKind::ALL;
-    let fig9 = print_normalized("Fig. 9: execution time / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.cycles as f64);
-    let fig10 = print_normalized("Fig. 10: write latency / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.write_latency);
-    let fig11 = print_normalized("Fig. 11: read latency / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.read_latency);
-    let fig12 = print_normalized("Fig. 12: execution time / WB-SC", &sc, &SC_MATRIX, &all, SC_MATRIX[0], |r| r.cycles as f64);
-    let fig13 = print_normalized("Fig. 13: write traffic / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.nvm.writes as f64);
-    let fig14 = print_normalized("Fig. 14: write traffic / WB-SC", &sc, &SC_MATRIX, &all, SC_MATRIX[0], |r| r.nvm.writes as f64);
-    let fig15 = print_normalized("Fig. 15: energy / WB-GC", &gc, &GC_MATRIX, &all, GC_MATRIX[0], |r| r.energy_pj);
-    let fig16 = print_normalized("Fig. 16: energy / WB-SC", &sc, &SC_MATRIX, &all, SC_MATRIX[0], |r| r.energy_pj);
+    let fig9 = print_normalized(
+        "Fig. 9: execution time / WB-GC",
+        &gc,
+        &GC_MATRIX,
+        &all,
+        GC_MATRIX[0],
+        |r| r.cycles as f64,
+    );
+    let fig10 = print_normalized(
+        "Fig. 10: write latency / WB-GC",
+        &gc,
+        &GC_MATRIX,
+        &all,
+        GC_MATRIX[0],
+        |r| r.write_latency,
+    );
+    let fig11 = print_normalized(
+        "Fig. 11: read latency / WB-GC",
+        &gc,
+        &GC_MATRIX,
+        &all,
+        GC_MATRIX[0],
+        |r| r.read_latency,
+    );
+    let fig12 = print_normalized(
+        "Fig. 12: execution time / WB-SC",
+        &sc,
+        &SC_MATRIX,
+        &all,
+        SC_MATRIX[0],
+        |r| r.cycles as f64,
+    );
+    let fig13 = print_normalized(
+        "Fig. 13: write traffic / WB-GC",
+        &gc,
+        &GC_MATRIX,
+        &all,
+        GC_MATRIX[0],
+        |r| r.nvm.writes as f64,
+    );
+    let fig14 = print_normalized(
+        "Fig. 14: write traffic / WB-SC",
+        &sc,
+        &SC_MATRIX,
+        &all,
+        SC_MATRIX[0],
+        |r| r.nvm.writes as f64,
+    );
+    let fig15 = print_normalized(
+        "Fig. 15: energy / WB-GC",
+        &gc,
+        &GC_MATRIX,
+        &all,
+        GC_MATRIX[0],
+        |r| r.energy_pj,
+    );
+    let fig16 = print_normalized(
+        "Fig. 16: energy / WB-SC",
+        &sc,
+        &SC_MATRIX,
+        &all,
+        SC_MATRIX[0],
+        |r| r.energy_pj,
+    );
 
     for (name, rows) in [
         ("fig09_exec_time", &fig9),
@@ -70,18 +125,15 @@ fn main() {
         (SchemeKind::Steins, CounterMode::General, "Steins-GC"),
         (SchemeKind::Steins, CounterMode::Split, "Steins-SC"),
     ];
-    let fig17: Vec<(String, Vec<f64>)> = cells
-        .par_iter()
-        .map(|(s, m, label)| {
-            (
-                label.to_string(),
-                CACHE_SWEEP
-                    .iter()
-                    .map(|&c| recovery_at_cache_size(*s, *m, c).est_seconds)
-                    .collect(),
-            )
-        })
-        .collect();
+    let fig17: Vec<(String, Vec<f64>)> = steins_bench::par::map(cells.to_vec(), |(s, m, label)| {
+        (
+            label.to_string(),
+            CACHE_SWEEP
+                .iter()
+                .map(|&c| recovery_at_cache_size(s, m, c).est_seconds)
+                .collect(),
+        )
+    });
     print!("{:<12}", "scheme");
     for c in CACHE_SWEEP {
         print!("{:>10}", format!("{}KB", c >> 10));
@@ -105,22 +157,86 @@ fn main() {
     println!("\n== Headline shapes: paper vs measured ==");
     println!("{:<46}{:>10}{:>10}", "claim", "paper", "measured");
     let rows = [
-        ("ASIT exec time vs WB-GC (Fig. 9)", 1.20, g(&fig9, "ASIT-GC")),
-        ("STAR exec time vs WB-GC (Fig. 9)", 1.12, g(&fig9, "STAR-GC")),
-        ("Steins-GC exec time vs WB-GC (Fig. 9)", 1.00, g(&fig9, "Steins-GC")),
-        ("ASIT write latency vs WB-GC (Fig. 10)", 2.14, g(&fig10, "ASIT-GC")),
-        ("STAR write latency vs WB-GC (Fig. 10)", 1.67, g(&fig10, "STAR-GC")),
-        ("Steins-GC write latency vs WB-GC (Fig. 10)", 1.06, g(&fig10, "Steins-GC")),
-        ("Steins-GC read latency vs WB-GC (Fig. 11)", 1.00, g(&fig11, "Steins-GC")),
-        ("Steins-SC exec time vs WB-SC (Fig. 12)", 0.998, g(&fig12, "Steins-SC")),
-        ("ASIT write traffic vs WB-GC (Fig. 13)", 2.00, g(&fig13, "ASIT-GC")),
-        ("STAR write traffic vs WB-GC (Fig. 13)", 1.30, g(&fig13, "STAR-GC")),
-        ("Steins-GC write traffic vs WB-GC (Fig. 13)", 1.05, g(&fig13, "Steins-GC")),
-        ("Steins-SC write traffic vs WB-SC (Fig. 14)", 1.01, g(&fig14, "Steins-SC")),
-        ("Steins-GC energy vs WB-GC (Fig. 15)", 0.998, g(&fig15, "Steins-GC")),
-        ("Steins-SC energy vs WB-SC (Fig. 16)", 1.00, g(&fig16, "Steins-SC")),
-        ("Steins-SC / Steins-GC exec time", 0.61, gmean(&sc_over_gc_exec)),
-        ("Steins-SC / Steins-GC energy", 0.906, gmean(&sc_over_gc_energy)),
+        (
+            "ASIT exec time vs WB-GC (Fig. 9)",
+            1.20,
+            g(&fig9, "ASIT-GC"),
+        ),
+        (
+            "STAR exec time vs WB-GC (Fig. 9)",
+            1.12,
+            g(&fig9, "STAR-GC"),
+        ),
+        (
+            "Steins-GC exec time vs WB-GC (Fig. 9)",
+            1.00,
+            g(&fig9, "Steins-GC"),
+        ),
+        (
+            "ASIT write latency vs WB-GC (Fig. 10)",
+            2.14,
+            g(&fig10, "ASIT-GC"),
+        ),
+        (
+            "STAR write latency vs WB-GC (Fig. 10)",
+            1.67,
+            g(&fig10, "STAR-GC"),
+        ),
+        (
+            "Steins-GC write latency vs WB-GC (Fig. 10)",
+            1.06,
+            g(&fig10, "Steins-GC"),
+        ),
+        (
+            "Steins-GC read latency vs WB-GC (Fig. 11)",
+            1.00,
+            g(&fig11, "Steins-GC"),
+        ),
+        (
+            "Steins-SC exec time vs WB-SC (Fig. 12)",
+            0.998,
+            g(&fig12, "Steins-SC"),
+        ),
+        (
+            "ASIT write traffic vs WB-GC (Fig. 13)",
+            2.00,
+            g(&fig13, "ASIT-GC"),
+        ),
+        (
+            "STAR write traffic vs WB-GC (Fig. 13)",
+            1.30,
+            g(&fig13, "STAR-GC"),
+        ),
+        (
+            "Steins-GC write traffic vs WB-GC (Fig. 13)",
+            1.05,
+            g(&fig13, "Steins-GC"),
+        ),
+        (
+            "Steins-SC write traffic vs WB-SC (Fig. 14)",
+            1.01,
+            g(&fig14, "Steins-SC"),
+        ),
+        (
+            "Steins-GC energy vs WB-GC (Fig. 15)",
+            0.998,
+            g(&fig15, "Steins-GC"),
+        ),
+        (
+            "Steins-SC energy vs WB-SC (Fig. 16)",
+            1.00,
+            g(&fig16, "Steins-SC"),
+        ),
+        (
+            "Steins-SC / Steins-GC exec time",
+            0.61,
+            gmean(&sc_over_gc_exec),
+        ),
+        (
+            "Steins-SC / Steins-GC energy",
+            0.906,
+            gmean(&sc_over_gc_energy),
+        ),
     ];
     for (claim, paper, measured) in rows {
         println!("{claim:<46}{paper:>10.3}{measured:>10.3}");
@@ -135,11 +251,22 @@ fn main() {
     let recov = [
         ("ASIT recovery @4MB (s, Fig. 17)", 0.02, at4("ASIT")),
         ("STAR recovery @4MB (s, Fig. 17)", 0.065, at4("STAR")),
-        ("Steins-GC recovery @4MB (s, Fig. 17)", 0.08, at4("Steins-GC")),
-        ("Steins-SC recovery @4MB (s, Fig. 17)", 0.44, at4("Steins-SC")),
+        (
+            "Steins-GC recovery @4MB (s, Fig. 17)",
+            0.08,
+            at4("Steins-GC"),
+        ),
+        (
+            "Steins-SC recovery @4MB (s, Fig. 17)",
+            0.44,
+            at4("Steins-SC"),
+        ),
     ];
     for (claim, paper, measured) in recov {
         println!("{claim:<46}{paper:>10.3}{measured:>10.3}");
     }
-    println!("\nTotal sweep wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nTotal sweep wall time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

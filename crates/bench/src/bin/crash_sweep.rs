@@ -1,0 +1,73 @@
+//! Exhaustive persist-boundary crash sweep — every scheme × counter mode.
+//!
+//! For each supported combination, replays a fixed op stream once to
+//! enumerate every durable-state transition (64 B line writes and in-place
+//! ADR updates), then for every transition `k` replays the stream with the
+//! NVM device armed to lose power the instant transition `k` completes,
+//! runs the scheme's recovery, and verifies the full tree plus a read-back
+//! of every acknowledged write. WB is swept against its contract instead:
+//! it must *refuse* recovery at every point. ASIT-SC and STAR-SC are
+//! skipped — those baselines are general-counter-only by design (their
+//! recovery needs self-increasing parent counters).
+//!
+//! Env knobs: `STEINS_SWEEP_OPS` (stream length, default 150),
+//! `STEINS_THREADS` (worker pool size).
+
+use steins_bench::par;
+use steins_core::{CounterMode, CrashSweep, PointSelection, SchemeKind};
+
+fn main() {
+    let ops: usize = std::env::var("STEINS_SWEEP_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    let combos = [
+        (SchemeKind::WriteBack, CounterMode::General),
+        (SchemeKind::WriteBack, CounterMode::Split),
+        (SchemeKind::Asit, CounterMode::General),
+        (SchemeKind::Star, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::General),
+        (SchemeKind::Steins, CounterMode::Split),
+    ];
+    println!(
+        "Crash sweep: {ops}-op stream, every persist point, {} workers",
+        par::threads()
+    );
+    println!("{:>10}  {:>8}  {:>8}  result", "combo", "points", "failed");
+    let mut all_clean = true;
+    for (scheme, mode) in combos {
+        let sweep = CrashSweep::small(scheme, mode, ops, PointSelection::All);
+        let total = match sweep.total_points() {
+            Ok(t) => t,
+            Err(e) => {
+                all_clean = false;
+                println!("{:>10}  baseline run failed: {e}", scheme.label(mode));
+                continue;
+            }
+        };
+        let failures: Vec<_> = par::map((1..=total).collect(), |k| sweep.probe_point(k))
+            .into_iter()
+            .flatten()
+            .collect();
+        let verdict = if failures.is_empty() {
+            "all points recovered & verified".to_string()
+        } else {
+            all_clean = false;
+            "UNRECOVERABLE POINTS".to_string()
+        };
+        println!(
+            "{:>10}  {:>8}  {:>8}  {verdict}",
+            scheme.label(mode),
+            total,
+            failures.len()
+        );
+        for repro in failures.iter().take(3) {
+            println!("{repro}");
+        }
+    }
+    println!("{:>10}  skipped: general-counter-only baseline", "Asit-SC");
+    println!("{:>10}  skipped: general-counter-only baseline", "Star-SC");
+    if !all_clean {
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,10 @@
 //! Diagnostic tool: run one scheme/workload and, on an integrity failure,
 //! report which counter value the stored HMAC actually corresponds to.
+//! The probing itself lives in `steins_core::diagnose` (shared with the
+//! crash-sweep harness); this binary is the ad-hoc CLI front end.
 //! Select with SCHEME=wb|asit|star|steins, MODE=gc|sc, WL=phash|ptree.
 
+use steins_core::diagnose::{probe_data_mac, probe_node_mac};
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
@@ -43,16 +46,12 @@ fn main() {
                 if let Some(l) = cached {
                     println!("cached leaf pair for slot: {:?}", l.counters.enc_pair(slot));
                 }
-                // probe: which pair does the stored mac match?
-                let data = sys.ctrl.nvm().peek(addr & !63);
-                'outer: for mj in rmaj.saturating_sub(3)..rmaj + 3 {
-                    for mn in 0..64u64 {
-                        if sys.ctrl.data_mac_probe(addr & !63, &data, mj, mn) == rec.mac {
-                            println!("stored mac matches pair ({mj},{mn})");
-                            break 'outer;
-                        }
-                    }
-                }
+                // Which pair does the stored mac actually match?
+                let line_addr = addr & !63;
+                let data = sys.ctrl.nvm().peek(line_addr);
+                let span = mode.leaf_coverage().max(64);
+                let diag = probe_data_mac(&sys.ctrl, line_addr, &data, rec.mac, rmaj, 3, span);
+                println!("{diag}");
                 return;
             }
             if let steins_core::IntegrityError::NodeMac { node } = e {
@@ -76,14 +75,8 @@ fn main() {
                 let pc_now = pcache
                     .map(|p| p.counters.as_general().get(slot))
                     .unwrap_or_else(|| pnvm.counters.as_general().get(slot));
-                for cand in pc_now.saturating_sub(2000)..pc_now + 2000 {
-                    let mac = sys.ctrl.mac_probe(&n, off, cand);
-                    if mac == n.hmac {
-                        println!("stored hmac matches parent counter = {cand} (current = {pc_now})");
-                        return;
-                    }
-                }
-                println!("stored hmac matches no counter within ±2000 of {pc_now} — counters tampered/diverged");
+                let diag = probe_node_mac(&sys.ctrl, &n, off, pc_now, 2000);
+                println!("{diag}");
             }
         }
     }

@@ -4,7 +4,6 @@
 //! Paper shape at 4 MB: ASIT ≈ 0.02 s < STAR ≈ 0.065 s < Steins-GC ≈
 //! 0.08 s < Steins-SC ≈ 0.44 s. WB cannot recover.
 
-use rayon::prelude::*;
 use steins_bench::recovery_bench::{recovery_at_cache_size, CACHE_SWEEP};
 use steins_core::SchemeKind;
 use steins_metadata::CounterMode;
@@ -22,19 +21,18 @@ fn main() {
         print!("{:>10}", format!("{}KB", c >> 10));
     }
     println!();
-    let rows: Vec<(String, Vec<(f64, u64, usize)>)> = cells
-        .par_iter()
-        .map(|(scheme, mode, label)| {
+    type Series = Vec<(f64, u64, usize)>;
+    let rows: Vec<(String, Series)> =
+        steins_bench::par::map(cells.to_vec(), |(scheme, mode, label)| {
             let series = CACHE_SWEEP
                 .iter()
                 .map(|&cache| {
-                    let r = recovery_at_cache_size(*scheme, *mode, cache);
+                    let r = recovery_at_cache_size(scheme, mode, cache);
                     (r.est_seconds, r.nvm_reads, r.nodes_recovered)
                 })
                 .collect();
             (label.to_string(), series)
-        })
-        .collect();
+        });
     for (label, series) in &rows {
         print!("{label:<12}");
         for (secs, _, _) in series {

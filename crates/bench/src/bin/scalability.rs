@@ -6,11 +6,10 @@
 //! controller's front end.
 //!
 //! We reproduce both regimes: `K` clients × `M` controllers, each
-//! controller a full independent Steins system (rayon task). Simulated
+//! controller a full independent Steins system (worker thread). Simulated
 //! completion time is per-controller CPU time; the "same DIMM" regime runs
 //! all clients through one controller back to back.
 
-use rayon::prelude::*;
 use steins_core::{SchemeKind, SecureNvmSystem, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
@@ -30,34 +29,36 @@ fn same_dimm(clients: usize) -> u64 {
 }
 
 /// Runs `clients` clients spread over `mcs` controllers (different-DIMM
-/// regime): controllers are independent and run as parallel rayon tasks;
+/// regime): controllers are independent and run as parallel worker tasks;
 /// simulated completion is the slowest controller.
 fn different_dimms(clients: usize, mcs: usize) -> u64 {
     let per_mc = clients.div_ceil(mcs);
-    (0..mcs)
-        .into_par_iter()
-        .map(|m| {
-            let cfg = SystemConfig::sweep(SchemeKind::Steins, CounterMode::Split);
-            let mut sys = SecureNvmSystem::new(cfg);
-            for c in 0..per_mc {
-                let wl = Workload::new(
-                    WorkloadKind::PHash,
-                    OPS_PER_CLIENT,
-                    (m * per_mc + c) as u64 + 1,
-                );
-                sys.run_trace(wl.generate()).expect("clean run");
-            }
-            sys.report().cycles
-        })
-        .max()
-        .unwrap_or(0)
+    steins_bench::par::map((0..mcs).collect::<Vec<_>>(), |m| {
+        let cfg = SystemConfig::sweep(SchemeKind::Steins, CounterMode::Split);
+        let mut sys = SecureNvmSystem::new(cfg);
+        for c in 0..per_mc {
+            let wl = Workload::new(
+                WorkloadKind::PHash,
+                OPS_PER_CLIENT,
+                (m * per_mc + c) as u64 + 1,
+            );
+            sys.run_trace(wl.generate()).expect("clean run");
+        }
+        sys.report().cycles
+    })
+    .into_iter()
+    .max()
+    .unwrap_or(0)
 }
 
 fn main() {
     println!("== §IV-F: Steins scalability across memory controllers ==");
     println!("({OPS_PER_CLIENT} ops/client, Steins-SC, phash)\n");
     let base = same_dimm(1);
-    println!("{:<28}{:>16}{:>12}", "configuration", "sim. cycles", "vs 1 client");
+    println!(
+        "{:<28}{:>16}{:>12}",
+        "configuration", "sim. cycles", "vs 1 client"
+    );
     println!("{:<28}{:>16}{:>12.2}", "1 client, 1 MC", base, 1.0);
     for clients in [2usize, 4, 6] {
         let serial = same_dimm(clients);

@@ -8,7 +8,10 @@ fn main() {
     let t = &cfg.nvm.timings;
     println!("== Table I: configurations of the evaluated NVM system ==\n");
     println!("Processor");
-    println!("  CPU                  trace-driven x86-64 model, {} GHz", t.freq_ghz);
+    println!(
+        "  CPU                  trace-driven x86-64 model, {} GHz",
+        t.freq_ghz
+    );
     println!(
         "  Private L1i/d cache  {} KB, {}-way, LRU, 64 B block",
         cfg.hierarchy.l1_bytes >> 10,
@@ -30,7 +33,10 @@ fn main() {
         "  PCM latency model    tRCD/tCL/tCWD/tFAW/tWTR/tWR = {}/{}/{}/{}/{}/{} ns",
         t.t_rcd_ns, t.t_cl_ns, t.t_cwd_ns, t.t_faw_ns, t.t_wtr_ns, t.t_wr_ns
     );
-    println!("  Write queue          {} entries", cfg.nvm.write_queue_entries);
+    println!(
+        "  Write queue          {} entries",
+        cfg.nvm.write_queue_entries
+    );
     println!("Secure parameters");
     println!(
         "  Metadata cache       {} KB, {}-way, LRU, 64 B block",

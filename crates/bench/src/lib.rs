@@ -3,7 +3,7 @@
 //! Every evaluation artifact of the paper (§IV, Table I and Figs. 9–17 plus
 //! the storage analysis) has a binary in `src/bin/` that reruns the
 //! experiment and prints the paper's series. This library holds the shared
-//! machinery: scheme matrices, parallel sweep execution (rayon — each
+//! machinery: scheme matrices, parallel sweep execution (std threads — each
 //! simulation is independent, mirroring §IV-F's parallel memory
 //! controllers), normalization, and table formatting.
 //!
@@ -12,23 +12,20 @@
 //! * `STEINS_OPS` — memory operations per workload (default 1,000,000).
 //! * `STEINS_SEED` — trace seed (default 42).
 
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 use steins_core::{RunReport, SchemeKind, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
 
+pub mod micro;
+pub mod par;
 pub mod recovery_bench;
 
 /// Writes one figure's normalized rows as CSV under `results/` (one file
 /// per figure), so the series can be plotted without re-running the sweep.
 /// Errors are reported but non-fatal — the printed tables are the primary
 /// output.
-pub fn write_csv(
-    figure: &str,
-    workloads: &[WorkloadKind],
-    rows: &[(String, Vec<f64>, f64)],
-) {
+pub fn write_csv(figure: &str, workloads: &[WorkloadKind], rows: &[(String, Vec<f64>, f64)]) {
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("results/: {e}");
@@ -92,8 +89,9 @@ pub fn run_one(cell: Cell, kind: WorkloadKind, ops: u64, seed: u64) -> RunReport
     let cfg = SystemConfig::sweep(scheme, mode);
     let mut sys = steins_core::SecureNvmSystem::new(cfg);
     let wl = Workload::new(kind, ops, seed);
-    sys.run_trace(wl.generate())
-        .unwrap_or_else(|e| panic!("integrity failure in clean run ({scheme:?}/{mode:?}/{kind:?}): {e}"))
+    sys.run_trace(wl.generate()).unwrap_or_else(|e| {
+        panic!("integrity failure in clean run ({scheme:?}/{mode:?}/{kind:?}): {e}")
+    })
 }
 
 /// Results keyed by `(cell label, workload label)`.
@@ -107,12 +105,12 @@ pub fn run_matrix(cells: &[Cell], workloads: &[WorkloadKind]) -> Matrix {
         .iter()
         .flat_map(|c| workloads.iter().map(move |w| (*c, *w)))
         .collect();
-    jobs.into_par_iter()
-        .map(|(cell, wl)| {
-            let report = run_one(cell, wl, ops, seed);
-            ((cell.0.label(cell.1), wl.label()), report)
-        })
-        .collect()
+    par::map(jobs, |(cell, wl)| {
+        let report = run_one(cell, wl, ops, seed);
+        ((cell.0.label(cell.1), wl.label()), report)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Geometric mean (the summary bar in each figure).
@@ -165,10 +163,7 @@ pub fn print_normalized(
 }
 
 /// Convenience: run + print a GC-normalized figure in one call.
-pub fn figure_gc(
-    title: &str,
-    metric: impl Fn(&RunReport) -> f64,
-) -> Vec<(String, Vec<f64>, f64)> {
+pub fn figure_gc(title: &str, metric: impl Fn(&RunReport) -> f64) -> Vec<(String, Vec<f64>, f64)> {
     let matrix = run_matrix(&GC_MATRIX, &WorkloadKind::ALL);
     print_normalized(
         title,
@@ -181,10 +176,7 @@ pub fn figure_gc(
 }
 
 /// Convenience: run + print an SC-normalized figure in one call.
-pub fn figure_sc(
-    title: &str,
-    metric: impl Fn(&RunReport) -> f64,
-) -> Vec<(String, Vec<f64>, f64)> {
+pub fn figure_sc(title: &str, metric: impl Fn(&RunReport) -> f64) -> Vec<(String, Vec<f64>, f64)> {
     let matrix = run_matrix(&SC_MATRIX, &WorkloadKind::ALL);
     print_normalized(
         title,

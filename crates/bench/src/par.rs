@@ -1,0 +1,82 @@
+//! Minimal std-only parallel map (work-stealing-free, index-chunked).
+//!
+//! Each simulation job is independent and long-running (seconds), so a
+//! simple shared-counter work queue over `std::thread::scope` gets the
+//! same utilization a full work-stealing pool would, without any
+//! external dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads: env `STEINS_THREADS`, default = available
+/// parallelism.
+pub fn threads() -> usize {
+    std::env::var("STEINS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every job on a pool of [`threads()`] workers, preserving
+/// input order in the result.
+pub fn map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("job taken once");
+                *results[i].lock().unwrap() = Some(f(job));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = map((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_ok() {
+        let out: Vec<u64> = map(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_job() {
+        assert_eq!(map(vec![7u64], |x| x + 1), vec![8]);
+    }
+}

@@ -49,10 +49,4 @@ pub fn recovery_at_cache_size(
 }
 
 /// The cache-size sweep of Fig. 17 (256 KB → 4 MB).
-pub const CACHE_SWEEP: [u64; 5] = [
-    256 << 10,
-    512 << 10,
-    1 << 20,
-    2 << 20,
-    4 << 20,
-];
+pub const CACHE_SWEEP: [u64; 5] = [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20];

@@ -11,10 +11,8 @@
 //! execution-time shapes come from memory-controller behaviour, which is
 //! modeled in detail; the core is deliberately simple.
 
-use serde::{Deserialize, Serialize};
-
 /// CPU front-end parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CpuConfig {
     /// Non-memory instructions retired per cycle.
     pub ipc: f64,

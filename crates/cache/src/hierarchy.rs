@@ -9,10 +9,9 @@
 use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::set_assoc::{AccessOutcome, CacheConfig, SetAssocCache};
 use crate::stats::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of the three levels.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct HierarchyConfig {
     /// L1 data cache capacity in bytes (Table I: 32 KB, 2-way).
     pub l1_bytes: u64,
@@ -127,10 +126,7 @@ impl CacheHierarchy {
                 events,
             };
         }
-        if let AccessOutcome::Miss {
-            victim: Some(v),
-        } = l1_out
-        {
+        if let AccessOutcome::Miss { victim: Some(v) } = l1_out {
             if v.dirty {
                 // Dirty L1 victim lands in L2.
                 Self::install_dirty(&mut self.l2, &mut self.l3, v.addr, &mut events);
@@ -145,10 +141,7 @@ impl CacheHierarchy {
                 events,
             };
         }
-        if let AccessOutcome::Miss {
-            victim: Some(v),
-        } = l2_out
-        {
+        if let AccessOutcome::Miss { victim: Some(v) } = l2_out {
             if v.dirty {
                 Self::install_dirty_l3(&mut self.l3, v.addr, &mut events);
             }
@@ -173,9 +166,8 @@ impl CacheHierarchy {
                 // off-critical-path fills) on confirmed strides.
                 for pf_addr in self.prefetcher.observe_miss(addr) {
                     if !self.l3.contains(pf_addr) {
-                        if let AccessOutcome::Miss {
-                            victim: Some(v),
-                        } = self.l3.access(pf_addr, false)
+                        if let AccessOutcome::Miss { victim: Some(v) } =
+                            self.l3.access(pf_addr, false)
                         {
                             if v.dirty {
                                 events.push(MemEvent::WriteBack { addr: v.addr });
@@ -199,10 +191,7 @@ impl CacheHierarchy {
         addr: u64,
         events: &mut Vec<MemEvent>,
     ) {
-        if let AccessOutcome::Miss {
-            victim: Some(v),
-        } = l2.access(addr, true)
-        {
+        if let AccessOutcome::Miss { victim: Some(v) } = l2.access(addr, true) {
             if v.dirty {
                 Self::install_dirty_l3(l3, v.addr, events);
             }
@@ -212,10 +201,7 @@ impl CacheHierarchy {
     /// Installs a dirty line evicted from L2 into L3, emitting a write-back
     /// if L3 in turn evicts a dirty victim.
     fn install_dirty_l3(l3: &mut SetAssocCache, addr: u64, events: &mut Vec<MemEvent>) {
-        if let AccessOutcome::Miss {
-            victim: Some(v),
-        } = l3.access(addr, true)
-        {
+        if let AccessOutcome::Miss { victim: Some(v) } = l3.access(addr, true) {
             if v.dirty {
                 events.push(MemEvent::WriteBack { addr: v.addr });
             }
@@ -312,10 +298,7 @@ mod tests {
         h.access(0, false);
         assert_eq!(h.flush_line(0), None);
         h.access(64, true);
-        assert_eq!(
-            h.flush_line(64),
-            Some(MemEvent::WriteBack { addr: 64 })
-        );
+        assert_eq!(h.flush_line(64), Some(MemEvent::WriteBack { addr: 64 }));
         // Flushed: next access misses again.
         let a = h.access(64, false);
         assert_eq!(a.events, vec![MemEvent::Fill { addr: 64 }]);

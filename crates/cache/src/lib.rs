@@ -20,7 +20,7 @@ pub mod set_assoc;
 pub mod stats;
 
 pub use cpu::{CpuConfig, CpuModel};
-pub use prefetch::{PrefetchConfig, StreamPrefetcher};
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, MemEvent};
+pub use prefetch::{PrefetchConfig, StreamPrefetcher};
 pub use set_assoc::{AccessOutcome, CacheConfig, SetAssocCache};
 pub use stats::CacheStats;

@@ -12,10 +12,8 @@
 //! how much prefetching narrows the scheme gaps (misses that the
 //! prefetcher absorbs never reach the secure engine's critical path).
 
-use serde::{Deserialize, Serialize};
-
 /// Prefetcher configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PrefetchConfig {
     /// Enable the prefetcher.
     pub enabled: bool,

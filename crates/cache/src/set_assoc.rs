@@ -5,13 +5,12 @@
 //! are 64 B (the whole system's granularity, Table I).
 
 use crate::stats::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Line size shared by every cache in the system.
 pub const LINE_BYTES: u64 = 64;
 
 /// Cache geometry.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -120,16 +119,13 @@ impl SetAssocCache {
 
         self.stats.misses += 1;
         // Choose victim: an invalid way, else the true-LRU way.
-        let victim_idx = set
-            .iter()
-            .position(|w| !w.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways nonzero")
-            });
+        let victim_idx = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("ways nonzero")
+        });
         let victim = if set[victim_idx].valid {
             let v = set[victim_idx];
             if v.dirty {
@@ -170,10 +166,7 @@ impl SetAssocCache {
     /// Clears the dirty bit of `addr` (after an explicit write-back/flush).
     pub fn clean(&mut self, addr: u64) {
         let (set, tag) = self.index(addr);
-        if let Some(w) = self.sets[set]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-        {
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
             w.dirty = false;
         }
     }
@@ -181,10 +174,7 @@ impl SetAssocCache {
     /// Invalidates `addr`, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        if let Some(w) = self.sets[set]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-        {
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
             let dirty = w.dirty;
             w.valid = false;
             w.dirty = false;

@@ -1,9 +1,7 @@
 //! Cache statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss/write-back counters for one cache.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     /// Read or write accesses that hit.
     pub hits: u64,

@@ -277,7 +277,10 @@ mod tests {
         let geo = b.layout.geometry.clone();
         let mut victim = None;
         for idx in 0..geo.nodes_at(0) {
-            let off = geo.offset_of(NodeId { level: 0, index: idx });
+            let off = geo.offset_of(NodeId {
+                level: 0,
+                index: idx,
+            });
             let addr = b.layout.node_addr(off);
             if !b.meta.contains(off) && b.nvm.peek(addr) != [0u8; 64] {
                 victim = Some((off, addr, idx));
@@ -288,7 +291,10 @@ mod tests {
         let mut line = b.nvm.peek(addr);
         line[5] ^= 1;
         b.nvm.poke(addr, &line);
-        let data_line = geo.data_of_leaf(NodeId { level: 0, index: idx })[0];
+        let data_line = geo.data_of_leaf(NodeId {
+            level: 0,
+            index: idx,
+        })[0];
         assert!(
             b.read(data_line * 64).is_err(),
             "tampered BMT node must fail verification"

@@ -77,12 +77,7 @@ impl CacheTree {
             let parent = index / CT_FANOUT;
             let first = parent * CT_FANOUT;
             let last = (first + CT_FANOUT).min(self.levels[level - 1].len());
-            let mac = Self::node_mac(
-                engine,
-                level,
-                parent,
-                &self.levels[level - 1][first..last],
-            );
+            let mac = Self::node_mac(engine, level, parent, &self.levels[level - 1][first..last]);
             self.levels[level][parent] = mac;
             hashes += 1;
             index = parent;

@@ -113,8 +113,14 @@ mod tests {
     #[test]
     fn slots_are_independent() {
         let mut line = [0u8; 64];
-        let a = MacRecord { mac: 1, recovery: 2 };
-        let b = MacRecord { mac: 3, recovery: 4 };
+        let a = MacRecord {
+            mac: 1,
+            recovery: 2,
+        };
+        let b = MacRecord {
+            mac: 3,
+            recovery: 4,
+        };
         a.write_slot(&mut line, 0);
         b.write_slot(&mut line, 3);
         assert_eq!(MacRecord::read_slot(&line, 0), a);

@@ -1,6 +1,5 @@
 //! System configuration (the knobs of Table I).
 
-use serde::{Deserialize, Serialize};
 use steins_cache::{CpuConfig, HierarchyConfig};
 use steins_crypto::CryptoKind;
 use steins_metadata::cache::MetaCacheConfig;
@@ -8,7 +7,7 @@ pub use steins_metadata::CounterMode;
 use steins_nvm::NvmConfig;
 
 /// Which recovery scheme protects the system.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Plain write-back secure NVM: CME + lazy-update SIT, **no recovery
     /// support**. The figures' baseline (WB-GC / WB-SC).
@@ -46,7 +45,7 @@ impl SchemeKind {
 }
 
 /// How a leaf node's counters are recovered after a crash (§V).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LeafRecovery {
     /// Default: the encryption counter rides in the per-block MAC record
     /// (the ECC-spare-bits substitution of DESIGN.md §2.7) — §II-D's
@@ -65,7 +64,7 @@ pub enum LeafRecovery {
 }
 
 /// Full system configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SystemConfig {
     /// Recovery scheme.
     pub scheme: SchemeKind,
@@ -125,7 +124,7 @@ impl SystemConfig {
             nv_buffer_bytes: 128,
             record_cache_lines: 16,
             bitmap_cache_lines: 16,
-            key_seed: 0x5_7E14_5,
+            key_seed: 0x57E_145,
             recovery_read_ns: 100.0,
             leaf_recovery: LeafRecovery::MacRecord,
             eager_update: false,
@@ -218,14 +217,8 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(
-            SchemeKind::Steins.label(CounterMode::Split),
-            "Steins-SC"
-        );
-        assert_eq!(
-            SchemeKind::WriteBack.label(CounterMode::General),
-            "WB-GC"
-        );
+        assert_eq!(SchemeKind::Steins.label(CounterMode::Split), "Steins-SC");
+        assert_eq!(SchemeKind::WriteBack.label(CounterMode::General), "WB-GC");
     }
 
     #[test]

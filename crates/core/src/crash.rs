@@ -11,14 +11,20 @@
 //! SIT root, Steins' LIncs and NV buffer, ASIT/STAR's cache-tree root.
 
 use crate::config::{SchemeKind, SystemConfig};
+use crate::diagnose;
 use crate::engine::SecureNvmSystem;
+use crate::error::IntegrityError;
 use crate::linc::LincBank;
 use crate::nvbuffer::NvBuffer;
 use crate::scheme::SchemeState;
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 use steins_crypto::CryptoEngine;
-use steins_metadata::{MemoryLayout, RootNode};
-use steins_nvm::NvmDevice;
+use steins_metadata::{CounterMode, MemoryLayout, RootNode};
+use steins_nvm::{CrashTripped, NvmDevice, PersistKind, PersistPoint};
+use steins_trace::rng::SmallRng;
 
 /// Per-scheme non-volatile remnants.
 pub enum NvState {
@@ -136,6 +142,584 @@ impl CrashedSystem {
     }
 }
 
+// ————————————— Exhaustive persist-boundary fault injection —————————————
+//
+// The NVM device numbers every durable-state transition (each accepted 64 B
+// line write, each in-place ADR-line update). [`CrashSweep`] replays a fixed
+// op stream once to enumerate those points, then for every point k replays
+// the stream with the device armed to lose power the instant transition k
+// completes, recovers, and verifies: every acknowledged write reads back
+// (which re-verifies the whole ancestor chain of every populated tree path)
+// and, under Steins, the LInc registers match a from-scratch recomputation.
+// A failing point is shrunk to a minimal op stream and printed with the
+// first divergent node and a MAC-probe diagnosis (`debug_repro` style).
+
+/// One operation of the fixed, replayable stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepOp {
+    /// Persistent store of a recognizable payload to data line `line`.
+    Write {
+        /// Data line index.
+        line: u64,
+        /// Payload tag (mixed with the line index).
+        tag: u8,
+    },
+    /// Verified read of data line `line`.
+    Read {
+        /// Data line index.
+        line: u64,
+    },
+}
+
+impl SweepOp {
+    /// Deterministic mixed stream over `lines` data lines: ~2/3 writes, a
+    /// quarter of the traffic concentrated on 8 hot lines so counters
+    /// advance far enough to exercise minor-overflow re-encryption (SC) and
+    /// NV-buffer churn.
+    pub fn stream(seed: u64, lines: u64, len: usize) -> Vec<SweepOp> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let line = if rng.next_u64().is_multiple_of(4) {
+                    rng.gen_range(0, 8.min(lines))
+                } else {
+                    rng.gen_range(0, lines)
+                };
+                if rng.next_u64() % 3 < 2 {
+                    SweepOp::Write {
+                        line,
+                        tag: rng.next_u64() as u8,
+                    }
+                } else {
+                    SweepOp::Read { line }
+                }
+            })
+            .collect()
+    }
+
+    /// The plaintext a `Write` stores: tag-filled, line index in front.
+    pub fn payload(line: u64, tag: u8) -> [u8; 64] {
+        let mut data = [tag; 64];
+        data[..8].copy_from_slice(&line.to_le_bytes());
+        data
+    }
+}
+
+/// Which crash points of the enumeration to test.
+#[derive(Clone, Copy, Debug)]
+pub enum PointSelection {
+    /// Every point (the exhaustive sweep).
+    All,
+    /// At most `n` points, evenly strided across the enumeration (the
+    /// bounded in-test sweep). Always includes point 1.
+    AtMost(usize),
+}
+
+/// A minimized failing crash point.
+#[derive(Clone, Debug)]
+pub struct CrashRepro {
+    /// Scheme/mode label ("Steins-SC" …).
+    pub label: String,
+    /// The minimized op stream that still fails.
+    pub ops: Vec<SweepOp>,
+    /// Index of the op in flight when the crash hit.
+    pub op_index: usize,
+    /// The failing persist point (1-based) within the minimized stream.
+    pub crash_point: u64,
+    /// What the tripping transition wrote.
+    pub point: Option<PersistPoint>,
+    /// The recovery/verification error.
+    pub error: String,
+    /// First divergent node/line plus MAC-probe diagnosis.
+    pub divergent: String,
+}
+
+impl fmt::Display for CrashRepro {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: crash point {} (op {} of {}) is unrecoverable",
+            self.label,
+            self.crash_point,
+            self.op_index,
+            self.ops.len()
+        )?;
+        if let Some(p) = self.point {
+            writeln!(f, "  tripped at {:?} of addr {:#x}", p.kind, p.addr)?;
+        }
+        writeln!(f, "  error: {}", self.error)?;
+        writeln!(f, "  divergence: {}", self.divergent)?;
+        write!(f, "  ops: {:?}", self.ops)
+    }
+}
+
+/// Result of sweeping one scheme/mode.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Scheme/mode label.
+    pub label: String,
+    /// Durable-state transitions the stream produces (= crash points).
+    pub total_points: u64,
+    /// Points actually injected and verified.
+    pub tested_points: u64,
+    /// Minimized repros for every failing point class found (capped).
+    pub failures: Vec<CrashRepro>,
+}
+
+impl SweepReport {
+    /// True when every tested point recovered and verified.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>10}: {:>5}/{:<5} crash points recovered & verified",
+            self.label,
+            self.tested_points - self.failures.len() as u64,
+            self.tested_points
+        )?;
+        if self.total_points != self.tested_points {
+            write!(f, " (of {} enumerated)", self.total_points)?;
+        }
+        for repro in &self.failures {
+            write!(f, "\n{repro}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How a single injected crash point failed.
+struct PointFailure {
+    op_index: usize,
+    point: Option<PersistPoint>,
+    error: String,
+    divergent: String,
+}
+
+/// The exhaustive persist-boundary fault-injection driver.
+pub struct CrashSweep {
+    cfg: SystemConfig,
+    ops: Vec<SweepOp>,
+    selection: PointSelection,
+    /// Point-test budget for shrinking a failure (0 disables shrinking).
+    pub shrink_budget: usize,
+    /// Stop after this many distinct failing points (keeps a badly broken
+    /// scheme from taking forever).
+    pub max_failures: usize,
+}
+
+/// Silences the panic hook for the intentional [`CrashTripped`] unwinds the
+/// sweep throws (thousands per run); every other panic still reports
+/// through the previously installed hook.
+fn silence_crash_trips() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<CrashTripped>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl CrashSweep {
+    /// A sweep of `ops` against `cfg`, testing the `selection` of points.
+    pub fn new(cfg: SystemConfig, ops: Vec<SweepOp>, selection: PointSelection) -> Self {
+        CrashSweep {
+            cfg,
+            ops,
+            selection,
+            shrink_budget: 2_000,
+            max_failures: 3,
+        }
+    }
+
+    /// Convenience: sweep the standard stream on the small test config.
+    pub fn small(
+        scheme: SchemeKind,
+        mode: CounterMode,
+        ops: usize,
+        selection: PointSelection,
+    ) -> Self {
+        let cfg = SystemConfig::small_for_tests(scheme, mode);
+        let ops = SweepOp::stream(0x5EED ^ ops as u64, 192, ops);
+        CrashSweep::new(cfg, ops, selection)
+    }
+
+    /// Enumerates the stream's persist points with a crash-free baseline
+    /// run. Every `k` in `1..=total` is an injectable crash point.
+    pub fn total_points(&self) -> Result<u64, IntegrityError> {
+        Self::enumerate(&self.cfg, &self.ops)
+    }
+
+    /// Injects a crash at point `k`, recovers and verifies; on failure
+    /// returns the minimized repro. The unit of work for point-parallel
+    /// sweeps (each call replays the stream from scratch).
+    pub fn probe_point(&self, k: u64) -> Option<CrashRepro> {
+        match Self::test_point(&self.cfg, &self.ops, k) {
+            Ok(()) => None,
+            Err(fail) => Some(self.shrink(k, fail)),
+        }
+    }
+
+    fn apply_op(sys: &mut SecureNvmSystem, op: SweepOp) -> Result<(), IntegrityError> {
+        match op {
+            SweepOp::Write { line, tag } => sys.write(line * 64, &SweepOp::payload(line, tag)),
+            SweepOp::Read { line } => sys.read(line * 64).map(|_| ()),
+        }
+    }
+
+    /// Runs the stream to completion (no crash), returning the number of
+    /// persist points it produces.
+    fn enumerate(cfg: &SystemConfig, ops: &[SweepOp]) -> Result<u64, IntegrityError> {
+        let mut sys = SecureNvmSystem::new(cfg.clone());
+        for &op in ops {
+            Self::apply_op(&mut sys, op)?;
+        }
+        Ok(sys.ctrl.nvm.persist_seq())
+    }
+
+    /// Injects a crash at point `k`, recovers, verifies. `Ok(())` means the
+    /// point is recoverable (or provably unrecoverable by design for WB).
+    fn test_point(cfg: &SystemConfig, ops: &[SweepOp], k: u64) -> Result<(), PointFailure> {
+        silence_crash_trips();
+        let mut sys = SecureNvmSystem::new(cfg.clone());
+        sys.ctrl.nvm.arm_crash(k);
+
+        // Replay until the armed point pulls the plug.
+        let mut acked: HashMap<u64, [u8; 64]> = HashMap::new();
+        let mut in_flight: Option<(usize, SweepOp)> = None;
+        for (i, &op) in ops.iter().enumerate() {
+            let run = catch_unwind(AssertUnwindSafe(|| Self::apply_op(&mut sys, op)));
+            match run {
+                Ok(Ok(())) => {
+                    if let SweepOp::Write { line, tag } = op {
+                        acked.insert(line * 64, SweepOp::payload(line, tag));
+                    }
+                }
+                Ok(Err(e)) => {
+                    return Err(PointFailure {
+                        op_index: i,
+                        point: None,
+                        error: format!("integrity error before the crash: {e}"),
+                        divergent: "runtime state diverged pre-crash".into(),
+                    });
+                }
+                Err(payload) => {
+                    if !payload.is::<CrashTripped>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    in_flight = Some((i, op));
+                    break;
+                }
+            }
+        }
+        let Some((op_index, op)) = in_flight else {
+            // Armed beyond the stream's horizon: nothing to test.
+            return Ok(());
+        };
+        let trip = sys.ctrl.nvm.tripped_at();
+        sys.ctrl.nvm.disarm_crash();
+
+        // Lose power. Then reconcile ground truth for the op the crash
+        // interrupted: its store is durable iff the tripping transition was
+        // the data line's own write (the MAC record rides the same line's
+        // ECC bits, so the pair is atomic).
+        let mut expected = acked.clone();
+        let mut crashed = sys.crash();
+        if let SweepOp::Write { line, tag } = op {
+            let addr = line * 64;
+            let durable = trip
+                .map(|p| p.kind == PersistKind::LineWrite && p.addr == addr)
+                .unwrap_or(false);
+            if durable {
+                let data = SweepOp::payload(line, tag);
+                crashed.truth.insert(addr, data);
+                expected.insert(addr, data);
+            } else {
+                match acked.get(&addr) {
+                    Some(v) => {
+                        crashed.truth.insert(addr, *v);
+                    }
+                    None => {
+                        crashed.truth.remove(&addr);
+                    }
+                }
+            }
+        }
+
+        // WB has no recovery: the contract under fault injection is that it
+        // says so, at every single point.
+        if !crashed.recoverable() {
+            return match crashed.recover() {
+                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
+                other => Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    error: format!(
+                        "WB must refuse recovery, got {:?}",
+                        other.as_ref().err().map(|e| e.to_string())
+                    ),
+                    divergent: "n/a".into(),
+                }),
+            };
+        }
+
+        let diag_cfg = cfg.clone();
+        let (mut recovered, _report) = match crashed.recover() {
+            Ok(ok) => ok,
+            Err(e) => {
+                return Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    divergent: Self::diagnose_error(&diag_cfg, ops, k, &e),
+                    error: e.to_string(),
+                });
+            }
+        };
+
+        // Read back every acknowledged write: verifies the data MACs and —
+        // through the fetch path — every ancestor node of every populated
+        // tree branch.
+        let mut lines: Vec<u64> = expected.keys().copied().collect();
+        lines.sort_unstable();
+        for addr in lines {
+            let want = expected[&addr];
+            match recovered.read(addr) {
+                Ok(got) if got == want => {}
+                Ok(got) => {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: format!("acked write at {addr:#x} diverged after recovery"),
+                        divergent: format!(
+                            "data line {}: got {:02x?}…, want {:02x?}…",
+                            addr / 64,
+                            &got[..8],
+                            &want[..8]
+                        ),
+                    });
+                }
+                Err(e) => {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        divergent: Self::diagnose_error(&diag_cfg, ops, k, &e),
+                        error: format!("read-back of {addr:#x} failed: {e}"),
+                    });
+                }
+            }
+        }
+
+        // Steins: the recovered LInc registers must equal a from-scratch
+        // recomputation over the rebuilt cache + NV buffer.
+        if let (Some(stored), Some(expect)) =
+            (recovered.ctrl.lincs(), recovered.ctrl.recompute_lincs())
+        {
+            if stored != expect {
+                return Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    error: "LInc registers inconsistent after recovery".into(),
+                    divergent: format!("lincs stored {stored:?} != recomputed {expect:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the crashed NVM image for point `k` and probes which counter
+    /// the failing MAC actually corresponds to (`debug_repro` style).
+    fn diagnose_error(cfg: &SystemConfig, ops: &[SweepOp], k: u64, e: &IntegrityError) -> String {
+        let crashed = match Self::crash_at(cfg, ops, k) {
+            Some(c) => c,
+            None => return "state not reproducible".into(),
+        };
+        let probe = SecureNvmSystem::new(cfg.clone()); // same key/layout
+        match *e {
+            IntegrityError::NodeMac { node } => {
+                let geo = &crashed.layout.geometry;
+                let off = geo.offset_of(node);
+                let line = crashed.nvm.peek(crashed.layout.node_addr(off));
+                let n = if node.level == 0 && cfg.mode == CounterMode::Split {
+                    steins_metadata::SitNode::split_from_line(&line)
+                } else {
+                    steins_metadata::SitNode::general_from_line(&line)
+                };
+                let pc = match geo.parent_of(node) {
+                    None => crashed.root.get(geo.root_slot(node)),
+                    Some((pid, slot)) => {
+                        let pline = crashed
+                            .nvm
+                            .peek(crashed.layout.node_addr(geo.offset_of(pid)));
+                        steins_metadata::SitNode::general_from_line(&pline)
+                            .counters
+                            .as_general()
+                            .get(slot)
+                    }
+                };
+                format!(
+                    "node {node:?}: {}",
+                    diagnose::probe_node_mac(&probe.ctrl, &n, off, pc, 4096)
+                )
+            }
+            IntegrityError::DataMac { addr } => {
+                let dline = addr / 64;
+                let (laddr, byte) = crashed.layout.mac_slot(dline);
+                let rec = crate::cme::MacRecord::read_slot(&crashed.nvm.peek(laddr), byte / 16);
+                let (mj, _) = crate::cme::MacRecord::unpack_recovery(rec.recovery);
+                let data = crashed.nvm.peek(addr & !63);
+                let span = cfg.mode.leaf_coverage().max(64);
+                format!(
+                    "data line {dline}: {}",
+                    diagnose::probe_data_mac(&probe.ctrl, addr & !63, &data, rec.mac, mj, 8, span)
+                )
+            }
+            IntegrityError::LIncMismatch {
+                level,
+                stored,
+                recomputed,
+            } => {
+                format!("LInc level {level}: register {stored} vs recomputed {recomputed}")
+            }
+            ref other => format!("{other}"),
+        }
+    }
+
+    /// Re-runs the stream and crashes at point `k`, returning the crashed
+    /// machine (diagnostics only).
+    fn crash_at(cfg: &SystemConfig, ops: &[SweepOp], k: u64) -> Option<CrashedSystem> {
+        silence_crash_trips();
+        let mut sys = SecureNvmSystem::new(cfg.clone());
+        sys.ctrl.nvm.arm_crash(k);
+        for &op in ops {
+            match catch_unwind(AssertUnwindSafe(|| Self::apply_op(&mut sys, op))) {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) => return None,
+                Err(payload) => {
+                    if !payload.is::<CrashTripped>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    sys.ctrl.nvm.disarm_crash();
+                    return Some(sys.crash());
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds the first failing point of `ops`, spending at most `budget`
+    /// point tests. Returns the point and its failure.
+    fn first_failure(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        budget: &mut usize,
+    ) -> Option<(u64, PointFailure)> {
+        let total = Self::enumerate(cfg, ops).ok()?;
+        for k in 1..=total {
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
+            if let Err(fail) = Self::test_point(cfg, ops, k) {
+                return Some((k, fail));
+            }
+        }
+        None
+    }
+
+    /// Shrinks a failing (ops, point) pair: truncate past the in-flight op,
+    /// then greedily drop earlier ops while *some* point still fails.
+    fn shrink(&self, k: u64, fail: PointFailure) -> CrashRepro {
+        let mut best_ops: Vec<SweepOp> = self.ops[..=fail.op_index].to_vec();
+        let mut best = (k, fail);
+        let mut budget = self.shrink_budget;
+        // Dropping ops after the in-flight one never changes the execution
+        // up to the crash, so the truncation above is free. Now try dropping
+        // each earlier op, latest first (later ops are least likely to be
+        // load-bearing for the corruption).
+        let mut j = best_ops.len().saturating_sub(1);
+        while j > 0 && budget > 0 {
+            j -= 1;
+            let mut candidate = best_ops.clone();
+            candidate.remove(j);
+            if let Some((k2, f2)) = Self::first_failure(&self.cfg, &candidate, &mut budget) {
+                best_ops = candidate;
+                best_ops.truncate(f2.op_index + 1);
+                best = (k2, f2);
+                j = j.min(best_ops.len().saturating_sub(1));
+            }
+        }
+        let (crash_point, fail) = best;
+        CrashRepro {
+            label: self.cfg.scheme.label(self.cfg.mode),
+            op_index: fail.op_index,
+            crash_point,
+            point: fail.point,
+            error: fail.error,
+            divergent: fail.divergent,
+            ops: best_ops,
+        }
+    }
+
+    /// Runs the sweep.
+    pub fn run(&self) -> SweepReport {
+        let label = self.cfg.scheme.label(self.cfg.mode);
+        let total = match Self::enumerate(&self.cfg, &self.ops) {
+            Ok(t) => t,
+            Err(e) => {
+                return SweepReport {
+                    label: label.clone(),
+                    total_points: 0,
+                    tested_points: 0,
+                    failures: vec![CrashRepro {
+                        label,
+                        ops: self.ops.clone(),
+                        op_index: 0,
+                        crash_point: 0,
+                        point: None,
+                        error: format!("baseline run failed: {e}"),
+                        divergent: "stream does not complete without a crash".into(),
+                    }],
+                }
+            }
+        };
+        let points: Vec<u64> = match self.selection {
+            PointSelection::All => (1..=total).collect(),
+            PointSelection::AtMost(n) if (n as u64) >= total => (1..=total).collect(),
+            PointSelection::AtMost(n) => {
+                let n = n.max(1) as u64;
+                (0..n)
+                    .map(|i| 1 + i * (total - 1) / (n - 1).max(1))
+                    .collect()
+            }
+        };
+        let mut failures = Vec::new();
+        let mut tested = 0u64;
+        for &k in &points {
+            tested += 1;
+            if let Err(fail) = Self::test_point(&self.cfg, &self.ops, k) {
+                failures.push(self.shrink(k, fail));
+                if failures.len() >= self.max_failures {
+                    break;
+                }
+            }
+        }
+        SweepReport {
+            label,
+            total_points: total,
+            tested_points: tested,
+            failures,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +741,133 @@ mod tests {
         let cfg = SystemConfig::small_for_tests(SchemeKind::WriteBack, CounterMode::General);
         let sys = SecureNvmSystem::new(cfg);
         assert!(!sys.crash().recoverable());
+    }
+
+    #[test]
+    fn sweep_stream_is_deterministic_and_mixed() {
+        let a = SweepOp::stream(42, 64, 200);
+        let b = SweepOp::stream(42, 64, 200);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|op| matches!(op, SweepOp::Write { .. })));
+        assert!(a.iter().any(|op| matches!(op, SweepOp::Read { .. })));
+        let c = SweepOp::stream(43, 64, 200);
+        assert_ne!(a, c, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn steins_gc_sampled_points_all_recover() {
+        let sweep = CrashSweep::small(
+            SchemeKind::Steins,
+            CounterMode::General,
+            40,
+            PointSelection::AtMost(24),
+        );
+        let report = sweep.run();
+        assert!(report.total_points > 0);
+        assert!(report.clean(), "{report}");
+    }
+
+    /// Regression: (Steins, GC, crash point 1). The sweep's minimal repro
+    /// was a single `Write { line: 5, tag: 128 }` crashing at the very
+    /// first persist event (the ADR drain-slot update): `L0Inc` was bumped
+    /// before the data line + MacRecord were durable, so recovery
+    /// recomputed 0 against a stored 1. Fixed by moving the LInc bump to
+    /// ride the data push's persist event.
+    #[test]
+    fn steins_gc_point_1_single_write_recovers() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+        let ops = vec![SweepOp::Write { line: 5, tag: 128 }];
+        let sweep = CrashSweep::new(cfg, ops, PointSelection::All);
+        for k in 1..=sweep.total_points().unwrap() {
+            assert!(sweep.probe_point(k).is_none(), "point {k} must recover");
+        }
+    }
+
+    /// Regression: (ASIT, GC) — the sweep found 67/180 unrecoverable
+    /// points from two bugs: the cache-tree register was committed *after*
+    /// the shadow push's persist event (register and shadow could tear),
+    /// and the shadow leaf legitimately runs one increment ahead of the
+    /// data plane between the shadow push and the data push (reconciled
+    /// against MacRecords at recovery). Both orderings live in
+    /// `asit_slot_update` / `recover_asit`.
+    #[test]
+    fn asit_gc_sampled_points_all_recover() {
+        let sweep = CrashSweep::small(
+            SchemeKind::Asit,
+            CounterMode::General,
+            40,
+            PointSelection::AtMost(24),
+        );
+        let report = sweep.run();
+        assert!(report.total_points > 0);
+        assert!(report.clean(), "{report}");
+    }
+
+    /// Regression: (STAR, GC) — the sweep found 46/136 unrecoverable
+    /// points: at a clean→dirty transition the register covered the
+    /// post-mutation node while recovery reconstructs the pre-mutation
+    /// content, and the set-MAC included the HMAC field, which the flush
+    /// path rewrites without any counter changing. Fixed by the pre-image
+    /// substitution in `star_tree_update_with` (refresh deferred to the
+    /// mutation's own persist event) and by zeroing `hmac` in the set-MAC
+    /// on both the runtime and recovery sides.
+    #[test]
+    fn star_gc_sampled_points_all_recover() {
+        let sweep = CrashSweep::small(
+            SchemeKind::Star,
+            CounterMode::General,
+            40,
+            PointSelection::AtMost(24),
+        );
+        let report = sweep.run();
+        assert!(report.total_points > 0);
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn wb_sweep_passes_via_recovery_unsupported_contract() {
+        let sweep = CrashSweep::small(
+            SchemeKind::WriteBack,
+            CounterMode::General,
+            24,
+            PointSelection::AtMost(12),
+        );
+        let report = sweep.run();
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn bounded_selection_covers_first_and_last_point() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+        let ops = SweepOp::stream(7, 64, 20);
+        let total = CrashSweep::enumerate(&cfg, &ops).unwrap();
+        assert!(total > 16, "stream too short to exercise striding");
+        // AtMost(n) with n < total must stride from 1 to total inclusive.
+        let n = 8u64;
+        let points: Vec<u64> = (0..n).map(|i| 1 + i * (total - 1) / (n - 1)).collect();
+        assert_eq!(points[0], 1);
+        assert_eq!(*points.last().unwrap(), total);
+        assert_eq!(points.len() as u64, n);
+    }
+
+    #[test]
+    fn crash_repro_display_names_the_point() {
+        let repro = CrashRepro {
+            label: "Steins-GC".into(),
+            ops: vec![SweepOp::Write { line: 3, tag: 9 }],
+            op_index: 0,
+            crash_point: 17,
+            point: Some(PersistPoint {
+                seq: 17,
+                kind: PersistKind::AdrUpdate,
+                addr: 0x40,
+            }),
+            error: "LInc registers inconsistent after recovery".into(),
+            divergent: "lincs stored [1] != recomputed [2]".into(),
+        };
+        let s = repro.to_string();
+        assert!(s.contains("crash point 17"), "{s}");
+        assert!(s.contains("AdrUpdate"), "{s}");
+        assert!(s.contains("LInc"), "{s}");
     }
 }

@@ -142,7 +142,12 @@ impl SecureMemoryController {
 
     /// Verifies a fetched node against its parent counter. Zero nodes under
     /// a zero parent counter are the lazily-initialized state and pass.
-    pub(crate) fn verify_node(&mut self, node: &SitNode, id: NodeId, pc: u64) -> Result<(), IntegrityError> {
+    pub(crate) fn verify_node(
+        &mut self,
+        node: &SitNode,
+        id: NodeId,
+        pc: u64,
+    ) -> Result<(), IntegrityError> {
         if pc == 0 && Self::is_zero_node(node) {
             return Ok(());
         }
@@ -187,7 +192,12 @@ impl SecureMemoryController {
         }
         // Steins drains the NV parent-counter buffer before node fetches so
         // verification always sees up-to-date parent counters (§III-E).
-        if self.is_steins() && !self.scheme.steins_ref().nv_buffer.is_empty() {
+        // Entries stay in the buffer until applied, so fetches issued *by*
+        // the drain itself must not re-enter it.
+        if self.is_steins()
+            && !self.scheme.steins_ref().draining
+            && !self.scheme.steins_ref().nv_buffer.is_empty()
+        {
             self.drain_nv_buffer(t)?;
         }
         let (pc, t) = self.parent_counter(t, id)?;
@@ -254,9 +264,7 @@ impl SecureMemoryController {
                     _ => break,
                 }
             }
-            let evicted = self
-                .meta
-                .install_pinned(offset, node, dirty, &self.pinned);
+            let evicted = self.meta.install_pinned(offset, node, dirty, &self.pinned);
             if let Some(ev) = evicted {
                 debug_assert!(!ev.dirty, "victims are flushed in place first");
                 t = self.scheme_slot_vacated(t, ev.slot, ev.offset);
@@ -285,7 +293,14 @@ impl SecureMemoryController {
 
     /// Marks a cached node dirty after a content change and runs the
     /// per-scheme tracking/persistence hooks (§III table in `scheme`).
-    pub(crate) fn on_node_modified(&mut self, mut t: Cycle, offset: u64) -> Result<Cycle, IntegrityError> {
+    /// `pre` is the node's content just before the mutation — STAR's
+    /// cache-tree needs it at a clean→dirty transition (see below).
+    pub(crate) fn on_node_modified(
+        &mut self,
+        mut t: Cycle,
+        offset: u64,
+        pre: &SitNode,
+    ) -> Result<Cycle, IntegrityError> {
         let (slot, was_clean) = self.meta.mark_dirty(offset);
         match self.cfg.scheme {
             SchemeKind::WriteBack => {}
@@ -299,10 +314,18 @@ impl SecureMemoryController {
             }
             SchemeKind::Star => {
                 if was_clean {
+                    // Cache-tree register first — over the node's
+                    // PRE-mutation content, which is what recovery can
+                    // reconstruct from NVM at this boundary — so the
+                    // register rides the bitmap line's persist event
+                    // atomically (register writes emit no event).
+                    let set = self.meta.set_index(offset);
+                    t = self.star_tree_update_with(t, set, Some((offset, *pre)));
                     t = self.star_bitmap_update(t, offset, true);
                 }
-                let set = self.meta.set_index(offset);
-                t = self.star_tree_update(t, set);
+                // The register refresh over the NEW content is deferred to
+                // the call site, where it rides the persist event that makes
+                // the mutation itself durable (data-line or child write).
             }
         }
         Ok(t)
@@ -331,6 +354,9 @@ impl SecureMemoryController {
         }
         st.set_record(raddr, cache_slot, offset);
         self.energy.cache_accesses += 1;
+        // The record line lives in the ADR domain: this in-place update is a
+        // durable-state transition (an enumerable crash point).
+        self.nvm.adr_persist_event(raddr);
         t
     }
 
@@ -361,6 +387,9 @@ impl SecureMemoryController {
         }
         let line = *line;
         self.energy.cache_accesses += 1;
+        // The cached bitmap line is in the ADR domain: flipping the bit is a
+        // durable transition on its own, ahead of the write-through below.
+        self.nvm.adr_persist_event(baddr);
         t = self.wq.push(t, baddr, &line, &mut self.nvm);
         t
     }
@@ -368,6 +397,26 @@ impl SecureMemoryController {
     /// STAR: recompute the set-MAC (sorted dirty nodes) and the cache-tree
     /// path above it.
     pub(crate) fn star_tree_update(&mut self, t: Cycle, set: usize) -> Cycle {
+        self.star_tree_update_with(t, set, None)
+    }
+
+    /// The set-MAC, optionally substituting one node's content (used at a
+    /// clean→dirty transition, where the register must cover the node's
+    /// PRE-mutation content: that is what recovery reconstructs from NVM at
+    /// the bitmap write's persist boundary — the mutated content only
+    /// becomes reconstructible at its own persist event, where the caller
+    /// refreshes the register again).
+    ///
+    /// The HMAC field is excluded from the MAC (zeroed): a dirty node's
+    /// stored HMAC is recomputed when it flushes, so including it would tie
+    /// the register to a field whose NVM copy changes at the flush boundary
+    /// without any counter changing.
+    fn star_tree_update_with(
+        &mut self,
+        t: Cycle,
+        set: usize,
+        substitute: Option<(u64, SitNode)>,
+    ) -> Cycle {
         let mut dirty: Vec<(u64, SitNode)> = self
             .meta
             .set_nodes(set)
@@ -375,12 +424,21 @@ impl SecureMemoryController {
             .filter(|(_, _, d)| *d)
             .map(|(o, n, _)| (o, n))
             .collect();
+        if let Some((off, node)) = substitute {
+            for e in &mut dirty {
+                if e.0 == off {
+                    e.1 = node;
+                }
+            }
+        }
         dirty.sort_by_key(|(o, _)| *o);
         let leaf_mac = if dirty.is_empty() {
             0
         } else {
             let mut msg = Vec::with_capacity(dirty.len() * 72);
             for (o, n) in &dirty {
+                let mut n = *n;
+                n.hmac = 0;
                 msg.extend_from_slice(&o.to_le_bytes());
                 msg.extend_from_slice(&n.to_line());
             }
@@ -395,21 +453,22 @@ impl SecureMemoryController {
         st.commit_root();
         self.energy.hashes += hashes as u64;
         let ways = self.cfg.meta_cache.ways;
-        t + StarState::sort_latency(ways)
-            + (1 + hashes as u64) * self.cfg.hash_latency
+        t + StarState::sort_latency(ways) + (1 + hashes as u64) * self.cfg.hash_latency
     }
 
     /// ASIT: mirror the slot's content into the shadow table and rebuild the
     /// cache-tree path for it.
-    pub(crate) fn asit_slot_update(&mut self, t: Cycle, offset: u64) -> Cycle {
+    pub(crate) fn asit_slot_update(&mut self, mut t: Cycle, offset: u64) -> Cycle {
         let slot = self.meta.slot_of(offset).expect("node resident");
         let node = *self.meta.peek(offset).expect("node resident");
         let line = node.to_line();
-        // Shadow write: the 2× traffic of Fig. 13.
-        let mut t = self
-            .wq
-            .push(t, self.layout.shadow_addr(slot), &line, &mut self.nvm);
-        // Leaf MAC over (content ‖ slot), then the path to the root.
+        // Leaf MAC over (content ‖ slot), then the path to the root. The
+        // register updates are persist-event-free, so doing them BEFORE the
+        // shadow-line write makes them atomic with it: a crash at the shadow
+        // write's persist boundary observes the new shadow content together
+        // with the root that authenticates it (updating the root after the
+        // write left a boundary where recovery rebuilt a root the register
+        // did not hold yet).
         let mut msg = [0u8; 72];
         msg[..64].copy_from_slice(&line);
         msg[64..].copy_from_slice(&slot.to_le_bytes());
@@ -420,10 +479,16 @@ impl SecureMemoryController {
             _ => unreachable!("asit hook under asit scheme"),
         };
         st.shadow_tags.insert(slot, offset);
-        let hashes = st.cache_tree.update(self.crypto.as_ref(), slot as usize, leaf_mac);
+        let hashes = st
+            .cache_tree
+            .update(self.crypto.as_ref(), slot as usize, leaf_mac);
         st.commit_root();
         self.energy.hashes += hashes as u64;
         t += (1 + hashes as u64) * self.cfg.hash_latency;
+        // Shadow write: the 2× traffic of Fig. 13.
+        t = self
+            .wq
+            .push(t, self.layout.shadow_addr(slot), &line, &mut self.nvm);
         t
     }
 
@@ -445,17 +510,35 @@ impl SecureMemoryController {
         self.pinned.push(offset);
         let result = (|| {
             if self.is_steins() {
+                // Preparatory work that can run nested evictions (which may
+                // even advance this pinned node's counters) goes FIRST: fetch
+                // the parent for a re-entrant drain flush, or make room in
+                // the NV buffer. Only afterwards is the node snapshotted.
+                let parent = self.layout.geometry.parent_of(id);
+                if let Some((pid, _)) = parent {
+                    let poff = self.layout.geometry.offset_of(pid);
+                    if !self.meta.contains(poff) {
+                        if self.scheme.steins_ref().draining {
+                            // Re-entrant eviction during a drain: fetch inline.
+                            t = self.ensure_cached(t, pid)?;
+                        } else if self.scheme.steins_ref().nv_buffer.is_full() {
+                            self.drain_nv_buffer(t)?;
+                        }
+                    }
+                }
                 let mut node = *self.meta.peek(offset).expect("flush target resident");
                 let p_new = node.counters.parent_value();
-                node.hmac = self.node_mac_field(&node, offset, p_new);
-                t += self.cfg.hash_latency;
-                t = self.wq.push(t, addr, &node.to_line(), &mut self.nvm);
-                // The NVM copy is now current: mirror the recomputed HMAC
-                // into the cached copy and clean it before any nested work
-                // can re-dirty the node.
-                self.meta.write(offset, node);
-                self.meta.mark_clean(offset);
-                match self.layout.geometry.parent_of(id) {
+                // Crash-ordering invariant: the parent-side accounting for
+                // `p_new` (parent record + counter apply, or NV-buffer park,
+                // or root-register update) becomes durable BEFORE the
+                // child's line write below, and the final register updates
+                // share the child write's persist interval. A crash at any
+                // persist boundary therefore observes either the old child
+                // with the old accounting, or the new child with accounting
+                // that recovery can replay — never a flushed child whose
+                // generated counter no record, buffer entry, or register
+                // accounts for.
+                match parent {
                     None => {
                         let slot = self.layout.geometry.root_slot(id);
                         let delta = p_new - self.root.get(slot);
@@ -467,15 +550,7 @@ impl SecureMemoryController {
                         if self.meta.contains(poff) {
                             self.watch("apply-direct", offset, p_new);
                             t = self.steins_apply_parent(t, id, pid, slot, p_new)?;
-                        } else if self.scheme.steins_ref().draining {
-                            // Re-entrant eviction during a drain: fetch inline.
-                            self.watch("apply-inline", offset, p_new);
-                            let t2 = self.ensure_cached(t, pid)?;
-                            t = self.steins_apply_parent(t2, id, pid, slot, p_new)?;
                         } else {
-                            if self.scheme.steins_ref().nv_buffer.is_full() {
-                                self.drain_nv_buffer(t)?;
-                            }
                             self.watch("park", offset, p_new);
                             self.scheme.steins().nv_buffer.push(NvBufferEntry {
                                 child_offset: offset,
@@ -484,6 +559,13 @@ impl SecureMemoryController {
                         }
                     }
                 }
+                node.hmac = self.node_mac_field(&node, offset, p_new);
+                t += self.cfg.hash_latency;
+                t = self.wq.push(t, addr, &node.to_line(), &mut self.nvm);
+                // The NVM copy is now current: mirror the recomputed HMAC
+                // into the cached copy and clean it.
+                self.meta.write(offset, node);
+                self.meta.mark_clean(offset);
             } else {
                 // WB / ASIT / STAR: self-increasing parent counter, needed
                 // before the child's HMAC can be computed. The parent walk
@@ -515,11 +597,21 @@ impl SecureMemoryController {
                                 .as_general()
                                 .get(slot)
                         } else {
-                            let mut p = self.meta.read(poff).expect("parent just ensured");
+                            let pre = *self.meta.peek(poff).expect("parent just ensured");
+                            let mut p = pre;
                             p.counters.as_general_mut().increment(slot);
                             let v = p.counters.as_general().get(slot);
                             self.meta.write(poff, p);
-                            t = self.on_node_modified(t, poff)?;
+                            t = self.on_node_modified(t, poff, &pre)?;
+                            if matches!(self.cfg.scheme, SchemeKind::Star) {
+                                // Refresh the register over the incremented
+                                // parent: it rides the child's line write
+                                // below, which is the persist event making
+                                // the increment reconstructible (the child's
+                                // counter LSBs carry it).
+                                let pset = self.meta.set_index(poff);
+                                t = self.star_tree_update(t, pset);
+                            }
                             v
                         }
                     }
@@ -532,11 +624,15 @@ impl SecureMemoryController {
                 self.meta.mark_clean(offset);
                 if matches!(self.cfg.scheme, SchemeKind::Star) {
                     // dirty→clean transition: STAR must clear the bitmap bit
-                    // (the tracking write Steins avoids, §IV-B) and refresh
-                    // the set-MAC now that the node left the dirty set.
-                    t = self.star_bitmap_update(t, offset, false);
+                    // (the tracking write Steins avoids, §IV-B) and drop the
+                    // node from the set-MAC. Register first: it emits no
+                    // persist event, so it rides the bitmap clear's event
+                    // atomically — clearing the bit first left a boundary
+                    // where the bitmap excluded the node but the register
+                    // still covered it.
                     let set = self.meta.set_index(offset);
                     t = self.star_tree_update(t, set);
+                    t = self.star_bitmap_update(t, offset, false);
                 }
             }
             Ok(t)
@@ -566,9 +662,10 @@ impl SecureMemoryController {
         }
         self.watch("apply", self.layout.geometry.offset_of(child), p_new);
         let delta = p_new - p_old;
+        let pre = p;
         p.counters.as_general_mut().set(slot, p_new);
         self.meta.write(poff, p);
-        let t = self.on_node_modified(t, poff)?;
+        let t = self.on_node_modified(t, poff, &pre)?;
         let st = self.scheme.steins();
         st.lincs.sub(child.level, delta);
         st.lincs.add(pid.level, delta);
@@ -577,38 +674,36 @@ impl SecureMemoryController {
 
     /// Drains the NV buffer: fetch parents (off the critical path), apply
     /// generated counters, transfer LInc deltas (§III-E step ④–⑦).
+    ///
+    /// Each entry is retired from the (non-volatile) buffer only *after* its
+    /// parent update and LInc transfer complete. A crash at any persist
+    /// boundary inside the drain therefore still finds every not-yet-applied
+    /// entry in the buffer, and recovery replays it (§III-G step ⑤). The
+    /// already-applied prefix is harmless to replay: the `p_new ≤ p_old`
+    /// guards here and in recovery skip it.
     fn drain_nv_buffer(&mut self, t: Cycle) -> Result<(), IntegrityError> {
-        let entries = self.scheme.steins().nv_buffer.drain();
-        if entries.is_empty() {
+        if self.scheme.steins_ref().nv_buffer.is_empty() {
             return Ok(());
         }
-        let st = self.scheme.steins();
-        st.draining = true;
-        st.pending = entries.clone();
-        let result = self.drain_entries(t, entries);
-        let st = self.scheme.steins();
-        st.draining = false;
-        st.pending.clear();
+        self.scheme.steins().draining = true;
+        let result = (|| {
+            while let Some(e) = self.scheme.steins_ref().nv_buffer.front() {
+                let cid = self.layout.geometry.node_at_offset(e.child_offset);
+                let (pid, slot) = self
+                    .layout
+                    .geometry
+                    .parent_of(cid)
+                    .expect("root parents are applied inline, never buffered");
+                // Background fetch: charges device occupancy but not
+                // front_free.
+                let t2 = self.ensure_cached(t, pid)?;
+                self.steins_apply_parent(t2, cid, pid, slot, e.generated)?;
+                self.scheme.steins().nv_buffer.pop_front();
+            }
+            Ok(())
+        })();
+        self.scheme.steins().draining = false;
         result
-    }
-
-    fn drain_entries(
-        &mut self,
-        t: Cycle,
-        entries: Vec<NvBufferEntry>,
-    ) -> Result<(), IntegrityError> {
-        for e in entries {
-            let cid = self.layout.geometry.node_at_offset(e.child_offset);
-            let (pid, slot) = self
-                .layout
-                .geometry
-                .parent_of(cid)
-                .expect("root parents are applied inline, never buffered");
-            // Background fetch: charges device occupancy but not front_free.
-            let t2 = self.ensure_cached(t, pid)?;
-            self.steins_apply_parent(t2, cid, pid, slot, e.generated)?;
-        }
-        Ok(())
     }
 
     // ——— MAC records (functionally ECC-embedded; see DESIGN.md §2.7) ———
@@ -651,7 +746,13 @@ impl SecureMemoryController {
             t = t2;
             let mut buf = ct;
             // Decrypt under the old pair, re-encrypt under (new major, 0).
-            xor_otp(self.crypto.as_ref(), daddr, old_major, u64::from(old_minors[slot]), &mut buf);
+            xor_otp(
+                self.crypto.as_ref(),
+                daddr,
+                old_major,
+                u64::from(old_minors[slot]),
+                &mut buf,
+            );
             xor_otp(self.crypto.as_ref(), daddr, new_major, 0, &mut buf);
             self.energy.aes_ops += 2;
             self.energy.hashes += 1;
@@ -676,10 +777,17 @@ impl SecureMemoryController {
         while let Some((pid, slot)) = self.layout.geometry.parent_of(child) {
             t = self.ensure_cached(t, pid)?;
             let poff = self.layout.geometry.offset_of(pid);
-            let mut p = self.meta.read(poff).expect("ancestor just ensured");
+            let pre = *self.meta.peek(poff).expect("ancestor just ensured");
+            let mut p = pre;
             p.counters.as_general_mut().increment(slot);
             self.meta.write(poff, p);
-            t = self.on_node_modified(t, poff)?;
+            t = self.on_node_modified(t, poff, &pre)?;
+            if matches!(self.cfg.scheme, SchemeKind::Star) {
+                // Eager ablation: refresh immediately (recovery is not
+                // modeled crash-consistent under eager updates).
+                let set = self.meta.set_index(poff);
+                t = self.star_tree_update(t, set);
+            }
             child = pid;
         }
         let slot = self.layout.geometry.root_slot(child);
@@ -705,7 +813,8 @@ impl SecureMemoryController {
         let (leaf_id, slot) = self.layout.geometry.leaf_of_data(dline);
         t = self.ensure_cached(t, leaf_id)?;
         let loff = self.layout.geometry.offset_of(leaf_id);
-        let mut leaf = self.meta.read(loff).expect("leaf just ensured");
+        let pre_leaf = *self.meta.peek(loff).expect("leaf just ensured");
+        let mut leaf = pre_leaf;
         let pv_before = leaf.counters.parent_value();
         let mut reenc: Option<(u64, [u8; 64])> = None;
         match &mut leaf.counters {
@@ -713,7 +822,7 @@ impl SecureMemoryController {
                 g.increment(slot);
             }
             CounterBlock::Split(s) => {
-                let old = (*s).clone();
+                let old = *s;
                 let skip = self.is_steins();
                 if let SplitIncrement::Overflow { .. } = s.increment(slot, skip) {
                     reenc = Some((old.major, old.minors));
@@ -723,10 +832,7 @@ impl SecureMemoryController {
         let (major, minor) = leaf.counters.enc_pair(slot);
         let pv_after = leaf.counters.parent_value();
         self.meta.write(loff, leaf);
-        if self.is_steins() {
-            self.scheme.steins().lincs.add(0, pv_after - pv_before);
-        }
-        t = self.on_node_modified(t, loff)?;
+        t = self.on_node_modified(t, loff, &pre_leaf)?;
         if self.cfg.eager_update {
             t = self.eager_propagate(t, leaf_id)?;
         }
@@ -745,6 +851,24 @@ impl SecureMemoryController {
             LeafRecovery::OsirisProbe { .. } => 0,
             LeafRecovery::MacRecord => MacRecord::pack_recovery(major, minor),
         };
+        // The L0Inc bump must ride atomically with the write that makes the
+        // counter increment durable (the data line + its MacRecord, below):
+        // register updates emit no persist event, so placing the bump here —
+        // with no persist boundary before the push — means a crash either
+        // observes both the new MacRecord and the bumped register, or
+        // neither. Bumping earlier (before the record update above) left a
+        // crash window where L0Inc counted an increment no MacRecord had
+        // durably recorded, which recovery rejects as a replay.
+        if self.is_steins() {
+            self.scheme.steins().lincs.add(0, pv_after - pv_before);
+        }
+        if matches!(self.cfg.scheme, SchemeKind::Star) {
+            // STAR's deferred register refresh: the new leaf counter becomes
+            // reconstructible exactly when this data line + MacRecord land,
+            // so the refresh rides the push's persist event atomically.
+            let set = self.meta.set_index(loff);
+            t = self.star_tree_update(t, set);
+        }
         self.set_mac_record(dline, MacRecord { mac, recovery });
         t = self.wq.push(t, addr, &line, &mut self.nvm);
         // Osiris stop-loss (§V): every `window` increments, write the leaf
@@ -865,9 +989,7 @@ impl SecureMemoryController {
     /// Current LInc values (Steins only; used by invariant tests).
     pub fn lincs(&self) -> Option<Vec<u64>> {
         match &self.scheme {
-            SchemeState::Steins(s) => {
-                Some((0..s.lincs.levels()).map(|k| s.lincs.get(k)).collect())
-            }
+            SchemeState::Steins(s) => Some((0..s.lincs.levels()).map(|k| s.lincs.get(k)).collect()),
             _ => None,
         }
     }
@@ -889,8 +1011,7 @@ impl SecureMemoryController {
             }
             let id = geo.node_at_offset(offset);
             let stale = self.parse_node(id, &self.nvm.peek(self.layout.node_addr(offset)));
-            expect[id.level] +=
-                node.counters.parent_value() - stale.counters.parent_value();
+            expect[id.level] += node.counters.parent_value() - stale.counters.parent_value();
         }
         // Parked entries: the child's NVM copy already carries the new
         // counters, but the parent (and the level transfer) is pending, so
@@ -973,10 +1094,7 @@ impl SecureNvmSystem {
 
     /// Services the memory events one CPU access produced. Returns the fill
     /// latency (if the access reached memory).
-    fn service_events(
-        &mut self,
-        events: &[MemEvent],
-    ) -> Result<Option<Cycle>, IntegrityError> {
+    fn service_events(&mut self, events: &[MemEvent]) -> Result<Option<Cycle>, IntegrityError> {
         let mut fill = None;
         for ev in events {
             match *ev {
@@ -1028,7 +1146,8 @@ impl SecureNvmSystem {
                     let acc = self.hier.access(op.addr, true);
                     let fill = self.service_events(&acc.events)?;
                     self.write_seq += 1;
-                    self.truth.insert(op.addr, synth_data(op.addr, self.write_seq));
+                    self.truth
+                        .insert(op.addr, synth_data(op.addr, self.write_seq));
                     // Write-allocate: the store waits for its fill like a
                     // load; write-backs ride the controller front-end.
                     self.cpu.load(acc.on_chip_cycles, fill);
@@ -1194,7 +1313,11 @@ mod tests {
             data[..8].copy_from_slice(&v.to_le_bytes());
             sys.write(0, &data).unwrap();
         }
-        assert_eq!(sys.read(64).unwrap(), [0x11; 64], "neighbor survives re-encryption");
+        assert_eq!(
+            sys.read(64).unwrap(),
+            [0x11; 64],
+            "neighbor survives re-encryption"
+        );
         let got = sys.read(0).unwrap();
         assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), 69);
     }
@@ -1202,7 +1325,8 @@ mod tests {
     #[test]
     fn eager_update_works_and_costs_more() {
         let run = |eager: bool| {
-            let mut cfg = SystemConfig::small_for_tests(SchemeKind::WriteBack, CounterMode::General);
+            let mut cfg =
+                SystemConfig::small_for_tests(SchemeKind::WriteBack, CounterMode::General);
             cfg.eager_update = eager;
             let mut sys = SecureNvmSystem::new(cfg);
             for i in 0..400u64 {

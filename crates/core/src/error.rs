@@ -46,7 +46,10 @@ impl std::fmt::Display for IntegrityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IntegrityError::DataMac { addr } => {
-                write!(f, "data HMAC mismatch at address {addr:#x} (tampering detected)")
+                write!(
+                    f,
+                    "data HMAC mismatch at address {addr:#x} (tampering detected)"
+                )
             }
             IntegrityError::NodeMac { node } => write!(
                 f,

@@ -26,6 +26,7 @@ pub mod cachetree;
 pub mod cme;
 pub mod config;
 pub mod crash;
+pub mod diagnose;
 pub mod engine;
 pub mod error;
 pub mod linc;
@@ -35,7 +36,7 @@ pub mod report;
 pub mod scheme;
 
 pub use config::{SchemeKind, SystemConfig};
-pub use crash::CrashedSystem;
+pub use crash::{CrashRepro, CrashSweep, CrashedSystem, PointSelection, SweepOp, SweepReport};
 pub use engine::SecureNvmSystem;
 pub use error::IntegrityError;
 pub use recovery::RecoveryReport;

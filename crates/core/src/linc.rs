@@ -10,10 +10,8 @@
 //! Updates are O(1) adds/subtracts — the paper's key cost advantage over
 //! ASIT/STAR's cache-tree HMAC chains.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-level increment registers.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LincBank {
     incs: Vec<u64>,
 }

@@ -9,11 +9,9 @@
 //! non-volatile, a crash mid-drain loses nothing: recovery replays the
 //! entries (§III-G step ⑤).
 
-use serde::{Deserialize, Serialize};
-
 /// One parked update: the child at `child_offset` (metadata-region offset)
 /// was flushed with generated parent counter `generated`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NvBufferEntry {
     /// Metadata-region offset of the flushed child.
     pub child_offset: u64,
@@ -26,7 +24,7 @@ pub struct NvBufferEntry {
 pub const ENTRY_BYTES: usize = 16;
 
 /// Bounded FIFO of parked parent updates.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NvBuffer {
     entries: Vec<NvBufferEntry>,
     capacity: usize,
@@ -64,6 +62,23 @@ impl NvBuffer {
     /// Drains all parked entries in FIFO order.
     pub fn drain(&mut self) -> Vec<NvBufferEntry> {
         std::mem::take(&mut self.entries)
+    }
+
+    /// Oldest parked entry, if any (drain processes FIFO).
+    pub fn front(&self) -> Option<NvBufferEntry> {
+        self.entries.first().copied()
+    }
+
+    /// Retires the oldest entry. The engine calls this only *after* the
+    /// entry's parent update and LInc transfer have completed, so a crash
+    /// mid-drain never loses a parked update (§III-E: the buffer is
+    /// non-volatile precisely so recovery can replay it).
+    pub fn pop_front(&mut self) -> Option<NvBufferEntry> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
     }
 
     /// Read-only view (recovery replays without draining the register).
@@ -122,5 +137,23 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn degenerate_rejected() {
         NvBuffer::new(8);
+    }
+
+    #[test]
+    fn front_and_pop_front_are_fifo() {
+        let mut b = NvBuffer::new(64);
+        for i in 0..3 {
+            b.push(NvBufferEntry {
+                child_offset: i,
+                generated: i * 100,
+            });
+        }
+        assert_eq!(b.front().map(|e| e.child_offset), Some(0));
+        assert_eq!(b.pop_front().map(|e| e.child_offset), Some(0));
+        assert_eq!(b.front().map(|e| e.child_offset), Some(1));
+        assert_eq!(b.entries().len(), 2);
+        b.pop_front();
+        b.pop_front();
+        assert_eq!(b.pop_front(), None);
     }
 }

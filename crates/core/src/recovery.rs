@@ -8,15 +8,14 @@
 //! per read-and-verify (§IV-D) — the series Fig. 17 plots.
 
 use crate::cachetree::CacheTree;
+use crate::cme::MacRecord;
 use crate::config::{LeafRecovery, SchemeKind};
 use crate::crash::{CrashedSystem, NvState};
 use crate::engine::SecureNvmSystem;
 use crate::error::IntegrityError;
 use crate::linc::LincBank;
-use crate::cme::MacRecord;
 use crate::nvbuffer::NvBuffer;
 use crate::scheme::{star, SchemeState, SteinsState};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use steins_metadata::counter::{CounterBlock, SplitCounters};
 use steins_metadata::records::{record_coords, RecordLine, RECORDS_PER_LINE};
@@ -24,7 +23,7 @@ use steins_metadata::{CounterMode, NodeId, SitNode};
 use steins_nvm::AdrRegion;
 
 /// What a recovery run did and how long it would take on hardware.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RecoveryReport {
     /// Scheme label.
     pub scheme: String,
@@ -317,8 +316,8 @@ impl CrashedSystem {
                 } else {
                     self.recover_leaf(&mut reads, id, &stale)?
                 };
-                delta_sum += rec.counters.parent_value() as i128
-                    - stale.counters.parent_value() as i128;
+                delta_sum +=
+                    rec.counters.parent_value() as i128 - stale.counters.parent_value() as i128;
                 recovered.insert(off, rec);
             }
             if delta_sum != lincs.get(k) as i128 {
@@ -362,7 +361,6 @@ impl CrashedSystem {
             nv_buffer: NvBuffer::new(cfg.nv_buffer_bytes),
             record_cache: AdrRegion::new(cfg.record_cache_lines),
             draining: false,
-            pending: Vec::new(),
         });
         // Reinstall recovered nodes dirty, top level first (§III-G: "all
         // the retrieved nodes will be marked as dirty").
@@ -427,6 +425,31 @@ impl CrashedSystem {
                 recomputed: rebuilt,
             });
         }
+        // Torn-write reconciliation: within one write op the shadow push
+        // persists before the data line + MacRecord push, so a crash in
+        // between leaves a slot whose shadow counter runs exactly one
+        // increment ahead of the data plane (the op was never acked).
+        // Rebuild each leaf from the MacRecords — the data-consistent truth,
+        // with every data block's HMAC verified — and reject any divergence
+        // outside that one-ahead window as replay/tampering. The reconciled
+        // leaf is installed dirty; the replayed slot update below re-syncs
+        // its shadow copy and the cache-tree.
+        for (off, node) in entries.iter_mut() {
+            let id = geo.node_at_offset(*off);
+            if id.level != 0 {
+                continue;
+            }
+            let reconciled = self.recover_leaf(&mut rd.reads, id, node)?;
+            let shadow = node.counters.as_general();
+            let data = reconciled.counters.as_general();
+            for j in 0..geo.data_of_leaf(id).len() {
+                let (s, d) = (shadow.get(j), data.get(j));
+                if s != d && s != d + 1 {
+                    return Err(IntegrityError::NodeMac { node: id });
+                }
+            }
+            *node = reconciled;
+        }
         let reads = rd.reads;
         let nodes = entries.len();
         let mut per_level = vec![0usize; geo.levels()];
@@ -478,7 +501,7 @@ impl CrashedSystem {
 
         // 1. Read the dirty bitmap.
         let total = geo.total_nodes();
-        let bitmap_lines = total.div_ceil(8).next_multiple_of(64) / 64;
+        let bitmap_lines = total.div_ceil(8).div_ceil(64);
         let mut dirty: BTreeSet<u64> = BTreeSet::new();
         for l in 0..bitmap_lines {
             reads += 1;
@@ -558,8 +581,12 @@ impl CrashedSystem {
             in_set.sort_by_key(|(off, _)| *off);
             let mut msg = Vec::with_capacity(in_set.len() * 72);
             for (off, n) in &in_set {
+                // The runtime set-MAC zeroes the HMAC field (it changes at
+                // flush without the counters changing); mirror that here.
+                let mut m = **n;
+                m.hmac = 0;
                 msg.extend_from_slice(&off.to_le_bytes());
-                msg.extend_from_slice(&n.to_line());
+                msg.extend_from_slice(&m.to_line());
             }
             leaf_macs[set as usize] = self.crypto.mac64(&msg);
         }
@@ -610,8 +637,8 @@ impl CrashedSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use steins_metadata::CounterMode;
     use crate::SystemConfig;
+    use steins_metadata::CounterMode;
 
     fn exercise(scheme: SchemeKind, mode: CounterMode) -> (SecureNvmSystem, Vec<(u64, [u8; 64])>) {
         let cfg = SystemConfig::small_for_tests(scheme, mode);

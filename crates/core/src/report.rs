@@ -1,10 +1,9 @@
 //! Run metrics — the raw series behind every figure of §IV.
 
-use serde::{Deserialize, Serialize};
 use steins_nvm::{EnergyCounters, EnergyModel, NvmStats};
 
 /// Arrival→completion latency accumulator.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyStats {
     /// Completed operations.
     pub count: u64,
@@ -31,7 +30,7 @@ impl LatencyStats {
 }
 
 /// Everything a figure needs from one simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Scheme-and-mode label ("Steins-SC", "WB-GC", …).
     pub label: String,

@@ -1,7 +1,7 @@
 //! Steins' runtime state: LIncs, NV buffer, and the ADR record-line cache.
 
 use crate::linc::LincBank;
-use crate::nvbuffer::{NvBuffer, NvBufferEntry};
+use crate::nvbuffer::NvBuffer;
 use steins_metadata::records::{record_coords, RecordLine};
 use steins_nvm::AdrRegion;
 
@@ -17,11 +17,6 @@ pub struct SteinsState {
     /// Re-entrancy guard: evictions triggered *while draining* the NV buffer
     /// fall back to inline parent fetches instead of re-parking.
     pub draining: bool,
-    /// Entries taken out of the buffer by an in-progress drain but not yet
-    /// applied to their parents. Node verification consults these (a child
-    /// flushed with a parked generated counter must verify against it even
-    /// mid-drain).
-    pub pending: Vec<NvBufferEntry>,
 }
 
 impl SteinsState {
@@ -32,16 +27,16 @@ impl SteinsState {
             nv_buffer: NvBuffer::new(nv_buffer_bytes),
             record_cache: AdrRegion::new(record_cache_lines),
             draining: false,
-            pending: Vec::new(),
         }
     }
 
-    /// The newest parked generated-counter for `child_offset`, searching
-    /// both the live buffer and any entries an in-progress drain holds.
+    /// The newest parked generated-counter for `child_offset`. Entries stay
+    /// in the (non-volatile) buffer until fully applied, so a mid-drain
+    /// lookup still sees them.
     pub fn parked_generated(&self, child_offset: u64) -> Option<u64> {
-        self.pending
+        self.nv_buffer
+            .entries()
             .iter()
-            .chain(self.nv_buffer.entries())
             .filter(|e| e.child_offset == child_offset)
             .map(|e| e.generated)
             .max()
@@ -73,7 +68,8 @@ mod tests {
         let mut s = SteinsState::new(4, 128, 2);
         // Pretend the record line for slots 0..16 lives at address 0x1000
         // and was fetched (all-empty).
-        s.record_cache.insert(0x1000, RecordLine::default().to_line());
+        s.record_cache
+            .insert(0x1000, RecordLine::default().to_line());
         s.set_record(0x1000, 5, 777);
         let rl = RecordLine::from_line(s.record_cache.get(0x1000).unwrap());
         assert_eq!(rl.get(5), Some(777));

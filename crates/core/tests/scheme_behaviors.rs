@@ -15,11 +15,8 @@ fn steins_records_name_exactly_the_dirty_nodes() {
     for i in 0..120u64 {
         s.write((i * 9 % 1024) * 64, &[i as u8; 64]).unwrap();
     }
-    let dirty_in_cache: std::collections::BTreeSet<u64> = s
-        .ctrl
-        .meta_dirty_offsets()
-        .into_iter()
-        .collect();
+    let dirty_in_cache: std::collections::BTreeSet<u64> =
+        s.ctrl.meta_dirty_offsets().into_iter().collect();
     let crashed = s.crash();
     let recorded: std::collections::BTreeSet<u64> =
         crashed.recorded_dirty_offsets().into_iter().collect();

@@ -18,9 +18,8 @@ use crate::hmac::HmacSha256;
 use crate::SecretKey;
 
 /// Which crypto fidelity to instantiate.
-use serde::{Deserialize, Serialize};
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CryptoKind {
     /// AES-128 + HMAC-SHA-256 (slow, faithful).
     Real,

@@ -8,10 +8,9 @@
 
 use crate::node::SitNode;
 use steins_crypto as _; // crate-level dependency kept for doc links
-use serde::{Deserialize, Serialize};
 
 /// Metadata cache geometry.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MetaCacheConfig {
     /// Capacity in bytes (nodes are 64 B).
     pub capacity_bytes: u64,
@@ -400,7 +399,9 @@ mod tests {
         c.install(0, n0, true);
         c.install(2, SitNode::zero_general(), false);
         c.lookup(2); // 0 becomes LRU
-        let ev = c.install(4, SitNode::zero_general(), false).expect("evicts");
+        let ev = c
+            .install(4, SitNode::zero_general(), false)
+            .expect("evicts");
         assert_eq!(ev.offset, 0);
         assert!(ev.dirty);
         assert_eq!(ev.node.hmac, 10);

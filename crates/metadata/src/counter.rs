@@ -18,8 +18,6 @@
 //!   roughly halving overflow pressure versus weighting the major by
 //!   `2^6 · 64`.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum value of a 56-bit SIT counter.
 pub const CTR56_MAX: u64 = (1 << 56) - 1;
 
@@ -27,7 +25,7 @@ pub const CTR56_MAX: u64 = (1 << 56) - 1;
 pub const MINOR_MAX: u8 = (1 << 6) - 1;
 
 /// Leaf-counter organization (the paper's GC/SC variants).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CounterMode {
     /// General counter blocks everywhere; each leaf covers 8 data blocks.
     General,
@@ -54,7 +52,7 @@ impl CounterMode {
 }
 
 /// Eight 56-bit counters (a general counter block).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GeneralCounters(pub [u64; 8]);
 
 impl GeneralCounters {
@@ -220,7 +218,16 @@ impl CounterBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    /// Tiny deterministic generator for the randomized tests below
+    /// (replaces proptest; keeps the suite dependency-free).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
 
     #[test]
     fn general_parent_is_sum() {
@@ -292,8 +299,10 @@ mod tests {
         let mut g = GeneralCounters::default();
         g.set(2, 9);
         assert_eq!(CounterBlock::General(g).enc_pair(2), (9, 0));
-        let mut s = SplitCounters::default();
-        s.major = 4;
+        let mut s = SplitCounters {
+            major: 4,
+            ..Default::default()
+        };
         s.minors[10] = 3;
         assert_eq!(CounterBlock::Split(s).enc_pair(10), (4, 3));
     }
@@ -304,56 +313,66 @@ mod tests {
         assert_eq!(CounterMode::Split.leaf_coverage(), 64);
     }
 
-    proptest! {
-        /// Core Steins invariant (§III-B): the generated parent counter is
-        /// strictly monotone under any sequence of child increments, for
-        /// both layouts and both overflow policies.
-        #[test]
-        fn parent_value_strictly_monotone_general(slots in proptest::collection::vec(0usize..8, 1..200)) {
+    /// Core Steins invariant (§III-B): the generated parent counter is
+    /// strictly monotone under any sequence of child increments, for
+    /// both layouts and both overflow policies.
+    #[test]
+    fn parent_value_strictly_monotone_general_randomized() {
+        let mut st = 0x5151_5151_5151_5151u64;
+        for case in 0..64 {
+            let len = 1 + (case * 3) % 199;
             let mut g = GeneralCounters::default();
             let mut prev = g.parent_value();
-            for s in slots {
-                g.increment(s);
+            for _ in 0..len {
+                g.increment((xorshift(&mut st) % 8) as usize);
                 let now = g.parent_value();
-                prop_assert!(now > prev);
+                assert!(now > prev);
                 prev = now;
             }
         }
+    }
 
-        #[test]
-        fn parent_value_strictly_monotone_split(
-            slots in proptest::collection::vec(0usize..64, 1..500),
-            skip in proptest::bool::ANY,
-        ) {
+    #[test]
+    fn parent_value_strictly_monotone_split_randomized() {
+        let mut st = 0x2222_aaaa_4444_bbbbu64;
+        for case in 0..64 {
+            let skip = case % 2 == 0;
+            let len = 1 + (case * 7) % 499;
             let mut s = SplitCounters::default();
             let mut prev = s.parent_value();
-            for slot in slots {
+            for _ in 0..len {
+                let slot = (xorshift(&mut st) % 64) as usize;
                 let out = s.increment(slot, skip);
                 let now = s.parent_value();
                 if skip {
-                    prop_assert!(now > prev, "skip-update must stay monotone");
+                    assert!(now > prev, "skip-update must stay monotone");
                 } else if matches!(out, SplitIncrement::Minor) {
-                    prop_assert!(now > prev);
+                    assert!(now > prev);
                 }
                 // Traditional reset may *not* be monotone in the generated
                 // value — that is exactly why baselines cannot use Eq. 2.
                 prev = now;
             }
         }
+    }
 
-        /// Skip-update alignment: after an overflow the generated value is a
-        /// multiple of 64 and at least the attempted sum.
-        #[test]
-        fn skip_update_alignment(hot in proptest::collection::vec(0u8..=MINOR_MAX, 64)) {
+    /// Skip-update alignment: after an overflow the generated value is a
+    /// multiple of 64 and at least the attempted sum.
+    #[test]
+    fn skip_update_alignment_randomized() {
+        let mut st = 0x7777_1111_3333_9999u64;
+        for _ in 0..128 {
             let mut minors = [0u8; 64];
-            minors.copy_from_slice(&hot);
+            for b in minors.iter_mut() {
+                *b = (xorshift(&mut st) as u8) & MINOR_MAX;
+            }
             minors[7] = MINOR_MAX; // force overflow on slot 7
             let mut s = SplitCounters { major: 3, minors };
             let before = s.parent_value();
             s.increment(7, true);
             let after = s.parent_value();
-            prop_assert_eq!(after % 64, 0);
-            prop_assert!(after > before);
+            assert_eq!(after % 64, 0);
+            assert!(after > before);
         }
     }
 }

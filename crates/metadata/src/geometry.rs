@@ -11,7 +11,6 @@
 //! 4-byte records store (§III-C).
 
 use crate::counter::CounterMode;
-use serde::{Deserialize, Serialize};
 
 /// Maximum children the on-chip root register covers.
 pub const ROOT_FANOUT: u64 = 64;
@@ -20,7 +19,7 @@ pub const ROOT_FANOUT: u64 = 64;
 pub const NODE_FANOUT: u64 = 8;
 
 /// A node's identity within the tree.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId {
     /// Level, 0 = leaves, `levels()-1` = top NVM level (children of root).
     pub level: usize,
@@ -29,7 +28,7 @@ pub struct NodeId {
 }
 
 /// Shape of one SIT instance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SitGeometry {
     mode: CounterMode,
     data_lines: u64,
@@ -196,7 +195,16 @@ impl SitGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    /// Tiny deterministic generator for the randomized tests below
+    /// (replaces proptest; keeps the suite dependency-free).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
 
     #[test]
     fn paper_heights_for_16gb() {
@@ -231,7 +239,10 @@ mod tests {
     #[test]
     fn parent_child_consistency() {
         let g = SitGeometry::new(CounterMode::General, 1024);
-        let leaf = NodeId { level: 0, index: 77 };
+        let leaf = NodeId {
+            level: 0,
+            index: 77,
+        };
         let (parent, slot) = g.parent_of(leaf).expect("has parent");
         assert_eq!(parent, NodeId { level: 1, index: 9 });
         assert_eq!(slot, 5);
@@ -271,30 +282,40 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
     }
 
-    proptest! {
-        #[test]
-        fn offset_roundtrip_prop(data_lines in 1u64..100_000, mode_sel in proptest::bool::ANY, pick in proptest::num::u64::ANY) {
-            let mode = if mode_sel { CounterMode::Split } else { CounterMode::General };
+    #[test]
+    fn offset_roundtrip_randomized() {
+        let mut st = 0x1357_9bdf_2468_ace0u64;
+        for _ in 0..256 {
+            let data_lines = 1 + xorshift(&mut st) % 99_999;
+            let mode = if xorshift(&mut st) & 1 == 0 {
+                CounterMode::Split
+            } else {
+                CounterMode::General
+            };
             let g = SitGeometry::new(mode, data_lines);
-            let off = pick % g.total_nodes();
-            prop_assert_eq!(g.offset_of(g.node_at_offset(off)), off);
+            let off = xorshift(&mut st) % g.total_nodes();
+            assert_eq!(g.offset_of(g.node_at_offset(off)), off);
         }
+    }
 
-        #[test]
-        fn every_data_line_has_a_leaf_and_path_to_root(data_lines in 1u64..100_000, d in proptest::num::u64::ANY) {
+    #[test]
+    fn every_data_line_has_a_leaf_and_path_to_root() {
+        let mut st = 0xc0de_c0de_c0de_c0deu64;
+        for _ in 0..128 {
+            let data_lines = 1 + xorshift(&mut st) % 99_999;
             let g = SitGeometry::new(CounterMode::General, data_lines);
-            let d = d % data_lines;
+            let d = xorshift(&mut st) % data_lines;
             let (mut node, _) = g.leaf_of_data(d);
             let mut hops = 0;
             while let Some((p, slot)) = g.parent_of(node) {
-                prop_assert!(slot < 8);
-                prop_assert!(p.index < g.nodes_at(p.level));
+                assert!(slot < 8);
+                assert!(p.index < g.nodes_at(p.level));
                 node = p;
                 hops += 1;
-                prop_assert!(hops < 64, "path must terminate");
+                assert!(hops < 64, "path must terminate");
             }
-            prop_assert_eq!(node.level, g.top_level());
-            prop_assert!(g.root_slot(node) < g.root_fanout());
+            assert_eq!(node.level, g.top_level());
+            assert!(g.root_slot(node) < g.root_fanout());
         }
     }
 }

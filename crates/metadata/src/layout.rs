@@ -19,13 +19,12 @@
 
 use crate::counter::CounterMode;
 use crate::geometry::SitGeometry;
-use serde::{Deserialize, Serialize};
 
 /// Bytes of MAC+recovery record kept per data block.
 pub const MAC_RECORD_BYTES: u64 = 16;
 
 /// Byte offsets of each region plus the computed tree geometry.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MemoryLayout {
     /// Number of user data lines.
     pub data_lines: u64,
@@ -144,7 +143,14 @@ mod tests {
         assert!(l.records_base < l.shadow_base);
         assert!(l.shadow_base < l.bitmap_base);
         assert!(l.bitmap_base < l.end);
-        for base in [l.mac_base, l.metadata_base, l.records_base, l.shadow_base, l.bitmap_base, l.end] {
+        for base in [
+            l.mac_base,
+            l.metadata_base,
+            l.records_base,
+            l.shadow_base,
+            l.bitmap_base,
+            l.end,
+        ] {
             assert_eq!(base % 64, 0, "region base {base} not line-aligned");
         }
     }

@@ -23,7 +23,9 @@ pub mod node;
 pub mod records;
 
 pub use cache::{EvictedNode, MetadataCache};
-pub use counter::{CounterBlock, CounterMode, GeneralCounters, SplitCounters, CTR56_MAX, MINOR_MAX};
+pub use counter::{
+    CounterBlock, CounterMode, GeneralCounters, SplitCounters, CTR56_MAX, MINOR_MAX,
+};
 pub use geometry::{NodeId, SitGeometry};
 pub use layout::MemoryLayout;
 pub use node::{RootNode, SitNode};

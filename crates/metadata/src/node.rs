@@ -8,7 +8,6 @@
 //! that exact byte string so every scheme MACs identically.
 
 use crate::counter::{CounterBlock, GeneralCounters, SplitCounters, CTR56_MAX, MINOR_MAX};
-use serde::{Deserialize, Serialize};
 
 /// 64-byte line, re-declared locally to keep this crate independent of the
 /// device crate.
@@ -123,7 +122,7 @@ impl SitNode {
 /// file. It needs no HMAC (it never leaves the trusted domain) and covers
 /// the top NVM level directly — giving the paper's 9-level (GC) / 8-level
 /// (SC) total heights over 16 GB.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RootNode {
     /// One counter per top-level node.
     pub counters: Vec<u64>,
@@ -152,7 +151,16 @@ impl RootNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    /// Tiny deterministic generator for the randomized tests below
+    /// (replaces proptest; keeps the suite dependency-free).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
 
     #[test]
     fn general_roundtrip_exact() {
@@ -170,10 +178,12 @@ mod tests {
 
     #[test]
     fn split_roundtrip_exact() {
-        let mut s = SplitCounters::default();
-        s.major = u64::MAX - 7;
+        let mut s = SplitCounters {
+            major: u64::MAX - 7,
+            ..Default::default()
+        };
         for i in 0..64 {
-            s.minors[i] = (i as u8 * 7) & MINOR_MAX;
+            s.minors[i] = (i as u8).wrapping_mul(7) & MINOR_MAX;
         }
         let node = SitNode {
             counters: CounterBlock::Split(s),
@@ -213,37 +223,73 @@ mod tests {
         RootNode::new(65);
     }
 
-    proptest! {
-        #[test]
-        fn general_roundtrip_prop(ctrs in proptest::collection::vec(0u64..=CTR56_MAX, 8), hmac in proptest::num::u64::ANY) {
+    #[test]
+    fn general_roundtrip_randomized() {
+        let mut st = 0x1234_5678_9abc_def1u64;
+        for _ in 0..256 {
             let mut g = GeneralCounters::default();
-            for (i, &c) in ctrs.iter().enumerate() { g.set(i, c); }
-            let node = SitNode { counters: CounterBlock::General(g), hmac };
-            prop_assert_eq!(SitNode::general_from_line(&node.to_line()), node);
+            for i in 0..8 {
+                g.set(i, xorshift(&mut st) % (CTR56_MAX + 1));
+            }
+            let node = SitNode {
+                counters: CounterBlock::General(g),
+                hmac: xorshift(&mut st),
+            };
+            assert_eq!(SitNode::general_from_line(&node.to_line()), node);
         }
+    }
 
-        #[test]
-        fn split_roundtrip_prop(
-            major in proptest::num::u64::ANY,
-            minors in proptest::collection::vec(0u8..=MINOR_MAX, 64),
-            hmac in proptest::num::u64::ANY,
-        ) {
+    #[test]
+    fn split_roundtrip_randomized() {
+        let mut st = 0xfeed_face_dead_beefu64;
+        for _ in 0..256 {
             let mut m = [0u8; 64];
-            m.copy_from_slice(&minors);
-            let node = SitNode { counters: CounterBlock::Split(SplitCounters { major, minors: m }), hmac };
-            prop_assert_eq!(SitNode::split_from_line(&node.to_line()), node);
+            for b in m.iter_mut() {
+                *b = (xorshift(&mut st) as u8) & MINOR_MAX;
+            }
+            let node = SitNode {
+                counters: CounterBlock::Split(SplitCounters {
+                    major: xorshift(&mut st),
+                    minors: m,
+                }),
+                hmac: xorshift(&mut st),
+            };
+            assert_eq!(SitNode::split_from_line(&node.to_line()), node);
         }
+    }
 
-        /// Distinct counter blocks never serialize identically (the packing
-        /// is injective).
-        #[test]
-        fn general_packing_injective(a in proptest::collection::vec(0u64..=CTR56_MAX, 8), b in proptest::collection::vec(0u64..=CTR56_MAX, 8)) {
+    /// Distinct counter blocks never serialize identically (the packing
+    /// is injective).
+    #[test]
+    fn general_packing_injective_randomized() {
+        let mut st = 0x0bad_cafe_0bad_cafeu64;
+        for case in 0..256 {
+            let a: Vec<u64> = (0..8)
+                .map(|_| xorshift(&mut st) % (CTR56_MAX + 1))
+                .collect();
+            // Every third case checks the equal-inputs direction too.
+            let b: Vec<u64> = if case % 3 == 0 {
+                a.clone()
+            } else {
+                (0..8)
+                    .map(|_| xorshift(&mut st) % (CTR56_MAX + 1))
+                    .collect()
+            };
             let mut ga = GeneralCounters::default();
             let mut gb = GeneralCounters::default();
-            for i in 0..8 { ga.set(i, a[i]); gb.set(i, b[i]); }
-            let na = SitNode { counters: CounterBlock::General(ga), hmac: 0 };
-            let nb = SitNode { counters: CounterBlock::General(gb), hmac: 0 };
-            prop_assert_eq!(na.to_line() == nb.to_line(), a == b);
+            for i in 0..8 {
+                ga.set(i, a[i]);
+                gb.set(i, b[i]);
+            }
+            let na = SitNode {
+                counters: CounterBlock::General(ga),
+                hmac: 0,
+            };
+            let nb = SitNode {
+                counters: CounterBlock::General(gb),
+                hmac: 0,
+            };
+            assert_eq!(na.to_line() == nb.to_line(), a == b);
         }
     }
 }

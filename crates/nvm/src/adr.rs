@@ -52,7 +52,10 @@ impl AdrRegion {
 
     /// Reads a resident line (None if absent).
     pub fn get(&self, addr: u64) -> Option<&Line> {
-        self.resident.iter().find(|(a, _)| *a == addr).map(|(_, l)| l)
+        self.resident
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map(|(_, l)| l)
     }
 
     /// Inserts or updates `addr`, evicting the LRU line if full.

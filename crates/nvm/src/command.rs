@@ -155,10 +155,13 @@ impl CommandNvmDevice {
             }
             // ACT gated by tFAW.
             issue = issue.max(self.faw_gate());
-            self.log_cmd(issue, DdrCommand::Act {
-                bank: bank_idx,
-                row,
-            });
+            self.log_cmd(
+                issue,
+                DdrCommand::Act {
+                    bank: bank_idx,
+                    row,
+                },
+            );
             self.note_act(issue);
             issue += trcd;
             self.stats.row_misses += u64::from(!is_write);
@@ -166,7 +169,7 @@ impl CommandNvmDevice {
             self.stats.row_hits += u64::from(!is_write);
         }
 
-        let done = if is_write {
+        if is_write {
             let cmd_at = issue;
             self.log_cmd(cmd_at, DdrCommand::Wr { bank: bank_idx });
             // Data on the bus after tCWD; cells program for tWR afterwards.
@@ -187,8 +190,7 @@ impl CommandNvmDevice {
             b.busy_until = data_at + burst;
             b.open_row = Some(row);
             data_at + burst
-        };
-        done
+        }
     }
 
     /// FR-FCFS: pick the oldest queued request whose row is already open on
@@ -300,10 +302,7 @@ mod tests {
         assert_eq!(data, [7; 64]);
         assert!(rdone > done);
         // First request must activate; commands were logged.
-        assert!(matches!(
-            d.command_log()[0].1,
-            DdrCommand::Act { .. }
-        ));
+        assert!(matches!(d.command_log()[0].1, DdrCommand::Act { .. }));
         assert!(d
             .command_log()
             .iter()
@@ -371,7 +370,7 @@ mod tests {
         let miss_addr = banks * 64 * 1000;
         let (_, tmiss) = d.read(t1, miss_addr);
         let (_, thit) = d.read(t1, banks * 64); // row 0 again — but row got closed by the miss
-        // Sanity: scheduling stays causal and monotone.
+                                                // Sanity: scheduling stays causal and monotone.
         assert!(tmiss > t1 && thit > t1);
     }
 
@@ -405,6 +404,9 @@ mod tests {
         let a = simple.stats().avg_read_cycles().max(1.0);
         let b = detailed.stats().avg_read_cycles().max(1.0);
         let ratio = if a > b { a / b } else { b / a };
-        assert!(ratio < 3.0, "models diverged: simple {a:.0} vs command {b:.0}");
+        assert!(
+            ratio < 3.0,
+            "models diverged: simple {a:.0} vs command {b:.0}"
+        );
     }
 }

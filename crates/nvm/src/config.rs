@@ -1,11 +1,10 @@
 //! NVM device organization parameters.
 
 use crate::timing::NvmTimings;
-use serde::{Deserialize, Serialize};
 
 /// Organization + timing of one NVM channel (Table I: 16 GB, 64-entry write
 /// queue).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NvmConfig {
     /// Total device capacity in bytes.
     pub capacity_bytes: u64,

@@ -19,6 +19,37 @@ struct Bank {
     open_row: Option<u64>,
 }
 
+/// What kind of durable-state transition a persist point marks.
+///
+/// Crash-consistency analysis enumerates exactly these: a 64 B line becoming
+/// durable through the write queue (entries are durable at acceptance — the
+/// queue sits in the ADR domain), and an in-place update of an ADR-resident
+/// line (record/bitmap caches), which residual power flushes on a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistKind {
+    /// A timed 64 B line write accepted by the device.
+    LineWrite,
+    /// An in-place mutation of a line held in the ADR persist domain.
+    AdrUpdate,
+}
+
+/// One enumerable crash point: the `seq`-th durable-state transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PersistPoint {
+    /// 1-based sequence number of the transition.
+    pub seq: u64,
+    /// Transition kind.
+    pub kind: PersistKind,
+    /// The NVM address the transition made durable.
+    pub addr: u64,
+}
+
+/// Panic payload thrown when an armed crash point is reached. Fault-injection
+/// drivers `catch_unwind` and downcast to this type; anything else is a real
+/// panic and must be propagated.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashTripped;
+
 /// The NVM device: functional storage + timing state + statistics.
 pub struct NvmDevice {
     cfg: NvmConfig,
@@ -28,6 +59,12 @@ pub struct NvmDevice {
     storage: SparseStore,
     stats: NvmStats,
     wear: WearTracker,
+    /// Durable-state transitions so far (crash-point enumeration).
+    persist_seq: u64,
+    /// Armed crash point: trip when `persist_seq` reaches this value.
+    crash_at: Option<u64>,
+    /// The point that tripped, readable after the unwind.
+    tripped: Option<PersistPoint>,
 }
 
 impl NvmDevice {
@@ -41,7 +78,56 @@ impl NvmDevice {
             storage: SparseStore::new(),
             stats: NvmStats::default(),
             wear: WearTracker::new(),
+            persist_seq: 0,
+            crash_at: None,
+            tripped: None,
         }
+    }
+
+    /// Records one durable-state transition and, if a crash is armed at this
+    /// sequence number, pulls the plug by unwinding with [`CrashTripped`].
+    /// The transition itself *has* happened (the state it made durable
+    /// survives); everything after it is lost.
+    fn persist_event(&mut self, kind: PersistKind, addr: u64) {
+        self.persist_seq += 1;
+        if self.crash_at == Some(self.persist_seq) {
+            self.tripped = Some(PersistPoint {
+                seq: self.persist_seq,
+                kind,
+                addr,
+            });
+            std::panic::panic_any(CrashTripped);
+        }
+    }
+
+    /// Marks an in-place update of an ADR-resident line as a crash point.
+    /// Called by the controller whenever it mutates a record/bitmap line
+    /// held in the ADR domain without writing NVM.
+    pub fn adr_persist_event(&mut self, addr: u64) {
+        self.persist_event(PersistKind::AdrUpdate, addr);
+    }
+
+    /// Number of durable-state transitions since construction.
+    pub fn persist_seq(&self) -> u64 {
+        self.persist_seq
+    }
+
+    /// Arms a crash at transition number `at` (1-based). The device panics
+    /// with [`CrashTripped`] the moment that transition completes.
+    pub fn arm_crash(&mut self, at: u64) {
+        assert!(at >= 1, "crash points are 1-based");
+        self.crash_at = Some(at);
+        self.tripped = None;
+    }
+
+    /// Disarms any pending crash point.
+    pub fn disarm_crash(&mut self) {
+        self.crash_at = None;
+    }
+
+    /// The persist point that tripped the armed crash, if any.
+    pub fn tripped_at(&self) -> Option<PersistPoint> {
+        self.tripped
     }
 
     fn bank_of(&self, addr: u64) -> usize {
@@ -101,6 +187,7 @@ impl NvmDevice {
 
         self.wear.record(addr);
         self.storage.write(addr, line);
+        self.persist_event(PersistKind::LineWrite, addr);
         done
     }
 
@@ -181,7 +268,11 @@ mod tests {
         let banks = d.config().banks as u64;
         let (_, t1) = d.read(0, 0);
         let (_, t2) = d.read(t1, 64 * banks); // same bank (line interleave), same row
-        assert!(t2 - t1 < t1, "hit ({}) must be faster than miss ({t1})", t2 - t1);
+        assert!(
+            t2 - t1 < t1,
+            "hit ({}) must be faster than miss ({t1})",
+            t2 - t1
+        );
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 1);
     }
@@ -202,9 +293,12 @@ mod tests {
         let mut d = dev();
         let (_, t1) = d.read(0, 0);
         let (_, t2) = d.read(0, 64); // next line = next bank
-        // Both issued at 0 to different banks: completions overlap (equal,
-        // modulo tFAW pacing on the second activate).
-        assert!(t2 < t1 * 2, "bank parallelism should overlap: t1={t1} t2={t2}");
+                                     // Both issued at 0 to different banks: completions overlap (equal,
+                                     // modulo tFAW pacing on the second activate).
+        assert!(
+            t2 < t1 * 2,
+            "bank parallelism should overlap: t1={t1} t2={t2}"
+        );
     }
 
     #[test]
@@ -214,6 +308,44 @@ mod tests {
         assert_eq!(d.peek(0), [9; 64]);
         assert_eq!(d.stats().reads, 0);
         assert_eq!(d.stats().writes, 0);
+    }
+
+    #[test]
+    fn persist_points_count_writes_and_adr_updates() {
+        let mut d = dev();
+        assert_eq!(d.persist_seq(), 0);
+        d.write(0, 0, &[1; 64]);
+        d.write(0, 64, &[2; 64]);
+        d.adr_persist_event(128);
+        assert_eq!(d.persist_seq(), 3);
+        let (_, _) = d.read(0, 0);
+        d.poke(192, &[3; 64]);
+        assert_eq!(d.persist_seq(), 3, "reads and pokes are not persist events");
+    }
+
+    #[test]
+    fn armed_crash_trips_at_exact_point_and_keeps_that_write() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected unwind
+        let mut d = dev();
+        d.arm_crash(2);
+        d.write(0, 0, &[1; 64]);
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.write(0, 64, &[2; 64]);
+        }));
+        std::panic::set_hook(prev);
+        let err = trip.expect_err("second write must trip");
+        assert!(err.is::<CrashTripped>());
+        // The tripping write itself is durable (accepted by the queue).
+        assert_eq!(d.peek(64), [2; 64]);
+        let p = d.tripped_at().expect("trip recorded");
+        assert_eq!(p.seq, 2);
+        assert_eq!(p.addr, 64);
+        assert_eq!(p.kind, PersistKind::LineWrite);
+        // Disarmed state is reachable again.
+        d.disarm_crash();
+        d.write(0, 128, &[3; 64]);
+        assert_eq!(d.persist_seq(), 3);
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! ~0.6 nJ/op, AES ~0.2 nJ/op) — absolute joules are not the point, the
 //! *relative* composition is.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-event energy constants in picojoules.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EnergyModel {
     /// Energy per 64 B NVM line read, pJ.
     pub read_pj: f64,
@@ -38,7 +36,7 @@ impl Default for EnergyModel {
 }
 
 /// Event counters the secure engine accumulates.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EnergyCounters {
     /// NVM line reads.
     pub nvm_reads: u64,

@@ -32,7 +32,7 @@ pub mod write_queue;
 pub use adr::AdrRegion;
 pub use command::{CommandNvmDevice, DdrCommand};
 pub use config::NvmConfig;
-pub use device::NvmDevice;
+pub use device::{CrashTripped, NvmDevice, PersistKind, PersistPoint};
 pub use energy::{EnergyCounters, EnergyModel};
 pub use stats::NvmStats;
 pub use storage::{Line, SparseStore, LINE_BYTES};

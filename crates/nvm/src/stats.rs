@@ -1,10 +1,8 @@
 //! NVM access statistics, the raw series behind Figs. 10, 11, 13 and 14.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by [`crate::device::NvmDevice`] and
 /// [`crate::write_queue::WriteQueue`].
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct NvmStats {
     /// Lines read from the device.
     pub reads: u64,

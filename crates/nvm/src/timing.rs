@@ -7,10 +7,8 @@
 //! recovery (tWR = 300 ns), which is why write pressure — and everything the
 //! recovery schemes add to it — dominates the figures.
 
-use serde::{Deserialize, Serialize};
-
 /// Nanosecond-denominated NVM timing set, convertible to MC cycles.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NvmTimings {
     /// Row-to-column delay (activate), ns.
     pub t_rcd_ns: f64,

@@ -72,10 +72,7 @@ impl WriteQueue {
 
     /// Cycle by which every queued write has persisted.
     pub fn drain_horizon(&self) -> Cycle {
-        self.in_flight
-            .back()
-            .map(|e| e.completes_at)
-            .unwrap_or(0)
+        self.in_flight.back().map(|e| e.completes_at).unwrap_or(0)
     }
 
     /// Queue capacity.

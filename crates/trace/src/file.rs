@@ -36,10 +36,7 @@ fn kind_from_byte(b: u8) -> io::Result<OpKind> {
 }
 
 /// Writes `ops` to `path`, returning the number of ops written.
-pub fn save_trace(
-    path: impl AsRef<Path>,
-    ops: impl Iterator<Item = TraceOp>,
-) -> io::Result<u64> {
+pub fn save_trace(path: impl AsRef<Path>, ops: impl Iterator<Item = TraceOp>) -> io::Result<u64> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&MAGIC)?;
     let mut count = 0u64;
@@ -150,8 +147,10 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
         let results: Vec<_> = TraceFileReader::open(&path).unwrap().collect();
-        assert!(results.iter().any(|r| r.is_err()) || results.len() == 2,
-            "truncation must lose or flag the partial record");
+        assert!(
+            results.iter().any(|r| r.is_err()) || results.len() == 2,
+            "truncation must lose or flag the partial record"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -20,6 +20,7 @@
 pub mod file;
 pub mod pattern;
 pub mod record;
+pub mod rng;
 pub mod workload;
 pub mod zipf;
 

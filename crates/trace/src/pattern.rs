@@ -4,13 +4,11 @@
 //! lines; the [`crate::workload::TraceGen`] layers the read/write mix, gaps
 //! and flush behaviour on top.
 
+use crate::rng::SmallRng;
 use crate::zipf::Zipf;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Access-locality pattern.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Pattern {
     /// Streaming: consecutive lines with the given stride (in lines),
     /// wrapping at the footprint. `lbm`-like.
@@ -98,7 +96,7 @@ impl PatternState {
                 self.stream_cursors[s] = (self.stream_cursors[s] + stride) % self.lines;
                 line
             }
-            Pattern::Random => self.rng.gen_range(0..self.lines),
+            Pattern::Random => self.rng.gen_range(0, self.lines),
             Pattern::PointerChase => {
                 // SplitMix-style PRF over a stepped seed. Hashing only the
                 // previous index would walk a fixed functional graph and
@@ -122,8 +120,8 @@ impl PatternState {
                 .expect("zipf built in new")
                 .sample(&mut self.rng),
             Pattern::SeqRandMix { p_rand } => {
-                if self.rng.gen::<f64>() < *p_rand {
-                    self.rng.gen_range(0..self.lines)
+                if self.rng.gen_f64() < *p_rand {
+                    self.rng.gen_range(0, self.lines)
                 } else {
                     let line = self.cursor;
                     self.cursor = (self.cursor + 1) % self.lines;

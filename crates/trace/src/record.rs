@@ -1,9 +1,7 @@
 //! Trace record types.
 
-use serde::{Deserialize, Serialize};
-
 /// Kind of memory operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpKind {
     /// Read a 64 B line.
     Load,
@@ -16,7 +14,7 @@ pub enum OpKind {
 }
 
 /// One operation of a memory trace.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceOp {
     /// Non-memory instructions the core retires before this operation.
     pub gap: u32,

@@ -8,12 +8,10 @@
 
 use crate::pattern::{Pattern, PatternState};
 use crate::record::{OpKind, TraceOp};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SmallRng;
 
 /// Named workloads of the paper's Figs. 9–16.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// SPEC2017 `lbm_r`: fluid dynamics; streaming sequential sweeps,
     /// write-heavy, very high spatial locality.
@@ -81,7 +79,7 @@ impl WorkloadKind {
 }
 
 /// Parameterization of one workload run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Workload {
     /// Which behaviour class.
     pub kind: WorkloadKind,
@@ -117,13 +115,9 @@ impl Workload {
                 Pattern::Sequential { stride: 1 },
             ),
             WorkloadKind::Mcf => (1 << 16, 0.12, 2, false, Pattern::PointerChase),
-            WorkloadKind::Libquantum => (
-                1 << 16,
-                0.25,
-                4,
-                false,
-                Pattern::Sequential { stride: 1 },
-            ),
+            WorkloadKind::Libquantum => {
+                (1 << 16, 0.25, 4, false, Pattern::Sequential { stride: 1 })
+            }
             WorkloadKind::CactusAdm => (
                 1 << 17,
                 0.40,
@@ -146,13 +140,7 @@ impl Workload {
                 },
             ),
             WorkloadKind::Omnetpp => (1 << 16, 0.30, 6, false, Pattern::Zipfian { s: 0.9 }),
-            WorkloadKind::Soplex => (
-                1 << 16,
-                0.20,
-                4,
-                false,
-                Pattern::SeqRandMix { p_rand: 0.3 },
-            ),
+            WorkloadKind::Soplex => (1 << 16, 0.20, 4, false, Pattern::SeqRandMix { p_rand: 0.3 }),
             WorkloadKind::PHash => (1 << 15, 0.70, 4, true, Pattern::Random),
             WorkloadKind::PTree => (1 << 15, 0.60, 5, true, Pattern::Zipfian { s: 0.8 }),
         };
@@ -211,12 +199,12 @@ impl Iterator for TraceGen {
         self.remaining -= 1;
         let line = self.pattern.next_line();
         let addr = line * 64;
-        let is_store = self.rng.gen::<f64>() < self.write_ratio;
+        let is_store = self.rng.gen_f64() < self.write_ratio;
         // Geometric-ish gap around the mean: uniform in [0, 2·mean].
         let gap = if self.mean_gap == 0 {
             0
         } else {
-            self.rng.gen_range(0..=self.mean_gap * 2)
+            self.rng.gen_range_inclusive(0, self.mean_gap as u64 * 2) as u32
         };
         if is_store {
             if self.flush_stores {
@@ -250,10 +238,7 @@ mod tests {
             let w = Workload::new(kind, 20_000, 7);
             let ops: Vec<TraceOp> = w.generate().collect();
             let stores = ops.iter().filter(|o| o.kind == OpKind::Store).count();
-            let mems = ops
-                .iter()
-                .filter(|o| o.kind != OpKind::Flush)
-                .count();
+            let mems = ops.iter().filter(|o| o.kind != OpKind::Flush).count();
             let ratio = stores as f64 / mems as f64;
             assert!(
                 (ratio - w.write_ratio).abs() < 0.03,
@@ -303,10 +288,7 @@ mod tests {
     #[test]
     fn op_count_excludes_flushes() {
         let w = Workload::new(WorkloadKind::PTree, 2_000, 9);
-        let mems = w
-            .generate()
-            .filter(|o| o.kind != OpKind::Flush)
-            .count();
+        let mems = w.generate().filter(|o| o.kind != OpKind::Flush).count();
         assert_eq!(mems, 2_000);
     }
 

@@ -6,7 +6,7 @@
 //! (event queues) and the persistent B-tree have hot-key distributions that
 //! Zipf captures.
 
-use rand::Rng;
+use crate::rng::SmallRng;
 
 /// Zipfian distribution with exponent `s` over `n` items.
 pub struct Zipf {
@@ -48,8 +48,8 @@ impl Zipf {
     }
 
     /// Samples a rank in `{0, …, n−1}` (0 = hottest).
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let target = rng.gen::<f64>() * self.total;
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let target = rng.gen_f64() * self.total;
         // Binary search the bucket, then walk within it.
         let mut lo = 0usize;
         let mut hi = self.bucket_cum.len() - 1;
@@ -83,8 +83,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn samples_in_range() {
@@ -125,10 +123,7 @@ mod tests {
         for _ in 0..100_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(
             (max as f64) < 1.5 * (min as f64).max(1.0),
             "uniform-ish: min={min} max={max}"

@@ -23,7 +23,10 @@ fn main() {
     crashed.tamper_node(victim);
     match crashed.recover() {
         Err(IntegrityError::NodeMac { node }) => {
-            println!("✓ node tampering detected: level {} index {}", node.level, node.index)
+            println!(
+                "✓ node tampering detected: level {} index {}",
+                node.level, node.index
+            )
         }
         Err(e) => println!("✓ node tampering detected ({e})"),
         Ok(_) => panic!("tampered node accepted!"),
@@ -82,7 +85,11 @@ fn main() {
         crashed.rewrite_record(s, None);
     }
     match crashed.recover() {
-        Err(IntegrityError::LIncMismatch { level, stored, recomputed }) => println!(
+        Err(IntegrityError::LIncMismatch {
+            level,
+            stored,
+            recomputed,
+        }) => println!(
             "✓ record suppression detected: L{level}Inc stored {stored} vs recomputed {recomputed}"
         ),
         Err(e) => println!("✓ record suppression detected ({e})"),

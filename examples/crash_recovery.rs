@@ -14,7 +14,10 @@ fn main() {
         (SchemeKind::Steins, CounterMode::General, "Steins-GC "),
         (SchemeKind::Steins, CounterMode::Split, "Steins-SC "),
     ];
-    println!("{:<11}{:>8} {:>10} {:>12} {:>12}", "scheme", "dirty", "NVM reads", "est. time", "verified");
+    println!(
+        "{:<11}{:>8} {:>10} {:>12} {:>12}",
+        "scheme", "dirty", "NVM reads", "est. time", "verified"
+    );
     for (scheme, mode, label) in schemes {
         let cfg = SystemConfig::small_for_tests(scheme, mode);
         let data_lines = cfg.data_lines;

@@ -45,7 +45,9 @@ impl SecureKv {
         let kh = self.slot_of(key);
         line[2..10].copy_from_slice(&kh.to_le_bytes());
         line[16..16 + value.len()].copy_from_slice(value);
-        self.sys.write(self.slot_of(key), &line).expect("secure put");
+        self.sys
+            .write(self.slot_of(key), &line)
+            .expect("secure put");
     }
 
     /// Fetches the value stored under `key`.

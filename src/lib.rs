@@ -47,6 +47,7 @@ pub use steins_trace as trace;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use steins_core::config::{CounterMode, SchemeKind, SystemConfig};
+    pub use steins_core::crash::{CrashRepro, CrashSweep, PointSelection, SweepOp, SweepReport};
     pub use steins_core::engine::SecureNvmSystem;
     pub use steins_core::recovery::RecoveryReport;
     pub use steins_core::report::RunReport;

@@ -21,7 +21,8 @@ fn run_workload(scheme: SchemeKind, mode: CounterMode, kind: WorkloadKind, ops: 
     let mut sys = SecureNvmSystem::new(cfg);
     let mut wl = Workload::new(kind, ops, 99);
     wl.footprint_lines = wl.footprint_lines.min(data_lines);
-    sys.run_trace(wl.generate()).expect("clean run is attack-free")
+    sys.run_trace(wl.generate())
+        .expect("clean run is attack-free")
 }
 
 #[test]
@@ -84,9 +85,8 @@ fn write_traffic_ordering_matches_paper() {
 #[test]
 fn execution_time_ordering_matches_paper() {
     // Fig. 9's ordering: WB ≤ Steins < STAR ≤ ASIT.
-    let cycles = |scheme| {
-        run_workload(scheme, CounterMode::General, WorkloadKind::PHash, 4_000).cycles
-    };
+    let cycles =
+        |scheme| run_workload(scheme, CounterMode::General, WorkloadKind::PHash, 4_000).cycles;
     let wb = cycles(SchemeKind::WriteBack);
     let steins = cycles(SchemeKind::Steins);
     let star = cycles(SchemeKind::Star);
@@ -100,8 +100,18 @@ fn execution_time_ordering_matches_paper() {
 fn split_counters_beat_general_counters() {
     // §IV-A: the split-counter leaf covers 8× the data, raising metadata
     // hit rates — Steins-SC must beat Steins-GC on execution time.
-    let gc = run_workload(SchemeKind::Steins, CounterMode::General, WorkloadKind::Milc, 6_000);
-    let sc = run_workload(SchemeKind::Steins, CounterMode::Split, WorkloadKind::Milc, 6_000);
+    let gc = run_workload(
+        SchemeKind::Steins,
+        CounterMode::General,
+        WorkloadKind::Milc,
+        6_000,
+    );
+    let sc = run_workload(
+        SchemeKind::Steins,
+        CounterMode::Split,
+        WorkloadKind::Milc,
+        6_000,
+    );
     assert!(
         sc.cycles < gc.cycles,
         "SC ({}) should beat GC ({})",
@@ -113,7 +123,12 @@ fn split_counters_beat_general_counters() {
 
 #[test]
 fn reports_are_internally_consistent() {
-    let r = run_workload(SchemeKind::Steins, CounterMode::Split, WorkloadKind::PTree, 3_000);
+    let r = run_workload(
+        SchemeKind::Steins,
+        CounterMode::Split,
+        WorkloadKind::PTree,
+        3_000,
+    );
     assert_eq!(r.label, "Steins-SC");
     assert!(r.seconds > 0.0);
     assert!(r.nvm.reads > 0);

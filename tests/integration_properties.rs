@@ -1,9 +1,10 @@
-//! Property-based cross-crate tests (proptest): arbitrary operation
-//! sequences, arbitrary crash points, arbitrary counter traffic — the
-//! system must stay functionally correct and every invariant must hold.
+//! Randomized cross-crate tests (seeded, deterministic): arbitrary
+//! operation sequences, arbitrary crash points, arbitrary counter
+//! traffic — the system must stay functionally correct and every
+//! invariant must hold.
 
-use proptest::prelude::*;
 use steins::prelude::*;
+use steins::trace::rng::SmallRng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -11,11 +12,21 @@ enum Op {
     Read { line: u64 },
 }
 
-fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..lines, any::<u8>()).prop_map(|(line, tag)| Op::Write { line, tag }),
-        (0..lines).prop_map(|line| Op::Read { line }),
-    ]
+fn gen_ops(rng: &mut SmallRng, lines: u64, len: u64) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            if rng.next_u64() & 1 == 0 {
+                Op::Write {
+                    line: rng.gen_range(0, lines),
+                    tag: rng.next_u64() as u8,
+                }
+            } else {
+                Op::Read {
+                    line: rng.gen_range(0, lines),
+                }
+            }
+        })
+        .collect()
 }
 
 fn apply(sys: &mut SecureNvmSystem, ops: &[Op]) -> std::collections::HashMap<u64, [u8; 64]> {
@@ -39,36 +50,49 @@ fn apply(sys: &mut SecureNvmSystem, ops: &[Op]) -> std::collections::HashMap<u64
     expected
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any op sequence + crash + recovery ⇒ all persisted writes readable,
-    /// for both Steins modes.
-    #[test]
-    fn steins_crash_recover_any_sequence(
-        ops in proptest::collection::vec(op_strategy(256), 1..120),
-        split in any::<bool>(),
-    ) {
-        let mode = if split { CounterMode::Split } else { CounterMode::General };
+/// Any op sequence + crash + recovery ⇒ all persisted writes readable,
+/// for both Steins modes.
+#[test]
+fn steins_crash_recover_any_sequence() {
+    let mut rng = SmallRng::seed_from_u64(0xA11CE);
+    for case in 0..12u64 {
+        let mode = if case % 2 == 0 {
+            CounterMode::Split
+        } else {
+            CounterMode::General
+        };
+        let len = 1 + rng.gen_range(0, 119);
+        let ops = gen_ops(&mut rng, 256, len);
         let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, mode);
         let mut sys = SecureNvmSystem::new(cfg);
         let expected = apply(&mut sys, &ops);
         // LInc invariant before the crash.
-        prop_assert_eq!(sys.ctrl.lincs().unwrap(), sys.ctrl.recompute_lincs().unwrap());
+        assert_eq!(
+            sys.ctrl.lincs().unwrap(),
+            sys.ctrl.recompute_lincs().unwrap()
+        );
         let (mut recovered, report) = sys.crash().recover().expect("recovery verifies");
-        prop_assert!(report.est_seconds >= 0.0);
+        assert!(report.est_seconds >= 0.0);
         for (line, data) in expected {
-            prop_assert_eq!(recovered.read(line * 64).unwrap(), data);
+            assert_eq!(recovered.read(line * 64).unwrap(), data);
         }
     }
+}
 
-    /// The baselines stay functionally identical to Steins on any sequence.
-    #[test]
-    fn schemes_agree_on_any_sequence(
-        ops in proptest::collection::vec(op_strategy(256), 1..80),
-    ) {
+/// The baselines stay functionally identical to Steins on any sequence.
+#[test]
+fn schemes_agree_on_any_sequence() {
+    let mut rng = SmallRng::seed_from_u64(0xB0B);
+    for _ in 0..12u64 {
+        let len = 1 + rng.gen_range(0, 79);
+        let ops = gen_ops(&mut rng, 256, len);
         let mut finals = Vec::new();
-        for scheme in [SchemeKind::WriteBack, SchemeKind::Asit, SchemeKind::Star, SchemeKind::Steins] {
+        for scheme in [
+            SchemeKind::WriteBack,
+            SchemeKind::Asit,
+            SchemeKind::Star,
+            SchemeKind::Steins,
+        ] {
             let cfg = SystemConfig::small_for_tests(scheme, CounterMode::General);
             let mut sys = SecureNvmSystem::new(cfg);
             apply(&mut sys, &ops);
@@ -79,25 +103,32 @@ proptest! {
             finals.push(snapshot);
         }
         for pair in finals.windows(2) {
-            prop_assert_eq!(&pair[0], &pair[1]);
+            assert_eq!(&pair[0], &pair[1]);
         }
     }
+}
 
-    /// Tampering with any recorded-dirty node after any sequence is
-    /// detected by Steins recovery.
-    #[test]
-    fn steins_detects_tampering_after_any_sequence(
-        ops in proptest::collection::vec(op_strategy(512), 30..100),
-        pick in any::<usize>(),
-    ) {
+/// Tampering with any recorded-dirty node after any sequence is
+/// detected by Steins recovery.
+#[test]
+fn steins_detects_tampering_after_any_sequence() {
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    let mut checked = 0;
+    for _ in 0..12u64 {
+        let len = 30 + rng.gen_range(0, 70);
+        let ops = gen_ops(&mut rng, 512, len);
         let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
         let mut sys = SecureNvmSystem::new(cfg);
         apply(&mut sys, &ops);
         let mut crashed = sys.crash();
         let dirty = crashed.recorded_dirty_offsets();
-        prop_assume!(!dirty.is_empty());
-        let victim = dirty[pick % dirty.len()];
+        if dirty.is_empty() {
+            continue;
+        }
+        let victim = dirty[(rng.next_u64() as usize) % dirty.len()];
         crashed.tamper_node(victim);
-        prop_assert!(crashed.recover().is_err());
+        assert!(crashed.recover().is_err());
+        checked += 1;
     }
+    assert!(checked > 0, "at least one case must exercise tampering");
 }

@@ -75,10 +75,7 @@ fn steins_replay_of_restored_node_detected() {
     }
     let mut crashed = sys.crash();
     crashed.replay_node(offset, &old);
-    assert!(
-        crashed.recover().is_err(),
-        "replayed node must not verify"
-    );
+    assert!(crashed.recover().is_err(), "replayed node must not verify");
 }
 
 #[test]
@@ -90,7 +87,9 @@ fn steins_record_suppression_detected() {
         crashed.rewrite_record(s, None);
     }
     match crashed.recover() {
-        Err(IntegrityError::LIncMismatch { recomputed, stored, .. }) => {
+        Err(IntegrityError::LIncMismatch {
+            recomputed, stored, ..
+        }) => {
             assert!(recomputed < stored, "suppression makes the sum fall short");
         }
         Err(_) => {}
@@ -106,7 +105,8 @@ fn steins_spurious_dirty_marks_are_harmless() {
     let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::Split);
     let mut sys = SecureNvmSystem::new(cfg);
     for i in 0..40u64 {
-        sys.write((2048 + i * 13 % 1000) * 64, &[i as u8; 64]).unwrap();
+        sys.write((2048 + i * 13 % 1000) * 64, &[i as u8; 64])
+            .unwrap();
     }
     let mut crashed = sys.crash();
     // Plant spurious marks pointing at clean leaves, only over record slots
