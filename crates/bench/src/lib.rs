@@ -97,7 +97,9 @@ pub fn run_one(cell: Cell, kind: WorkloadKind, ops: u64, seed: u64) -> RunReport
 /// Results keyed by `(cell label, workload label)`.
 pub type Matrix = BTreeMap<(String, &'static str), RunReport>;
 
-/// Runs `cells × workloads` in parallel (one rayon task per simulation).
+/// Runs `cells × workloads` in parallel — one job per simulation on the
+/// std-thread shared-counter work queue in [`par`] (`STEINS_THREADS`
+/// controls the worker count; there is no rayon dependency).
 pub fn run_matrix(cells: &[Cell], workloads: &[WorkloadKind]) -> Matrix {
     let ops = ops();
     let seed = seed();

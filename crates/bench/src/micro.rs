@@ -15,11 +15,18 @@ pub struct Group {
 }
 
 /// Starts a benchmark group with default settings (2 s target, 7 samples).
+/// `STEINS_MICRO_MS` overrides the per-benchmark budget in milliseconds —
+/// CI's perf-smoke job sets a small value so the suite completes quickly.
 pub fn group(name: &str) -> Group {
     println!("\n== bench group: {name} ==");
+    let target = std::env::var("STEINS_MICRO_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(2));
     Group {
         name: name.to_string(),
-        target: Duration::from_secs(2),
+        target,
         samples: 7,
     }
 }
@@ -31,8 +38,9 @@ impl Group {
         self
     }
 
-    /// Benchmarks `f`, printing median ns/op.
-    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+    /// Benchmarks `f`, printing median ns/op. Returns the median so suites
+    /// can record results (e.g. the `BENCH_crypto.json` speedup table).
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> f64 {
         // Calibrate: how many iters fit in ~1/10 of the budget?
         let mut iters = 1u64;
         loop {
@@ -68,11 +76,12 @@ impl Group {
             "{}/{name:<32} {med:>12.1} ns/op  (±{spread:.1} over {} samples × {iters} iters)",
             self.name, self.samples
         );
+        med
     }
 
     /// Benchmarks `f` with a fresh `setup()` value per invocation; only the
-    /// time inside `f` is counted.
-    pub fn bench_batched<S, Setup, F>(&mut self, name: &str, mut setup: Setup, mut f: F)
+    /// time inside `f` is counted. Returns the median ns per invocation.
+    pub fn bench_batched<S, Setup, F>(&mut self, name: &str, mut setup: Setup, mut f: F) -> f64
     where
         Setup: FnMut() -> S,
         F: FnMut(S),
@@ -90,5 +99,6 @@ impl Group {
             "{}/{name:<32} {med:>12.1} ns/op  (median of {} one-shot samples)",
             self.name, self.samples
         );
+        med
     }
 }

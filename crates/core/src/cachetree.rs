@@ -57,13 +57,18 @@ impl CacheTree {
     }
 
     fn node_mac(engine: &dyn CryptoEngine, level: usize, index: usize, children: &[u64]) -> u64 {
-        let mut msg = Vec::with_capacity(children.len() * 8 + 16);
-        for c in children {
-            msg.extend_from_slice(&c.to_le_bytes());
+        // Stack buffer: ≤ CT_FANOUT children plus level/index, never larger.
+        // This runs `depth` times per leaf update — the hot inner loop of
+        // every ASIT/STAR write.
+        debug_assert!(children.len() <= CT_FANOUT);
+        let mut msg = [0u8; CT_FANOUT * 8 + 16];
+        for (i, c) in children.iter().enumerate() {
+            msg[i * 8..i * 8 + 8].copy_from_slice(&c.to_le_bytes());
         }
-        msg.extend_from_slice(&(level as u64).to_le_bytes());
-        msg.extend_from_slice(&(index as u64).to_le_bytes());
-        engine.mac64(&msg)
+        let n = children.len() * 8;
+        msg[n..n + 8].copy_from_slice(&(level as u64).to_le_bytes());
+        msg[n + 8..n + 16].copy_from_slice(&(index as u64).to_le_bytes());
+        engine.mac64(&msg[..n + 16])
     }
 
     /// Sets leaf `slot` to `leaf_mac` and recomputes the path to the root.

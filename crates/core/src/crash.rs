@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
-use steins_crypto::CryptoEngine;
+use steins_crypto::{CryptoEngine, FxHashMap};
 use steins_metadata::{CounterMode, MemoryLayout, RootNode};
 use steins_nvm::{CrashTripped, NvmDevice, PersistKind, PersistPoint};
 use steins_trace::rng::SmallRng;
@@ -62,7 +62,7 @@ pub struct CrashedSystem {
     pub(crate) nv: NvState,
     /// Ground truth restricted to lines whose latest value was persisted
     /// (CPU-dirty lines are genuinely lost).
-    pub(crate) truth: HashMap<u64, [u8; 64]>,
+    pub(crate) truth: FxHashMap<u64, [u8; 64]>,
     /// Lines whose latest stores were lost in the CPU caches.
     pub(crate) lost_lines: Vec<u64>,
 }

@@ -23,9 +23,8 @@ use crate::error::IntegrityError;
 use crate::nvbuffer::NvBufferEntry;
 use crate::report::{LatencyStats, RunReport};
 use crate::scheme::{star, AsitState, SchemeState, StarState, SteinsState};
-use std::collections::HashMap;
 use steins_cache::{CacheHierarchy, CpuModel, MemEvent};
-use steins_crypto::{engine::make_engine, CryptoEngine};
+use steins_crypto::{engine::make_engine, CryptoEngine, FxHashMap};
 use steins_metadata::counter::{CounterBlock, CounterMode, SplitIncrement};
 use steins_metadata::records::record_coords;
 use steins_metadata::{MemoryLayout, MetadataCache, NodeId, RootNode, SitNode};
@@ -47,6 +46,11 @@ pub struct SecureMemoryController {
     pub(crate) wlat: LatencyStats,
     pub(crate) rlat: LatencyStats,
     pinned: Vec<u64>,
+    /// Scratch: STAR's per-write dirty-set collection, reused across calls
+    /// so the set-MAC path performs no steady-state allocation.
+    star_dirty: Vec<(u64, SitNode)>,
+    /// Scratch: variable-length MAC message buffer, reused across calls.
+    mac_msg: Vec<u8>,
 }
 
 impl SecureMemoryController {
@@ -96,6 +100,8 @@ impl SecureMemoryController {
             wlat: LatencyStats::default(),
             rlat: LatencyStats::default(),
             pinned: Vec::new(),
+            star_dirty: Vec::new(),
+            mac_msg: Vec::new(),
         }
     }
 
@@ -132,7 +138,7 @@ impl SecureMemoryController {
         self.energy.hashes += 1;
         let mac = self
             .crypto
-            .mac64(&node.mac_message(self.layout.node_addr(offset), pc));
+            .mac64_72(&node.mac_message(self.layout.node_addr(offset), pc));
         if matches!(self.cfg.scheme, SchemeKind::Star) {
             star::pack_hmac(mac, pc)
         } else {
@@ -155,7 +161,7 @@ impl SecureMemoryController {
         self.energy.hashes += 1;
         let mac = self
             .crypto
-            .mac64(&node.mac_message(self.layout.node_addr(offset), pc));
+            .mac64_72(&node.mac_message(self.layout.node_addr(offset), pc));
         let ok = if matches!(self.cfg.scheme, SchemeKind::Star) {
             star::unpack_hmac(node.hmac).0 == mac & star::STAR_MAC_MASK
         } else {
@@ -417,13 +423,12 @@ impl SecureMemoryController {
         set: usize,
         substitute: Option<(u64, SitNode)>,
     ) -> Cycle {
-        let mut dirty: Vec<(u64, SitNode)> = self
-            .meta
-            .set_nodes(set)
-            .into_iter()
-            .filter(|(_, _, d)| *d)
-            .map(|(o, n, _)| (o, n))
-            .collect();
+        // Reusable scratch (taken/restored around the &mut self borrows):
+        // this runs once per STAR write, so a fresh Vec per call was the
+        // scheme's single largest allocation source.
+        let mut dirty = std::mem::take(&mut self.star_dirty);
+        dirty.clear();
+        self.meta.dirty_set_nodes_into(set, &mut dirty);
         if let Some((off, node)) = substitute {
             for e in &mut dirty {
                 if e.0 == off {
@@ -431,11 +436,13 @@ impl SecureMemoryController {
                 }
             }
         }
-        dirty.sort_by_key(|(o, _)| *o);
+        dirty.sort_unstable_by_key(|(o, _)| *o);
         let leaf_mac = if dirty.is_empty() {
             0
         } else {
-            let mut msg = Vec::with_capacity(dirty.len() * 72);
+            let mut msg = std::mem::take(&mut self.mac_msg);
+            msg.clear();
+            msg.reserve(dirty.len() * 72);
             for (o, n) in &dirty {
                 let mut n = *n;
                 n.hmac = 0;
@@ -443,8 +450,11 @@ impl SecureMemoryController {
                 msg.extend_from_slice(&n.to_line());
             }
             self.energy.hashes += 1;
-            self.crypto.mac64(&msg)
+            let mac = self.crypto.mac64(&msg);
+            self.mac_msg = msg;
+            mac
         };
+        self.star_dirty = dirty;
         let st = match &mut self.scheme {
             SchemeState::Star(s) => s,
             _ => unreachable!("star hook under star scheme"),
@@ -473,7 +483,7 @@ impl SecureMemoryController {
         msg[..64].copy_from_slice(&line);
         msg[64..].copy_from_slice(&slot.to_le_bytes());
         self.energy.hashes += 1;
-        let leaf_mac = self.crypto.mac64(&msg);
+        let leaf_mac = self.crypto.mac64_72(&msg);
         let st = match &mut self.scheme {
             SchemeState::Asit(s) => s,
             _ => unreachable!("asit hook under asit scheme"),
@@ -968,7 +978,7 @@ impl SecureMemoryController {
     pub fn mac_probe(&self, node: &SitNode, offset: u64, pc: u64) -> u64 {
         let mac = self
             .crypto
-            .mac64(&node.mac_message(self.layout.node_addr(offset), pc));
+            .mac64_72(&node.mac_message(self.layout.node_addr(offset), pc));
         if matches!(self.cfg.scheme, SchemeKind::Star) {
             star::pack_hmac(mac, pc)
         } else {
@@ -1062,7 +1072,8 @@ pub struct SecureNvmSystem {
     pub(crate) cpu: CpuModel,
     pub(crate) hier: CacheHierarchy,
     /// Last-stored plaintext per line — the functional ground truth.
-    pub(crate) truth: HashMap<u64, [u8; 64]>,
+    /// FxHash-keyed: consulted on every simulated read and write.
+    pub(crate) truth: FxHashMap<u64, [u8; 64]>,
     write_seq: u64,
 }
 
@@ -1075,7 +1086,7 @@ impl SecureNvmSystem {
             hier: CacheHierarchy::new(cfg.hierarchy),
             cfg,
             ctrl,
-            truth: HashMap::new(),
+            truth: FxHashMap::default(),
             write_seq: 0,
         }
     }

@@ -414,7 +414,7 @@ impl CrashedSystem {
                 let mut msg = [0u8; 72];
                 msg[..64].copy_from_slice(&line);
                 msg[64..].copy_from_slice(&slot.to_le_bytes());
-                leaf_macs[slot as usize] = self.crypto.mac64(&msg);
+                leaf_macs[slot as usize] = self.crypto.mac64_72(&msg);
                 entries.push((off, node));
             }
         }

@@ -38,6 +38,15 @@ pub trait CryptoEngine: Send + Sync {
     /// 64-bit MAC over arbitrary message bytes.
     fn mac64(&self, msg: &[u8]) -> u64;
 
+    /// 64-bit MAC over a fixed 72-byte message — the SIT node-MAC string
+    /// (`counters ‖ addr ‖ parent`) and the ASIT slot-update string are both
+    /// exactly this size. A separate trait method (the trait is used as
+    /// `dyn`, so a generic won't do) lets engines route it to a fully
+    /// unrolled fixed-size path.
+    fn mac64_72(&self, msg: &[u8; 72]) -> u64 {
+        self.mac64(msg)
+    }
+
     /// Convenience: MAC over a 64-byte payload plus address and counter —
     /// the data-block HMAC of §II-C.
     fn data_mac(&self, addr: u64, data: &[u8; 64], major: u64, minor: u64) -> u64 {
@@ -79,6 +88,19 @@ impl CryptoEngine for RealCrypto {
 
     fn mac64(&self, msg: &[u8]) -> u64 {
         self.hmac.mac64(msg)
+    }
+
+    fn mac64_72(&self, msg: &[u8; 72]) -> u64 {
+        self.hmac.mac64_fixed(msg)
+    }
+
+    fn data_mac(&self, addr: u64, data: &[u8; 64], major: u64, minor: u64) -> u64 {
+        let mut msg = [0u8; 64 + 8 + 8 + 8];
+        msg[..64].copy_from_slice(data);
+        msg[64..72].copy_from_slice(&addr.to_le_bytes());
+        msg[72..80].copy_from_slice(&major.to_le_bytes());
+        msg[80..88].copy_from_slice(&minor.to_le_bytes());
+        self.hmac.mac64_fixed(&msg)
     }
 }
 
@@ -175,6 +197,17 @@ mod tests {
             assert_ne!(m, e.data_mac(0x80, &data, 2, 0), "{name}: addr");
             assert_ne!(m, e.data_mac(0x40, &data, 3, 0), "{name}: major");
             assert_ne!(m, e.data_mac(0x40, &data, 2, 1), "{name}: minor");
+        }
+    }
+
+    #[test]
+    fn mac64_72_matches_slice_mac64() {
+        for (name, e) in engines() {
+            let mut msg = [0u8; 72];
+            for (i, b) in msg.iter_mut().enumerate() {
+                *b = (i * 37 + 11) as u8;
+            }
+            assert_eq!(e.mac64_72(&msg), e.mac64(&msg), "{name}");
         }
     }
 

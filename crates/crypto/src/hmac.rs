@@ -3,14 +3,24 @@
 //! Secure-NVM metadata MACs are 64-bit; [`HmacSha256::mac64`] truncates the
 //! full HMAC to its first 8 bytes, the standard truncation used by SGX-style
 //! integrity-tree designs (VAULT, Anubis, STAR, SCUE).
+//!
+//! The implementation stores the two *midstates* — the SHA-256 chaining
+//! values after absorbing the inner and outer pads — instead of cloneable
+//! hasher objects. A MAC then runs the compression function directly over
+//! the message from the inner midstate (padding built on the stack) and
+//! finishes with exactly **one** outer compression: the 32-byte inner digest
+//! plus its padding is a single block. No allocation, no buffer copies, no
+//! intermediate `Sha256` clones.
 
-use crate::sha256::Sha256;
+use crate::sha256::{Sha256, H0};
 
-/// Keyed HMAC-SHA-256 instance with precomputed inner/outer pads.
+/// Keyed HMAC-SHA-256 instance with precomputed inner/outer midstates.
 #[derive(Clone)]
 pub struct HmacSha256 {
-    inner: Sha256,
-    outer: Sha256,
+    /// Chaining value after compressing `key ^ ipad`.
+    istate: [u32; 8],
+    /// Chaining value after compressing `key ^ opad`.
+    ostate: [u32; 8],
 }
 
 impl HmacSha256 {
@@ -29,27 +39,78 @@ impl HmacSha256 {
             ipad[i] ^= k[i];
             opad[i] ^= k[i];
         }
-        let mut inner = Sha256::new();
-        inner.update(&ipad);
-        let mut outer = Sha256::new();
-        outer.update(&opad);
-        HmacSha256 { inner, outer }
+        let mut istate = H0;
+        Sha256::compress(&mut istate, &ipad);
+        let mut ostate = H0;
+        Sha256::compress(&mut ostate, &opad);
+        HmacSha256 { istate, ostate }
+    }
+
+    /// Inner hash: `SHA-256(ipad-midstate ‖ msg)` with stack-built padding.
+    #[inline]
+    fn inner_state(&self, msg: &[u8]) -> [u32; 8] {
+        let mut st = self.istate;
+        let mut chunks = msg.chunks_exact(64);
+        for chunk in &mut chunks {
+            Sha256::compress(&mut st, chunk.try_into().unwrap());
+        }
+        let rest = chunks.remainder();
+        // Total hashed length includes the 64-byte ipad block.
+        let bit_len = ((64 + msg.len()) as u64) * 8;
+        let mut block = [0u8; 64];
+        block[..rest.len()].copy_from_slice(rest);
+        block[rest.len()] = 0x80;
+        if rest.len() >= 56 {
+            Sha256::compress(&mut st, &block);
+            block = [0u8; 64];
+        }
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        Sha256::compress(&mut st, &block);
+        st
+    }
+
+    /// Outer hash: one compression — 32 digest bytes, padding, and the
+    /// length (64 + 32 bytes = 768 bits) all fit in a single block.
+    #[inline]
+    fn outer_state(&self, inner: [u32; 8]) -> [u32; 8] {
+        let mut block = [0u8; 64];
+        for (i, word) in inner.iter().enumerate() {
+            block[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        block[32] = 0x80;
+        block[56..].copy_from_slice(&(96u64 * 8).to_be_bytes());
+        let mut st = self.ostate;
+        Sha256::compress(&mut st, &block);
+        st
     }
 
     /// Full 32-byte HMAC of `msg`.
     pub fn mac(&self, msg: &[u8]) -> [u8; 32] {
-        let mut inner = self.inner.clone();
-        inner.update(msg);
-        let inner_digest = inner.finalize();
-        let mut outer = self.outer.clone();
-        outer.update(&inner_digest);
-        outer.finalize()
+        let st = self.outer_state(self.inner_state(msg));
+        let mut out = [0u8; 32];
+        for (i, word) in st.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
     }
 
     /// 64-bit truncated HMAC, the wire format of secure-NVM metadata MACs.
+    /// One-shot: only the first two state words are ever serialized.
+    #[inline]
     pub fn mac64(&self, msg: &[u8]) -> u64 {
-        let d = self.mac(msg);
-        u64::from_le_bytes(d[..8].try_into().unwrap())
+        let st = self.outer_state(self.inner_state(msg));
+        let mut first8 = [0u8; 8];
+        first8[..4].copy_from_slice(&st[0].to_be_bytes());
+        first8[4..].copy_from_slice(&st[1].to_be_bytes());
+        u64::from_le_bytes(first8)
+    }
+
+    /// Monomorphized [`Self::mac64`] for fixed-size messages (the 72-byte
+    /// node-MAC and 88-byte data-MAC strings): with `N` known at compile
+    /// time the block loop and tail padding fully unroll.
+    #[inline]
+    pub fn mac64_fixed<const N: usize>(&self, msg: &[u8; N]) -> u64 {
+        self.mac64(msg)
     }
 }
 
@@ -59,6 +120,31 @@ mod tests {
 
     fn hex(d: &[u8]) -> String {
         d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// The pre-midstate implementation: cloned hashers and intermediate
+    /// digests. Kept as the differential reference for the fast path.
+    fn mac_ref(key: &[u8], msg: &[u8]) -> [u8; 32] {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            let d = Sha256::digest(key);
+            k[..32].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        inner.update(msg);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        outer.update(&inner.finalize());
+        outer.finalize()
     }
 
     #[test]
@@ -97,6 +183,18 @@ mod tests {
         );
     }
 
+    /// The midstate fast path must agree with the two-hasher reference on
+    /// every message length around the block/padding boundaries.
+    #[test]
+    fn midstate_matches_reference_all_boundary_lengths() {
+        let key = b"steins-mac-key";
+        let h = HmacSha256::new(key);
+        let data: Vec<u8> = (0..300).map(|i| (i * 31 + 7) as u8).collect();
+        for len in 0..=data.len() {
+            assert_eq!(h.mac(&data[..len]), mac_ref(key, &data[..len]), "len={len}");
+        }
+    }
+
     #[test]
     fn mac64_is_prefix_of_mac() {
         let h = HmacSha256::new(b"key");
@@ -105,6 +203,15 @@ mod tests {
             h.mac64(b"message"),
             u64::from_le_bytes(full[..8].try_into().unwrap())
         );
+    }
+
+    #[test]
+    fn mac64_fixed_matches_slice_path() {
+        let h = HmacSha256::new(b"key");
+        let msg72 = [0x5a; 72];
+        assert_eq!(h.mac64_fixed(&msg72), h.mac64(&msg72));
+        let msg88 = [0xc3; 88];
+        assert_eq!(h.mac64_fixed(&msg88), h.mac64(&msg88));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod sha256;
 
 pub use aes::Aes128;
 pub use engine::{CryptoEngine, CryptoKind, FastCrypto, RealCrypto};
-pub use fasthash::SipHash24;
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHasher64, SipHash24};
 pub use hmac::HmacSha256;
 pub use sha256::Sha256;
 

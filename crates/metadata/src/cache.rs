@@ -5,6 +5,11 @@
 //! exact dirty contents that are lost. Slots are identified by a flat index
 //! `set · ways + way`, the coordinate Steins' offset records are keyed by
 //! (§III-C: "a record for each metadata cache line").
+//!
+//! Storage is a single contiguous slab of slots indexed `set * ways + way`
+//! (not a `Vec<Vec<_>>`): every lookup on the simulation hot path walks one
+//! set's ways, and the flat layout makes that a bounds-checked slice scan
+//! with no second pointer chase.
 
 use crate::node::SitNode;
 use steins_crypto as _; // crate-level dependency kept for doc links
@@ -77,7 +82,10 @@ pub struct EvictedNode {
 /// offset.
 pub struct MetadataCache {
     cfg: MetaCacheConfig,
-    sets: Vec<Vec<Slot>>,
+    /// Flat slot slab: slot `(set, way)` lives at index `set * ways + way`.
+    slots: Vec<Slot>,
+    sets: usize,
+    ways: usize,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -87,12 +95,13 @@ impl MetadataCache {
     /// Builds an empty cache.
     pub fn new(cfg: MetaCacheConfig) -> Self {
         assert!(cfg.sets() >= 1, "metadata cache too small");
-        let sets = (0..cfg.sets())
-            .map(|_| vec![Slot::default(); cfg.ways])
-            .collect();
+        let sets = cfg.sets() as usize;
+        let ways = cfg.ways;
         MetadataCache {
             cfg,
+            slots: vec![Slot::default(); sets * ways],
             sets,
+            ways,
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -100,12 +109,25 @@ impl MetadataCache {
     }
 
     fn set_of(&self, offset: u64) -> usize {
-        (offset % self.cfg.sets()) as usize
+        (offset % self.sets as u64) as usize
     }
 
     /// Flat slot index of `(set, way)`.
     fn flat(&self, set: usize, way: usize) -> u64 {
-        set as u64 * self.cfg.ways as u64 + way as u64
+        (set * self.ways + way) as u64
+    }
+
+    /// The ways of `set` as a slice of the slab.
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[Slot] {
+        &self.slots[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// The ways of `set` as a mutable slice of the slab.
+    #[inline]
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Slot] {
+        let ways = self.ways;
+        &mut self.slots[set * ways..(set + 1) * ways]
     }
 
     /// Looks up the node at `offset`, updating LRU and hit/miss counters.
@@ -113,7 +135,10 @@ impl MetadataCache {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_of(offset);
-        let slot = self.sets[set]
+        // Slice the slab directly (not via `set_slice_mut`) so the borrow
+        // covers only `slots`, leaving the stat counters free below.
+        let ways = self.ways;
+        let slot = self.slots[set * ways..(set + 1) * ways]
             .iter_mut()
             .find(|s| s.valid && s.offset == offset);
         match slot {
@@ -139,7 +164,8 @@ impl MetadataCache {
     /// pairs with [`Self::read`]). Returns `false` if the node is absent.
     pub fn write(&mut self, offset: u64, node: SitNode) -> bool {
         let set = self.set_of(offset);
-        if let Some(s) = self.sets[set]
+        if let Some(s) = self
+            .set_slice_mut(set)
             .iter_mut()
             .find(|s| s.valid && s.offset == offset)
         {
@@ -158,22 +184,34 @@ impl MetadataCache {
     /// All resident nodes of one set as `(offset, node, dirty)`, in way
     /// order (STAR sorts these by address before MACing).
     pub fn set_nodes(&self, set: usize) -> Vec<(u64, SitNode, bool)> {
-        self.sets[set]
+        self.set_slice(set)
             .iter()
             .filter(|s| s.valid)
             .map(|s| (s.offset, s.node, s.dirty))
             .collect()
     }
 
+    /// Appends the *dirty* resident nodes of one set to `out` as
+    /// `(offset, node)`, in way order — the allocation-free form of
+    /// [`Self::set_nodes`] for STAR's per-write set-MAC update, where the
+    /// engine reuses one scratch vector across calls.
+    pub fn dirty_set_nodes_into(&self, set: usize, out: &mut Vec<(u64, SitNode)>) {
+        for s in self.set_slice(set) {
+            if s.valid && s.dirty {
+                out.push((s.offset, s.node));
+            }
+        }
+    }
+
     /// Number of sets.
     pub fn sets(&self) -> usize {
-        self.sets.len()
+        self.sets
     }
 
     /// Peeks without LRU/stat side effects.
     pub fn peek(&self, offset: u64) -> Option<&SitNode> {
         let set = self.set_of(offset);
-        self.sets[set]
+        self.set_slice(set)
             .iter()
             .find(|s| s.valid && s.offset == offset)
             .map(|s| &s.node)
@@ -187,7 +225,7 @@ impl MetadataCache {
     /// Whether `offset` is resident and dirty.
     pub fn is_dirty(&self, offset: u64) -> bool {
         let set = self.set_of(offset);
-        self.sets[set]
+        self.set_slice(set)
             .iter()
             .any(|s| s.valid && s.offset == offset && s.dirty)
     }
@@ -196,9 +234,8 @@ impl MetadataCache {
     /// the node is absent (engine bug).
     pub fn mark_dirty(&mut self, offset: u64) -> (u64, bool) {
         let set = self.set_of(offset);
-        let ways = self.cfg.ways;
-        for way in 0..ways {
-            let s = &mut self.sets[set][way];
+        for way in 0..self.ways {
+            let s = &mut self.slots[set * self.ways + way];
             if s.valid && s.offset == offset {
                 let was_clean = !s.dirty;
                 s.dirty = true;
@@ -211,7 +248,8 @@ impl MetadataCache {
     /// Clears the dirty bit (after a flush that kept the node resident).
     pub fn mark_clean(&mut self, offset: u64) {
         let set = self.set_of(offset);
-        if let Some(s) = self.sets[set]
+        if let Some(s) = self
+            .set_slice_mut(set)
             .iter_mut()
             .find(|s| s.valid && s.offset == offset)
         {
@@ -231,7 +269,7 @@ impl MetadataCache {
     /// victims *in place* (still resident, still visible to nested fetches)
     /// before the actual install.
     pub fn probe_victim(&self, offset: u64, pinned: &[u64]) -> Option<(u64, bool)> {
-        let set = &self.sets[self.set_of(offset)];
+        let set = self.set_slice(self.set_of(offset));
         if set.iter().any(|w| !w.valid) {
             return None;
         }
@@ -258,32 +296,33 @@ impl MetadataCache {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_of(offset);
-        let ways = self.cfg.ways;
         assert!(
             !self.contains(offset),
             "install over resident node {offset} (duplicate would desync counters)"
         );
         // Pick an invalid way, else the LRU way among non-pinned ones.
-        let way = (0..ways)
-            .find(|&w| !self.sets[set][w].valid)
+        let ways = self.set_slice(set);
+        let way = (0..self.ways)
+            .find(|&w| !ways[w].valid)
             .or_else(|| {
-                (0..ways)
-                    .filter(|&w| !pinned.contains(&self.sets[set][w].offset))
-                    .min_by_key(|&w| self.sets[set][w].lru)
+                (0..self.ways)
+                    .filter(|&w| !pinned.contains(&ways[w].offset))
+                    .min_by_key(|&w| ways[w].lru)
             })
             .expect("metadata cache set fully pinned: associativity exhausted");
-        let victim = &self.sets[set][way];
+        let flat = self.flat(set, way);
+        let victim = &mut self.slots[flat as usize];
         let evicted = if victim.valid {
             Some(EvictedNode {
                 offset: victim.offset,
                 node: victim.node,
                 dirty: victim.dirty,
-                slot: self.flat(set, way),
+                slot: flat,
             })
         } else {
             None
         };
-        self.sets[set][way] = Slot {
+        *victim = Slot {
             valid: true,
             dirty,
             offset,
@@ -296,44 +335,37 @@ impl MetadataCache {
     /// The flat slot index currently holding `offset`.
     pub fn slot_of(&self, offset: u64) -> Option<u64> {
         let set = self.set_of(offset);
-        (0..self.cfg.ways)
-            .find(|&w| self.sets[set][w].valid && self.sets[set][w].offset == offset)
+        self.set_slice(set)
+            .iter()
+            .position(|s| s.valid && s.offset == offset)
             .map(|w| self.flat(set, w))
     }
 
     /// All dirty resident nodes as `(slot, offset, node)` — the state a
     /// crash destroys.
     pub fn dirty_nodes(&self) -> Vec<(u64, u64, SitNode)> {
-        let mut out = Vec::new();
-        for (set_idx, set) in self.sets.iter().enumerate() {
-            for (way, s) in set.iter().enumerate() {
-                if s.valid && s.dirty {
-                    out.push((self.flat(set_idx, way), s.offset, s.node));
-                }
-            }
-        }
-        out
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid && s.dirty)
+            .map(|(flat, s)| (flat as u64, s.offset, s.node))
+            .collect()
     }
 
     /// All resident nodes as `(slot, offset, node, dirty)`.
     pub fn resident_nodes(&self) -> Vec<(u64, u64, SitNode, bool)> {
-        let mut out = Vec::new();
-        for (set_idx, set) in self.sets.iter().enumerate() {
-            for (way, s) in set.iter().enumerate() {
-                if s.valid {
-                    out.push((self.flat(set_idx, way), s.offset, s.node, s.dirty));
-                }
-            }
-        }
-        out
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .map(|(flat, s)| (flat as u64, s.offset, s.node, s.dirty))
+            .collect()
     }
 
     /// Crash: every resident line vanishes.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            for s in set.iter_mut() {
-                *s = Slot::default();
-            }
+        for s in &mut self.slots {
+            *s = Slot::default();
         }
     }
 
@@ -439,5 +471,39 @@ mod tests {
         c.install(8, SitNode::zero_general(), false);
         c.lookup(8).unwrap().counters.as_general_mut().set(3, 99);
         assert_eq!(c.peek(8).unwrap().counters.as_general().get(3), 99);
+    }
+
+    #[test]
+    fn flat_slot_indices_match_set_ways_layout() {
+        let mut c = tiny(); // 2 sets × 2 ways → slots 0..4
+        c.install(0, SitNode::zero_general(), false); // set 0, way 0
+        c.install(2, SitNode::zero_general(), false); // set 0, way 1
+        c.install(1, SitNode::zero_general(), false); // set 1, way 0
+        assert_eq!(c.slot_of(0), Some(0));
+        assert_eq!(c.slot_of(2), Some(1));
+        assert_eq!(c.slot_of(1), Some(2));
+    }
+
+    #[test]
+    fn dirty_set_nodes_into_matches_set_nodes_filter() {
+        let mut c = tiny();
+        c.install(0, SitNode::zero_general(), true);
+        c.install(2, SitNode::zero_general(), false);
+        c.install(1, SitNode::zero_general(), true);
+        let mut out = Vec::new();
+        c.dirty_set_nodes_into(0, &mut out);
+        let expect: Vec<(u64, SitNode)> = c
+            .set_nodes(0)
+            .into_iter()
+            .filter(|(_, _, d)| *d)
+            .map(|(o, n, _)| (o, n))
+            .collect();
+        assert_eq!(out, expect);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        // Appends without clearing: caller owns the lifecycle.
+        c.dirty_set_nodes_into(1, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].0, 1);
     }
 }
