@@ -3,6 +3,7 @@
 //!
 //! `cargo run -p steins-bench --release --bin all`
 
+use steins_bench::metrics::{matrix_metrics, write_metrics};
 use steins_bench::recovery_bench::{recovery_at_cache_size, CACHE_SWEEP};
 use steins_bench::{gmean, print_normalized, run_matrix, GC_MATRIX, SC_MATRIX};
 use steins_core::SchemeKind;
@@ -125,15 +126,20 @@ fn main() {
         (SchemeKind::Steins, CounterMode::General, "Steins-GC"),
         (SchemeKind::Steins, CounterMode::Split, "Steins-SC"),
     ];
-    let fig17: Vec<(String, Vec<f64>)> = steins_bench::par::map(cells.to_vec(), |(s, m, label)| {
-        (
-            label.to_string(),
-            CACHE_SWEEP
-                .iter()
-                .map(|&c| recovery_at_cache_size(s, m, c).est_seconds)
-                .collect(),
-        )
-    });
+    type RecoverySeries = Vec<(f64, steins_obs::MetricRegistry)>;
+    let fig17: Vec<(String, RecoverySeries)> =
+        steins_bench::par::map(cells.to_vec(), |(s, m, label)| {
+            (
+                label.to_string(),
+                CACHE_SWEEP
+                    .iter()
+                    .map(|&c| {
+                        let r = recovery_at_cache_size(s, m, c);
+                        (r.est_seconds, r.metrics)
+                    })
+                    .collect(),
+            )
+        });
     print!("{:<12}", "scheme");
     for c in CACHE_SWEEP {
         print!("{:>10}", format!("{}KB", c >> 10));
@@ -141,11 +147,24 @@ fn main() {
     println!();
     for (label, series) in &fig17 {
         print!("{label:<12}");
-        for s in series {
+        for (s, _) in series {
             print!("{s:>10.4}");
         }
         println!();
     }
+
+    // One registry for the whole run: both sweep matrices plus the
+    // per-scheme recovery phase counters, exported deterministically.
+    let mut reg = matrix_metrics(&gc);
+    reg.merge(&matrix_metrics(&sc));
+    for (label, series) in &fig17 {
+        for ((secs, m), &cache) in series.iter().zip(CACHE_SWEEP.iter()) {
+            let prefix = format!("{label}.recovery.cache_{:04}kb", cache >> 10);
+            reg.merge(&m.prefixed(&prefix));
+            reg.gauge_set(&format!("{prefix}.est_seconds"), *secs);
+        }
+    }
+    write_metrics("all", &reg);
 
     // Headline comparison.
     let g = |rows: &Vec<(String, Vec<f64>, f64)>, label: &str| {
@@ -245,7 +264,7 @@ fn main() {
         fig17
             .iter()
             .find(|(l, _)| l == label)
-            .and_then(|(_, s)| s.last().copied())
+            .and_then(|(_, s)| s.last().map(|(v, _)| *v))
             .unwrap_or(f64::NAN)
     };
     let recov = [

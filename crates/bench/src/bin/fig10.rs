@@ -3,7 +3,9 @@
 //! Paper shape: ASIT ≈ 2.14×, STAR ≈ 1.67×, Steins-GC ≈ 1.06×.
 
 fn main() {
-    steins_bench::figure_gc("Fig. 10: write latency (normalized to WB-GC)", |r| {
-        r.write_latency
-    });
+    steins_bench::figure_gc(
+        "fig10",
+        "Fig. 10: write latency (normalized to WB-GC)",
+        |r| r.write_latency,
+    );
 }

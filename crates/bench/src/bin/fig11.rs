@@ -4,7 +4,9 @@
 //! cache-tree and shadow-table pressure on the read path too.
 
 fn main() {
-    steins_bench::figure_gc("Fig. 11: read latency (normalized to WB-GC)", |r| {
-        r.read_latency
-    });
+    steins_bench::figure_gc(
+        "fig11",
+        "Fig. 11: read latency (normalized to WB-GC)",
+        |r| r.read_latency,
+    );
 }

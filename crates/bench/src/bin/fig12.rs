@@ -7,9 +7,11 @@ use steins_metadata::CounterMode;
 use steins_trace::WorkloadKind;
 
 fn main() {
-    steins_bench::figure_sc("Fig. 12: execution time (normalized to WB-SC)", |r| {
-        r.cycles as f64
-    });
+    steins_bench::figure_sc(
+        "fig12",
+        "Fig. 12: execution time (normalized to WB-SC)",
+        |r| r.cycles as f64,
+    );
     // SC vs GC cross-check: Steins-SC cycles / Steins-GC cycles per workload.
     let ops = steins_bench::ops();
     let seed = steins_bench::seed();

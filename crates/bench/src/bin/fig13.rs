@@ -3,7 +3,9 @@
 //! Paper shape: ASIT ≈ 2×, STAR ≈ 1.3×, Steins-GC ≈ 1.05×.
 
 fn main() {
-    steins_bench::figure_gc("Fig. 13: write traffic (normalized to WB-GC)", |r| {
-        r.nvm.writes as f64
-    });
+    steins_bench::figure_gc(
+        "fig13",
+        "Fig. 13: write traffic (normalized to WB-GC)",
+        |r| r.nvm.writes as f64,
+    );
 }

@@ -3,7 +3,9 @@
 //! Paper shape: Steins-SC ≈ 1.01× WB-SC.
 
 fn main() {
-    steins_bench::figure_sc("Fig. 14: write traffic (normalized to WB-SC)", |r| {
-        r.nvm.writes as f64
-    });
+    steins_bench::figure_sc(
+        "fig14",
+        "Fig. 14: write traffic (normalized to WB-SC)",
+        |r| r.nvm.writes as f64,
+    );
 }

@@ -4,5 +4,7 @@
 //! Steins-GC ≈ WB-GC (−0.2%).
 
 fn main() {
-    steins_bench::figure_gc("Fig. 15: energy (normalized to WB-GC)", |r| r.energy_pj);
+    steins_bench::figure_gc("fig15", "Fig. 15: energy (normalized to WB-GC)", |r| {
+        r.energy_pj
+    });
 }

@@ -6,7 +6,9 @@ use steins_metadata::CounterMode;
 use steins_trace::WorkloadKind;
 
 fn main() {
-    steins_bench::figure_sc("Fig. 16: energy (normalized to WB-SC)", |r| r.energy_pj);
+    steins_bench::figure_sc("fig16", "Fig. 16: energy (normalized to WB-SC)", |r| {
+        r.energy_pj
+    });
     let ops = steins_bench::ops();
     let seed = steins_bench::seed();
     println!("\n-- Steins-SC vs Steins-GC (energy ratio; paper: ~0.906) --");

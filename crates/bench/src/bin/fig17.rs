@@ -21,29 +21,38 @@ fn main() {
         print!("{:>10}", format!("{}KB", c >> 10));
     }
     println!();
-    type Series = Vec<(f64, u64, usize)>;
+    type Series = Vec<(f64, u64, usize, steins_obs::MetricRegistry)>;
     let rows: Vec<(String, Series)> =
         steins_bench::par::map(cells.to_vec(), |(scheme, mode, label)| {
             let series = CACHE_SWEEP
                 .iter()
                 .map(|&cache| {
                     let r = recovery_at_cache_size(scheme, mode, cache);
-                    (r.est_seconds, r.nvm_reads, r.nodes_recovered)
+                    (r.est_seconds, r.nvm_reads, r.nodes_recovered, r.metrics)
                 })
                 .collect();
             (label.to_string(), series)
         });
     for (label, series) in &rows {
         print!("{label:<12}");
-        for (secs, _, _) in series {
+        for (secs, _, _, _) in series {
             print!("{secs:>10.4}");
         }
         println!();
     }
     println!("\n(reads and recovered-node counts at 4 MB)");
     for (label, series) in &rows {
-        let (_, reads, nodes) = series.last().unwrap();
+        let (_, reads, nodes, _) = series.last().unwrap();
         println!("{label:<12} reads={reads:<10} nodes={nodes}");
     }
+    let mut reg = steins_obs::MetricRegistry::new();
+    for (label, series) in &rows {
+        for ((secs, _, _, m), &cache) in series.iter().zip(CACHE_SWEEP.iter()) {
+            let prefix = format!("{label}.recovery.cache_{:04}kb", cache >> 10);
+            reg.merge(&m.prefixed(&prefix));
+            reg.gauge_set(&format!("{prefix}.est_seconds"), *secs);
+        }
+    }
+    steins_bench::metrics::write_metrics("fig17", &reg);
     println!("\nWB: no recovery support (metadata loss is unrecoverable).");
 }

@@ -3,7 +3,9 @@
 //! Paper shape: ASIT ≈ 1.20×, STAR ≈ 1.12×, Steins-GC ≈ WB-GC.
 
 fn main() {
-    steins_bench::figure_gc("Fig. 9: execution time (normalized to WB-GC)", |r| {
-        r.cycles as f64
-    });
+    steins_bench::figure_gc(
+        "fig9",
+        "Fig. 9: execution time (normalized to WB-GC)",
+        |r| r.cycles as f64,
+    );
 }

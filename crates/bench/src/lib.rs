@@ -11,15 +11,22 @@
 //!
 //! * `STEINS_OPS` — memory operations per workload (default 1,000,000).
 //! * `STEINS_SEED` — trace seed (default 42).
+//! * `STEINS_THREADS` — sweep worker count (default: available parallelism).
+//!
+//! Besides the printed tables and `results/*.csv`, every figure run exports
+//! its full metric registry (tail-latency histograms, device/cache/metadata
+//! counters) as `results/METRICS_<run>.json` — see [`metrics`].
 
 use std::collections::BTreeMap;
 use steins_core::{RunReport, SchemeKind, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
 
+pub mod metrics;
 pub mod micro;
 pub mod par;
 pub mod recovery_bench;
+pub mod shape;
 
 /// Writes one figure's normalized rows as CSV under `results/` (one file
 /// per figure), so the series can be plotted without re-running the sweep.
@@ -164,30 +171,44 @@ pub fn print_normalized(
     rows
 }
 
-/// Convenience: run + print a GC-normalized figure in one call.
-pub fn figure_gc(title: &str, metric: impl Fn(&RunReport) -> f64) -> Vec<(String, Vec<f64>, f64)> {
+/// Convenience: run + print a GC-normalized figure in one call, exporting
+/// the sweep's registry as `results/METRICS_<run>.json`.
+pub fn figure_gc(
+    run: &str,
+    title: &str,
+    metric: impl Fn(&RunReport) -> f64,
+) -> Vec<(String, Vec<f64>, f64)> {
     let matrix = run_matrix(&GC_MATRIX, &WorkloadKind::ALL);
-    print_normalized(
+    let rows = print_normalized(
         title,
         &matrix,
         &GC_MATRIX,
         &WorkloadKind::ALL,
         GC_MATRIX[0],
         metric,
-    )
+    );
+    metrics::write_metrics(run, &metrics::matrix_metrics(&matrix));
+    rows
 }
 
-/// Convenience: run + print an SC-normalized figure in one call.
-pub fn figure_sc(title: &str, metric: impl Fn(&RunReport) -> f64) -> Vec<(String, Vec<f64>, f64)> {
+/// Convenience: run + print an SC-normalized figure in one call, exporting
+/// the sweep's registry as `results/METRICS_<run>.json`.
+pub fn figure_sc(
+    run: &str,
+    title: &str,
+    metric: impl Fn(&RunReport) -> f64,
+) -> Vec<(String, Vec<f64>, f64)> {
     let matrix = run_matrix(&SC_MATRIX, &WorkloadKind::ALL);
-    print_normalized(
+    let rows = print_normalized(
         title,
         &matrix,
         &SC_MATRIX,
         &WorkloadKind::ALL,
         SC_MATRIX[0],
         metric,
-    )
+    );
+    metrics::write_metrics(run, &metrics::matrix_metrics(&matrix));
+    rows
 }
 
 #[cfg(test)]

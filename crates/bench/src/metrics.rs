@@ -1,0 +1,115 @@
+//! Run-level metric aggregation and `results/METRICS_*.json` export.
+//!
+//! Each simulation produces a full [`steins_obs::MetricRegistry`] in its
+//! [`steins_core::RunReport`]. A figure run folds those into one registry:
+//!
+//! * `<scheme>.<workload>.core.{read,write}.latency_cycles` — per-cell
+//!   tail-latency histograms (the series behind the EXPERIMENTS.md p99
+//!   table), and
+//! * `<scheme>.<path>` — the scheme's registries merged across all
+//!   workloads (counters add, histograms merge), so `Steins-GC.nvm.device.
+//!   writes` is the scheme's total write traffic for the sweep.
+//!
+//! Export uses [`MetricRegistry::to_json_deterministic`], so the file is
+//! byte-identical across runs with the same `STEINS_OPS`/`STEINS_SEED`.
+
+use crate::Matrix;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use steins_obs::MetricRegistry;
+
+/// Folds a figure matrix into one run-level registry (see module docs).
+pub fn matrix_metrics(matrix: &Matrix) -> MetricRegistry {
+    let mut out = MetricRegistry::new();
+    let mut per_scheme: BTreeMap<&str, MetricRegistry> = BTreeMap::new();
+    for ((label, wl), report) in matrix {
+        out.insert_hist(
+            &format!("{label}.{wl}.core.read.latency_cycles"),
+            &report.read_hist,
+        );
+        out.insert_hist(
+            &format!("{label}.{wl}.core.write.latency_cycles"),
+            &report.write_hist,
+        );
+        per_scheme
+            .entry(label.as_str())
+            .or_default()
+            .merge(&report.metrics);
+    }
+    for (label, reg) in &per_scheme {
+        out.merge(&reg.prefixed(label));
+    }
+    out
+}
+
+/// Writes `reg` as `results/METRICS_<run>.json` (deterministic export,
+/// `wall.` subtree excluded). Errors are reported but non-fatal, mirroring
+/// [`crate::write_csv`]; returns the path on success.
+pub fn write_metrics(run: &str, reg: &MetricRegistry) -> Option<PathBuf> {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("results/: {e}");
+        return None;
+    }
+    let path = dir.join(format!("METRICS_{run}.json"));
+    match std::fs::write(&path, reg.to_json_deterministic().pretty()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steins_core::{RunReport, SchemeKind};
+    use steins_metadata::CounterMode;
+    use steins_trace::WorkloadKind;
+
+    fn tiny_matrix() -> Matrix {
+        let cells = [
+            (SchemeKind::WriteBack, CounterMode::General),
+            (SchemeKind::Steins, CounterMode::General),
+        ];
+        let mut m = Matrix::new();
+        for cell in cells {
+            for wl in [WorkloadKind::PHash, WorkloadKind::PTree] {
+                let r: RunReport = crate::run_one(cell, wl, 1_500, 7);
+                m.insert((cell.0.label(cell.1), wl.label()), r);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matrix_metrics_has_per_cell_and_merged_paths() {
+        let m = tiny_matrix();
+        let reg = matrix_metrics(&m);
+        let h = reg
+            .hist("Steins-GC.phash.core.write.latency_cycles")
+            .expect("per-cell write hist");
+        assert!(h.count() > 0);
+        assert!(h.p99() >= h.p50());
+        // Merged-across-workloads counter equals the sum of the per-run ones.
+        let merged = reg.counter("Steins-GC.nvm.device.writes").unwrap();
+        let sum: u64 = [WorkloadKind::PHash, WorkloadKind::PTree]
+            .iter()
+            .map(|w| m[&("Steins-GC".to_string(), w.label())].nvm.writes)
+            .sum();
+        assert_eq!(merged, sum);
+    }
+
+    #[test]
+    fn matrix_metrics_is_deterministic_across_rebuilds() {
+        let a = matrix_metrics(&tiny_matrix())
+            .to_json_deterministic()
+            .pretty();
+        let b = matrix_metrics(&tiny_matrix())
+            .to_json_deterministic()
+            .pretty();
+        assert_eq!(a, b);
+        assert!(!a.contains("wall."));
+    }
+}

@@ -30,11 +30,23 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    map_with(threads(), jobs, f)
+}
+
+/// [`map`] with an explicit worker count, bypassing `STEINS_THREADS`.
+/// Lets tests compare 1-worker vs N-worker runs of the same sweep without
+/// racing on process-global environment variables.
+pub fn map_with<T, R, F>(workers: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads().min(n);
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
         return jobs.into_iter().map(f).collect();
     }
@@ -78,5 +90,13 @@ mod tests {
     #[test]
     fn single_job() {
         assert_eq!(map(vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_with_matches_sequential() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let seq = map_with(1, jobs.clone(), |x| x * x);
+        let par = map_with(4, jobs, |x| x * x);
+        assert_eq!(seq, par);
     }
 }

@@ -1,0 +1,128 @@
+//! Pure ordering-invariant checks behind `--bin shape_check`.
+//!
+//! EXPERIMENTS.md records the qualitative shape of §IV's results:
+//! Steins-GC beats ASIT and STAR on execution time, write latency, and
+//! write traffic; Steins-SC tracks WB-SC; recovery cost orders
+//! ASIT < STAR < Steins-GC < Steins-SC. These functions take the measured
+//! numbers and return human-readable violations (empty = shape holds), so
+//! the CI gate's logic is unit-testable without running a sweep — including
+//! the deliberately-swapped-ordering test below.
+
+/// `value` must be strictly below every entry of `above` (e.g. Steins-GC's
+/// normalized execution time vs ASIT's and STAR's).
+pub fn check_below(metric: &str, label: &str, value: f64, above: &[(&str, f64)]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (other, v) in above {
+        // `partial_cmp` so NaN (incomparable) counts as a violation.
+        if value.partial_cmp(v) != Some(std::cmp::Ordering::Less) {
+            violations.push(format!(
+                "{metric}: expected {label} ({value:.4}) < {other} ({v:.4})"
+            ));
+        }
+    }
+    violations
+}
+
+/// `a` and `b` must agree within relative tolerance `tol`
+/// (|a - b| / max(a, b) ≤ tol) — the "Steins-SC ≈ WB-SC" check.
+pub fn check_close(
+    metric: &str,
+    a_label: &str,
+    a: f64,
+    b_label: &str,
+    b: f64,
+    tol: f64,
+) -> Vec<String> {
+    let denom = a.max(b).max(1e-12);
+    let rel = (a - b).abs() / denom;
+    if rel > tol {
+        vec![format!(
+            "{metric}: expected {a_label} ({a:.4}) within {:.0}% of {b_label} ({b:.4}), \
+             got {:.1}% apart",
+            tol * 100.0,
+            rel * 100.0
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+/// The series must be strictly increasing in the given order (the recovery
+/// cost ladder ASIT < STAR < Steins-GC < Steins-SC).
+pub fn check_increasing(metric: &str, series: &[(&str, f64)]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for pair in series.windows(2) {
+        let (la, a) = pair[0];
+        let (lb, b) = pair[1];
+        if a.partial_cmp(&b) != Some(std::cmp::Ordering::Less) {
+            violations.push(format!("{metric}: expected {la} ({a:.4}) < {lb} ({b:.4})"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_shape_numbers_pass() {
+        assert!(check_below("exec", "Steins-GC", 1.0, &[("ASIT", 1.2), ("STAR", 1.1)]).is_empty());
+        assert!(check_close("exec", "Steins-SC", 1.02, "WB-SC", 1.0, 0.15).is_empty());
+        assert!(check_increasing(
+            "recovery",
+            &[
+                ("ASIT", 0.003),
+                ("STAR", 0.0033),
+                ("Steins-GC", 0.0039),
+                ("Steins-SC", 0.024)
+            ]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn swapped_ordering_is_reported() {
+        // Swap Steins-GC and ASIT in the recovery ladder: the gate must trip.
+        let v = check_increasing(
+            "recovery_seconds",
+            &[
+                ("ASIT", 0.0039),
+                ("STAR", 0.0033),
+                ("Steins-GC", 0.0030),
+                ("Steins-SC", 0.0239),
+            ],
+        );
+        assert_eq!(
+            v.len(),
+            2,
+            "both inverted adjacent pairs are flagged: {v:?}"
+        );
+        assert!(v[0].contains("ASIT") && v[0].contains("STAR"));
+
+        // And a Steins-GC regression above ASIT trips the latency check.
+        let v = check_below(
+            "write_latency",
+            "Steins-GC",
+            2.5,
+            &[("ASIT", 2.4), ("STAR", 2.7)],
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("expected Steins-GC (2.5000) < ASIT (2.4000)"));
+    }
+
+    #[test]
+    fn close_check_is_symmetric_and_tolerant() {
+        assert!(check_close("m", "a", 1.0, "b", 1.1, 0.15).is_empty());
+        assert!(check_close("m", "a", 1.1, "b", 1.0, 0.15).is_empty());
+        assert_eq!(check_close("m", "a", 1.0, "b", 2.0, 0.15).len(), 1);
+        // Ties and equal values pass.
+        assert!(check_close("m", "a", 5.0, "b", 5.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn nan_never_passes_ordering() {
+        assert!(!check_below("m", "x", f64::NAN, &[("y", 1.0)]).is_empty());
+        assert!(!check_increasing("m", &[("x", f64::NAN), ("y", 1.0)]).is_empty());
+    }
+}

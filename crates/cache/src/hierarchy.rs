@@ -246,6 +246,14 @@ impl CacheHierarchy {
         (self.l1.stats(), self.l2.stats(), self.l3.stats())
     }
 
+    /// Exports per-level hit/miss/eviction counters under `cache.l1.` /
+    /// `cache.l2.` / `cache.l3.`.
+    pub fn export_metrics(&self, reg: &mut steins_obs::MetricRegistry) {
+        self.l1.stats().export_metrics(reg, "cache.l1");
+        self.l2.stats().export_metrics(reg, "cache.l2");
+        self.l3.stats().export_metrics(reg, "cache.l3");
+    }
+
     /// All line addresses dirty anywhere in the hierarchy, without mutating
     /// state (crash modeling: these contents are lost at power failure).
     pub fn dirty_lines(&self) -> Vec<u64> {

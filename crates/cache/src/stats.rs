@@ -1,5 +1,7 @@
 //! Cache statistics.
 
+use steins_obs::MetricRegistry;
+
 /// Hit/miss/write-back counters for one cache.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
@@ -19,7 +21,7 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Hit rate in [0,1]; 0 when no accesses occurred.
+    /// Hit rate in `[0, 1]`; 0 when no accesses occurred.
     pub fn hit_rate(&self) -> f64 {
         let total = self.accesses();
         if total == 0 {
@@ -35,6 +37,15 @@ impl CacheStats {
         self.misses += other.misses;
         self.writebacks += other.writebacks;
         self.clean_evictions += other.clean_evictions;
+    }
+
+    /// Exports the counters as `<prefix>.hits`, `.misses`, `.writebacks`,
+    /// `.clean_evictions` (e.g. `cache.l1.hits`).
+    pub fn export_metrics(&self, reg: &mut MetricRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}.hits"), self.hits);
+        reg.counter_add(&format!("{prefix}.misses"), self.misses);
+        reg.counter_add(&format!("{prefix}.writebacks"), self.writebacks);
+        reg.counter_add(&format!("{prefix}.clean_evictions"), self.clean_evictions);
     }
 }
 

@@ -180,7 +180,7 @@ impl SweepOp {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..len)
             .map(|_| {
-                let line = if rng.next_u64().is_multiple_of(4) {
+                let line = if rng.next_u64() % 4 == 0 {
                     rng.gen_range(0, 8.min(lines))
                 } else {
                     rng.gen_range(0, lines)

@@ -1221,13 +1221,28 @@ impl SecureNvmSystem {
         })
     }
 
-    /// Current run metrics.
+    /// Current run metrics, including the full component-path metric
+    /// registry (every layer exports its counters and histograms here).
     pub fn report(&self) -> RunReport {
         let nvm = *self.ctrl.nvm.stats();
         let mut energy = self.ctrl.energy;
         energy.nvm_reads = nvm.reads;
         energy.nvm_writes = nvm.writes;
         let (meta_hits, meta_misses) = self.ctrl.meta.stats();
+        let mut metrics = steins_obs::MetricRegistry::new();
+        self.ctrl.nvm.export_metrics(&mut metrics);
+        self.ctrl.wq.export_metrics(&mut metrics);
+        self.hier.export_metrics(&mut metrics);
+        self.ctrl.meta.export_metrics(&mut metrics);
+        metrics.counter_add("core.engine.aes_ops", energy.aes_ops);
+        metrics.counter_add("core.engine.mac_calls", energy.hashes);
+        metrics.counter_add("core.engine.cache_accesses", energy.cache_accesses);
+        metrics.counter_add("core.cpu.cycles", self.cpu.now);
+        metrics.counter_add("core.cpu.instructions", self.cpu.instructions);
+        metrics.counter_add("core.cpu.read_stall_cycles", self.cpu.read_stall_cycles);
+        metrics.counter_add("core.cpu.write_stall_cycles", self.cpu.write_stall_cycles);
+        metrics.insert_hist("core.read.latency_cycles", &self.ctrl.rlat.hist);
+        metrics.insert_hist("core.write.latency_cycles", &self.ctrl.wlat.hist);
         RunReport {
             label: self.cfg.scheme.label(self.cfg.mode),
             cycles: self.cpu.now,
@@ -1242,6 +1257,9 @@ impl SecureNvmSystem {
             meta_misses,
             read_stall_cycles: self.cpu.read_stall_cycles,
             write_stall_cycles: self.cpu.write_stall_cycles,
+            read_hist: self.ctrl.rlat.hist.clone(),
+            write_hist: self.ctrl.wlat.hist.clone(),
+            metrics,
         }
     }
 }

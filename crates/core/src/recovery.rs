@@ -21,6 +21,7 @@ use steins_metadata::counter::{CounterBlock, SplitCounters};
 use steins_metadata::records::{record_coords, RecordLine, RECORDS_PER_LINE};
 use steins_metadata::{CounterMode, NodeId, SitNode};
 use steins_nvm::AdrRegion;
+use steins_obs::MetricRegistry;
 
 /// What a recovery run did and how long it would take on hardware.
 #[derive(Clone, Debug)]
@@ -35,6 +36,29 @@ pub struct RecoveryReport {
     pub per_level: Vec<usize>,
     /// Estimated recovery wall time (reads × the configured 100 ns).
     pub est_seconds: f64,
+    /// Per-phase metrics under `core.recovery.` — phase timings are modeled
+    /// NVM read counts (deterministic), not wall clock.
+    pub metrics: MetricRegistry,
+}
+
+/// Builds the `core.recovery.` registry: total/per-phase modeled read
+/// counts and per-level recovered-node counts.
+fn recovery_metrics(
+    phases: &[(&str, u64)],
+    reads: u64,
+    nodes: usize,
+    per_level: &[usize],
+) -> MetricRegistry {
+    let mut m = MetricRegistry::new();
+    m.counter_add("core.recovery.reads", reads);
+    m.counter_add("core.recovery.nodes", nodes as u64);
+    for (name, r) in phases {
+        m.counter_add(&format!("core.recovery.phase.{name}.reads"), *r);
+    }
+    for (k, n) in per_level.iter().enumerate() {
+        m.counter_add(&format!("core.recovery.level.{k}.nodes"), *n as u64);
+    }
+    m
 }
 
 /// Internal read-counting view over the crashed NVM.
@@ -222,6 +246,8 @@ impl CrashedSystem {
             }
         }
 
+        let reads_record_scan = reads;
+
         // 2. NV-buffer replay (§III-G step ⑤): transfer pending LInc deltas
         //    and mark the un-updated parents for recovery.
         for e in nv_buffer.entries() {
@@ -252,6 +278,8 @@ impl CrashedSystem {
             dirty.insert(poff);
             dirty.insert(e.child_offset);
         }
+
+        let reads_buffer_replay = reads - reads_record_scan;
 
         // 3. Group by level.
         let mut by_level: Vec<Vec<u64>> = vec![Vec::new(); geo.levels()];
@@ -331,6 +359,16 @@ impl CrashedSystem {
 
         let per_level: Vec<usize> = by_level.iter().map(|v| v.len()).collect();
         let nodes = recovered.len();
+        let metrics = recovery_metrics(
+            &[
+                ("record_scan", reads_record_scan),
+                ("buffer_replay", reads_buffer_replay),
+                ("rebuild", reads - reads_record_scan - reads_buffer_replay),
+            ],
+            reads,
+            nodes,
+            &per_level,
+        );
         let sys = self.rebuild_steins(recovered, lincs)?;
         let est_seconds = reads as f64 * sys.config().recovery_read_ns * 1e-9;
         Ok((
@@ -341,6 +379,7 @@ impl CrashedSystem {
                 nodes_recovered: nodes,
                 per_level,
                 est_seconds,
+                metrics,
             },
         ))
     }
@@ -418,6 +457,7 @@ impl CrashedSystem {
                 entries.push((off, node));
             }
         }
+        let reads_shadow_scan = rd.reads;
         let (rebuilt, _) = CacheTree::rebuild(self.crypto.as_ref(), &leaf_macs);
         if rebuilt != nv_root {
             return Err(IntegrityError::CacheTreeMismatch {
@@ -456,6 +496,15 @@ impl CrashedSystem {
         for (off, _) in &entries {
             per_level[geo.node_at_offset(*off).level] += 1;
         }
+        let metrics = recovery_metrics(
+            &[
+                ("shadow_scan", reads_shadow_scan),
+                ("reconcile", reads - reads_shadow_scan),
+            ],
+            reads,
+            nodes,
+            &per_level,
+        );
 
         let cfg = self.cfg.clone();
         let mut sys = SecureNvmSystem::new(cfg.clone());
@@ -485,6 +534,7 @@ impl CrashedSystem {
                 nodes_recovered: nodes,
                 per_level,
                 est_seconds,
+                metrics,
             },
         ))
     }
@@ -520,6 +570,8 @@ impl CrashedSystem {
                 }
             }
         }
+
+        let reads_bitmap_scan = reads;
 
         // 2. Top-down reconstruction from child-carried counter LSBs.
         let mut by_level: Vec<Vec<u64>> = vec![Vec::new(); geo.levels()];
@@ -600,6 +652,15 @@ impl CrashedSystem {
 
         let nodes = recovered.len();
         let per_level: Vec<usize> = by_level.iter().map(|v| v.len()).collect();
+        let metrics = recovery_metrics(
+            &[
+                ("bitmap_scan", reads_bitmap_scan),
+                ("rebuild", reads - reads_bitmap_scan),
+            ],
+            reads,
+            nodes,
+            &per_level,
+        );
         let cfg = self.cfg.clone();
         let mut sys = SecureNvmSystem::new(cfg.clone());
         sys.ctrl.nvm = self.nvm;
@@ -629,6 +690,7 @@ impl CrashedSystem {
                 nodes_recovered: nodes,
                 per_level,
                 est_seconds,
+                metrics,
             },
         ))
     }

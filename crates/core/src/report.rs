@@ -1,14 +1,19 @@
 //! Run metrics — the raw series behind every figure of §IV.
 
 use steins_nvm::{EnergyCounters, EnergyModel, NvmStats};
+use steins_obs::{Histogram, MetricRegistry};
 
-/// Arrival→completion latency accumulator.
-#[derive(Clone, Copy, Debug, Default)]
+/// Arrival→completion latency accumulator: running mean plus the full
+/// log-bucketed distribution (the paper argues through averages; the
+/// observability layer adds the tail).
+#[derive(Clone, Debug, Default)]
 pub struct LatencyStats {
     /// Completed operations.
     pub count: u64,
     /// Summed latency in cycles.
     pub total_cycles: u64,
+    /// Per-operation latency distribution.
+    pub hist: Histogram,
 }
 
 impl LatencyStats {
@@ -17,6 +22,7 @@ impl LatencyStats {
         debug_assert!(done >= arrival);
         self.count += 1;
         self.total_cycles += done - arrival;
+        self.hist.record(done - arrival);
     }
 
     /// Mean latency in cycles (0 when empty).
@@ -59,6 +65,14 @@ pub struct RunReport {
     pub read_stall_cycles: u64,
     /// Cycles the core spent stalled on the write path.
     pub write_stall_cycles: u64,
+    /// Per-op MC read-latency distribution (same series as `read_latency`).
+    pub read_hist: Histogram,
+    /// Per-op MC write-latency distribution (same series as
+    /// `write_latency`).
+    pub write_hist: Histogram,
+    /// Full component-path metric registry (`nvm.`, `cache.`, `meta.`,
+    /// `core.` subtrees) — the source of `results/METRICS_*.json`.
+    pub metrics: MetricRegistry,
 }
 
 impl RunReport {

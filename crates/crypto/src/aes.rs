@@ -12,7 +12,7 @@
 //! unit inside a simulator, it is not a production cipher for secrets on
 //! shared hosts.
 //!
-//! The original byte-oriented implementation is retained in [`reference`]
+//! The original byte-oriented implementation is retained in [`mod@reference`]
 //! (compiled for tests and under the `ref-impls` feature) as the
 //! differential-test and microbenchmark baseline.
 
@@ -468,7 +468,7 @@ impl Aes128 {
     /// counter) seed across four AES lanes.
     ///
     /// Batched: the seed is converted to column words once and all four
-    /// lanes run through the interleaved [`Self::encrypt4_words`] against
+    /// lanes run through the interleaved `encrypt4_words` path against
     /// one shared key schedule — the per-lane tweak lands in byte 15, i.e.
     /// the low byte of the last column word.
     pub fn otp64(&self, seed: &[u8; 16]) -> [u8; 64] {

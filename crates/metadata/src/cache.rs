@@ -13,6 +13,7 @@
 
 use crate::node::SitNode;
 use steins_crypto as _; // crate-level dependency kept for doc links
+use steins_obs::{Histogram, MetricRegistry};
 
 /// Metadata cache geometry.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +90,14 @@ pub struct MetadataCache {
     stamp: u64,
     hits: u64,
     misses: u64,
+    /// Dirty resident nodes right now (maintained incrementally — the slab
+    /// is never walked on the hot path).
+    dirty_count: u64,
+    /// Dirty-population distribution, sampled at each clean→dirty
+    /// transition (how much state a crash at that instant would lose).
+    dirty_occ_hist: Histogram,
+    /// Sizes of dirty-node batches collected per flush/set-MAC pass.
+    flush_batch_hist: Histogram,
 }
 
 impl MetadataCache {
@@ -105,6 +114,9 @@ impl MetadataCache {
             stamp: 0,
             hits: 0,
             misses: 0,
+            dirty_count: 0,
+            dirty_occ_hist: Histogram::new(),
+            flush_batch_hist: Histogram::new(),
         }
     }
 
@@ -195,12 +207,15 @@ impl MetadataCache {
     /// `(offset, node)`, in way order — the allocation-free form of
     /// [`Self::set_nodes`] for STAR's per-write set-MAC update, where the
     /// engine reuses one scratch vector across calls.
-    pub fn dirty_set_nodes_into(&self, set: usize, out: &mut Vec<(u64, SitNode)>) {
-        for s in self.set_slice(set) {
+    pub fn dirty_set_nodes_into(&mut self, set: usize, out: &mut Vec<(u64, SitNode)>) {
+        let before = out.len();
+        let ways = self.ways;
+        for s in &self.slots[set * ways..(set + 1) * ways] {
             if s.valid && s.dirty {
                 out.push((s.offset, s.node));
             }
         }
+        self.flush_batch_hist.record((out.len() - before) as u64);
     }
 
     /// Number of sets.
@@ -239,6 +254,10 @@ impl MetadataCache {
             if s.valid && s.offset == offset {
                 let was_clean = !s.dirty;
                 s.dirty = true;
+                if was_clean {
+                    self.dirty_count += 1;
+                    self.dirty_occ_hist.record(self.dirty_count);
+                }
                 return (self.flat(set, way), was_clean);
             }
         }
@@ -248,12 +267,17 @@ impl MetadataCache {
     /// Clears the dirty bit (after a flush that kept the node resident).
     pub fn mark_clean(&mut self, offset: u64) {
         let set = self.set_of(offset);
-        if let Some(s) = self
-            .set_slice_mut(set)
+        let ways = self.ways;
+        let mut was_dirty = false;
+        if let Some(s) = self.slots[set * ways..(set + 1) * ways]
             .iter_mut()
             .find(|s| s.valid && s.offset == offset)
         {
+            was_dirty = s.dirty;
             s.dirty = false;
+        }
+        if was_dirty {
+            self.dirty_count -= 1;
         }
     }
 
@@ -322,6 +346,9 @@ impl MetadataCache {
         } else {
             None
         };
+        if victim.valid && victim.dirty {
+            self.dirty_count -= 1;
+        }
         *victim = Slot {
             valid: true,
             dirty,
@@ -329,6 +356,10 @@ impl MetadataCache {
             node,
             lru: stamp,
         };
+        if dirty {
+            self.dirty_count += 1;
+            self.dirty_occ_hist.record(self.dirty_count);
+        }
         evicted
     }
 
@@ -367,11 +398,27 @@ impl MetadataCache {
         for s in &mut self.slots {
             *s = Slot::default();
         }
+        self.dirty_count = 0;
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Dirty resident nodes right now.
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty_count
+    }
+
+    /// Exports hit/miss counters, the current dirty population, and the
+    /// dirty-occupancy / flush-batch distributions under `meta.cache.`.
+    pub fn export_metrics(&self, reg: &mut MetricRegistry) {
+        reg.counter_add("meta.cache.hits", self.hits);
+        reg.counter_add("meta.cache.misses", self.misses);
+        reg.gauge_set("meta.cache.dirty_nodes", self.dirty_count as f64);
+        reg.insert_hist("meta.cache.dirty_occupancy", &self.dirty_occ_hist);
+        reg.insert_hist("meta.cache.flush_batch_nodes", &self.flush_batch_hist);
     }
 
     /// Geometry.

@@ -12,6 +12,7 @@ use crate::stats::NvmStats;
 use crate::storage::{Line, SparseStore};
 use crate::wear::WearTracker;
 use crate::Cycle;
+use steins_obs::{Histogram, MetricRegistry};
 
 #[derive(Clone, Copy, Default)]
 struct Bank {
@@ -65,12 +66,23 @@ pub struct NvmDevice {
     crash_at: Option<u64>,
     /// The point that tripped, readable after the unwind.
     tripped: Option<PersistPoint>,
+    /// Arrival→completion service-cycle distribution of reads.
+    read_hist: Histogram,
+    /// Arrival→completion service-cycle distribution of writes.
+    write_hist: Histogram,
+    /// Per-bank service-cycle distributions (reads and writes pooled).
+    bank_hists: Vec<Histogram>,
+    /// Timed line-write persist events this measurement epoch.
+    persist_line_writes: u64,
+    /// In-place ADR-update persist events this measurement epoch.
+    persist_adr_updates: u64,
 }
 
 impl NvmDevice {
     /// Creates a device per `cfg` with all-zero contents.
     pub fn new(cfg: NvmConfig) -> Self {
         let banks = vec![Bank::default(); cfg.banks];
+        let bank_hists = vec![Histogram::new(); cfg.banks];
         NvmDevice {
             cfg,
             banks,
@@ -81,6 +93,11 @@ impl NvmDevice {
             persist_seq: 0,
             crash_at: None,
             tripped: None,
+            read_hist: Histogram::new(),
+            write_hist: Histogram::new(),
+            bank_hists,
+            persist_line_writes: 0,
+            persist_adr_updates: 0,
         }
     }
 
@@ -90,6 +107,10 @@ impl NvmDevice {
     /// survives); everything after it is lost.
     fn persist_event(&mut self, kind: PersistKind, addr: u64) {
         self.persist_seq += 1;
+        match kind {
+            PersistKind::LineWrite => self.persist_line_writes += 1,
+            PersistKind::AdrUpdate => self.persist_adr_updates += 1,
+        }
         if self.crash_at == Some(self.persist_seq) {
             self.tripped = Some(PersistPoint {
                 seq: self.persist_seq,
@@ -165,6 +186,8 @@ impl NvmDevice {
         }
         self.stats.read_service_cycles += done - now;
         self.stats.contention_cycles += start - now;
+        self.read_hist.record(done - now);
+        self.bank_hists[bank_idx].record(done - now);
 
         (self.storage.read(addr), done)
     }
@@ -184,6 +207,8 @@ impl NvmDevice {
         self.stats.writes += 1;
         self.stats.write_service_cycles += done - now;
         self.stats.contention_cycles += start - now;
+        self.write_hist.record(done - now);
+        self.bank_hists[bank_idx].record(done - now);
 
         self.wear.record(addr);
         self.storage.write(addr, line);
@@ -230,9 +255,49 @@ impl NvmDevice {
     }
 
     /// Zeroes the statistics (e.g. when a recovered system starts a fresh
-    /// measurement epoch).
+    /// measurement epoch). Histograms and persist-event counters reset with
+    /// the rest; `persist_seq` does not (crash-point enumeration spans
+    /// epochs).
     pub fn reset_stats(&mut self) {
         self.stats = NvmStats::default();
+        self.read_hist = Histogram::new();
+        self.write_hist = Histogram::new();
+        for h in &mut self.bank_hists {
+            *h = Histogram::new();
+        }
+        self.persist_line_writes = 0;
+        self.persist_adr_updates = 0;
+    }
+
+    /// Service-cycle distribution of reads (arrival → data ready).
+    pub fn read_service_hist(&self) -> &Histogram {
+        &self.read_hist
+    }
+
+    /// Service-cycle distribution of writes (arrival → persisted).
+    pub fn write_service_hist(&self) -> &Histogram {
+        &self.write_hist
+    }
+
+    /// Exports device metrics under the `nvm.` prefix: event counters,
+    /// ADR persist counts, global and per-bank service-latency histograms
+    /// (idle banks are omitted).
+    pub fn export_metrics(&self, reg: &mut MetricRegistry) {
+        reg.counter_add("nvm.device.reads", self.stats.reads);
+        reg.counter_add("nvm.device.writes", self.stats.writes);
+        reg.counter_add("nvm.device.row_hits", self.stats.row_hits);
+        reg.counter_add("nvm.device.row_misses", self.stats.row_misses);
+        reg.counter_add("nvm.device.contention_cycles", self.stats.contention_cycles);
+        reg.counter_add("nvm.device.wq_stall_cycles", self.stats.wq_stall_cycles);
+        reg.counter_add("nvm.adr.persists.line_write", self.persist_line_writes);
+        reg.counter_add("nvm.adr.persists.in_place", self.persist_adr_updates);
+        reg.insert_hist("nvm.device.read_service_cycles", &self.read_hist);
+        reg.insert_hist("nvm.device.write_service_cycles", &self.write_hist);
+        for (i, h) in self.bank_hists.iter().enumerate() {
+            if h.count() > 0 {
+                reg.insert_hist(&format!("nvm.bank.{i:02}.service_cycles"), h);
+            }
+        }
     }
 
     /// Earliest cycle at which every bank is idle (drain horizon).

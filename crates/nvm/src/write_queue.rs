@@ -15,6 +15,7 @@ use crate::device::NvmDevice;
 use crate::storage::Line;
 use crate::Cycle;
 use std::collections::VecDeque;
+use steins_obs::{Histogram, MetricRegistry};
 
 struct Entry {
     completes_at: Cycle,
@@ -24,6 +25,13 @@ struct Entry {
 pub struct WriteQueue {
     capacity: usize,
     in_flight: VecDeque<Entry>,
+    /// Post-push occupancy distribution (how close to saturation the queue
+    /// runs — the leading indicator of the stalls below).
+    occ_hist: Histogram,
+    /// Pushes that found the queue full.
+    stalls: u64,
+    /// Producer cycles lost waiting for the oldest entry to drain.
+    stall_cycles: u64,
 }
 
 impl WriteQueue {
@@ -33,6 +41,9 @@ impl WriteQueue {
         WriteQueue {
             capacity,
             in_flight: VecDeque::with_capacity(capacity),
+            occ_hist: Histogram::new(),
+            stalls: 0,
+            stall_cycles: 0,
         }
     }
 
@@ -56,11 +67,14 @@ impl WriteQueue {
             // Full: stall until the oldest write persists.
             let wait_until = self.in_flight.front().expect("non-empty").completes_at;
             dev.stats_mut().wq_stall_cycles += wait_until - now;
+            self.stalls += 1;
+            self.stall_cycles += wait_until - now;
             now = wait_until;
             self.reap(now);
         }
         let completes_at = dev.write(now, addr, line);
         self.in_flight.push_back(Entry { completes_at });
+        self.occ_hist.record(self.in_flight.len() as u64);
         now
     }
 
@@ -78,6 +92,19 @@ impl WriteQueue {
     /// Queue capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Post-push occupancy distribution.
+    pub fn occupancy_hist(&self) -> &Histogram {
+        &self.occ_hist
+    }
+
+    /// Exports queue metrics under the `nvm.write_queue.` prefix.
+    pub fn export_metrics(&self, reg: &mut MetricRegistry) {
+        reg.gauge_set("nvm.write_queue.capacity", self.capacity as f64);
+        reg.counter_add("nvm.write_queue.stalls", self.stalls);
+        reg.counter_add("nvm.write_queue.stall_cycles", self.stall_cycles);
+        reg.insert_hist("nvm.write_queue.occupancy", &self.occ_hist);
     }
 }
 

@@ -15,7 +15,7 @@
 //!   stencil, uniform-random, pointer-chase, Zipfian).
 //! * [`workload::Workload`] — the ten named workloads with calibrated
 //!   parameters, plus custom constructors.
-//! * [`file`] — compact binary trace record/replay (13 B/op, streaming).
+//! * [`mod@file`] — compact binary trace record/replay (13 B/op, streaming).
 
 pub mod file;
 pub mod pattern;
