@@ -10,17 +10,33 @@
 //! skipped — those baselines are general-counter-only by design (their
 //! recovery needs self-increasing parent counters).
 //!
+//! Phase two tears the writes: every selected 64 B line-write boundary is
+//! re-crashed under partial word masks (NVM guarantees 8 B, not 64 B,
+//! atomicity) — a dropped write, a one-word prefix, a half line, and two
+//! sparse patterns. The contract per (point, mask): strict recovery
+//! succeeds with the torn line failing closed, or the lenient scrub
+//! salvages every other acknowledged line without panicking.
+//!
 //! Env knobs: `STEINS_SWEEP_OPS` (stream length, default 150),
+//! `STEINS_TORN_POINTS` (line-write boundaries torn per combo, default 48),
 //! `STEINS_THREADS` (worker pool size).
 
 use steins_bench::par;
 use steins_core::{CounterMode, CrashSweep, PointSelection, SchemeKind};
+
+/// Torn-word masks swept at every selected line-write boundary: dropped,
+/// one-word prefix, half-line prefix, sparse even words, sparse odd words.
+const TORN_MASKS: [u8; 5] = [0x00, 0x01, 0x0F, 0x55, 0xAA];
 
 fn main() {
     let ops: usize = std::env::var("STEINS_SWEEP_OPS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(150);
+    let torn_points: usize = std::env::var("STEINS_TORN_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
     let combos = [
         (SchemeKind::WriteBack, CounterMode::General),
         (SchemeKind::WriteBack, CounterMode::Split),
@@ -67,6 +83,47 @@ fn main() {
     }
     println!("{:>10}  skipped: general-counter-only baseline", "Asit-SC");
     println!("{:>10}  skipped: general-counter-only baseline", "Star-SC");
+
+    println!(
+        "\nTorn-write sweep: {} masks × ≤{torn_points} line-write boundaries per combo",
+        TORN_MASKS.len()
+    );
+    println!("{:>10}  {:>8}  {:>8}  result", "combo", "torn", "failed");
+    for (scheme, mode) in combos {
+        let sweep = CrashSweep::small(scheme, mode, ops, PointSelection::AtMost(torn_points));
+        let points = match sweep.tearable_points() {
+            Ok(p) => p,
+            Err(e) => {
+                all_clean = false;
+                println!("{:>10}  baseline run failed: {e}", scheme.label(mode));
+                continue;
+            }
+        };
+        let jobs: Vec<(u64, u8)> = points
+            .iter()
+            .flat_map(|&k| TORN_MASKS.iter().map(move |&m| (k, m)))
+            .collect();
+        let tested = jobs.len();
+        let failures: Vec<_> = par::map(jobs, |(k, m)| sweep.probe_point_torn(k, m))
+            .into_iter()
+            .flatten()
+            .collect();
+        let verdict = if failures.is_empty() {
+            "all torn points recovered or scrubbed".to_string()
+        } else {
+            all_clean = false;
+            "TORN CONTRACT VIOLATIONS".to_string()
+        };
+        println!(
+            "{:>10}  {:>8}  {:>8}  {verdict}",
+            scheme.label(mode),
+            tested,
+            failures.len()
+        );
+        for repro in failures.iter().take(3) {
+            println!("{repro}");
+        }
+    }
     if !all_clean {
         std::process::exit(1);
     }

@@ -1,0 +1,116 @@
+//! Seeded randomized fault campaign — the CI robustness gate.
+//!
+//! Composes the full fault model at every injected point: a random crash
+//! point × a torn-word mask (whole, prefix, sparse, dropped) × — on every
+//! other iteration — post-crash corruption (node/data bit flips, offset
+//! record rewrites, raw overwrites) and media faults (stuck-at lines,
+//! uncorrectable reads). Crash-only points must meet the strong sweep
+//! contract (every acknowledged line back, torn line failing closed);
+//! attacked points must meet the robustness contract (no panic anywhere in
+//! strict recovery, the lenient scrub, or post-scrub reads; tampered
+//! durable data never whitewashed as intact; no read ever returns wrong
+//! data as `Ok`).
+//!
+//! Fully deterministic for a fixed seed: any failure reproduces from the
+//! `(seed, combo, iteration)` tuple in its repro line. Exits non-zero on
+//! any contract violation or escaped panic.
+//!
+//! Env knobs: `STEINS_CAMPAIGN_POINTS` (fault points per combo, default
+//! 168 → 1008 total), `STEINS_CAMPAIGN_OPS` (stream length, default 40),
+//! `STEINS_CAMPAIGN_SEED` (default `0x5EED_FA17`), `STEINS_THREADS`.
+
+use steins_bench::metrics::write_metrics;
+use steins_bench::par;
+use steins_core::campaign::{CampaignConfig, CampaignReport, FaultCampaign, COMBOS};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = CampaignConfig {
+        seed: env_u64("STEINS_CAMPAIGN_SEED", 0x5EED_FA17),
+        points_per_combo: env_u64("STEINS_CAMPAIGN_POINTS", 168) as usize,
+        ops: env_u64("STEINS_CAMPAIGN_OPS", 40) as usize,
+    };
+    println!(
+        "Fault campaign: seed {:#x}, {} points × {} combos ({} ops/stream), {} workers",
+        cfg.seed,
+        cfg.points_per_combo,
+        COMBOS.len(),
+        cfg.ops,
+        par::threads()
+    );
+
+    let campaign = FaultCampaign::new(cfg.clone());
+    let reports: Vec<(String, CampaignReport)> = par::map(
+        COMBOS.iter().enumerate().collect::<Vec<_>>(),
+        |(ci, (scheme, mode))| (scheme.label(*mode), campaign.run_combo(ci, *scheme, *mode)),
+    );
+
+    let mut summary = String::from(
+        "### Fault campaign\n\n\
+         | combo | points | crash | attack | panics | detected | unrecoverable | result |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    println!(
+        "{:>10}  {:>7}  {:>6}  {:>7}  {:>7}  {:>9}  {:>14}  result",
+        "combo", "points", "crash", "attack", "panics", "detected", "unrecoverable"
+    );
+    let mut merged = CampaignReport {
+        seed: cfg.seed,
+        ..CampaignReport::default()
+    };
+    for (label, r) in &reports {
+        let verdict = if r.clean() { "pass" } else { "FAIL" };
+        println!(
+            "{:>10}  {:>7}  {:>6}  {:>7}  {:>7}  {:>9}  {:>14}  {verdict}",
+            label,
+            r.points(),
+            r.crash_points,
+            r.attack_points,
+            r.panics,
+            r.strict_detected,
+            r.data_unrecoverable
+        );
+        summary.push_str(&format!(
+            "| {label} | {} | {} | {} | {} | {} | {} | {verdict} |\n",
+            r.points(),
+            r.crash_points,
+            r.attack_points,
+            r.panics,
+            r.strict_detected,
+            r.data_unrecoverable
+        ));
+        merged.merge(r);
+    }
+    println!("\n{merged}");
+    summary.push_str(&format!(
+        "\n**{} total points, {} panics, {} failures.**\n",
+        merged.points(),
+        merged.panics,
+        merged.failures.len()
+    ));
+
+    if let Some(path) = write_metrics("campaign", &merged.metrics()) {
+        println!("metrics -> {}", path.display());
+    }
+    if let Ok(step) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(step) {
+            let _ = f.write_all(summary.as_bytes());
+        }
+    }
+    if !merged.clean() {
+        std::process::exit(1);
+    }
+}

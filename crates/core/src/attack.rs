@@ -21,19 +21,35 @@ impl CrashedSystem {
         self.nvm.poke(self.layout.node_addr(offset), old_line);
     }
 
-    /// Flips one bit of a metadata node in NVM (tampering).
+    /// Flips one bit of a metadata node in NVM (tampering), at the default
+    /// position (byte 13, mask `0x40` — mid-counter-region).
     pub fn tamper_node(&mut self, offset: u64) {
+        self.tamper_node_at(offset, 13, 0x40);
+    }
+
+    /// XORs `mask` into byte `byte` of a metadata node in NVM: the
+    /// position-parameterized tamper primitive (randomized campaigns pick
+    /// byte/mask; a zero `mask` is a no-op and is rejected by debug builds).
+    pub fn tamper_node_at(&mut self, offset: u64, byte: usize, mask: u8) {
+        debug_assert!(mask != 0, "zero mask tampers nothing");
         let addr = self.layout.node_addr(offset);
         let mut line = self.nvm.peek(addr);
-        line[13] ^= 0x40;
+        line[byte % 64] ^= mask;
         self.nvm.poke(addr, &line);
     }
 
-    /// Flips one bit of a user data line in NVM (tampering).
+    /// Flips one bit of a user data line in NVM (tampering), at the default
+    /// position (byte 0, mask `0x01`).
     pub fn tamper_data(&mut self, data_line: u64) {
+        self.tamper_data_at(data_line, 0, 0x01);
+    }
+
+    /// XORs `mask` into byte `byte` of a user data line in NVM.
+    pub fn tamper_data_at(&mut self, data_line: u64, byte: usize, mask: u8) {
+        debug_assert!(mask != 0, "zero mask tampers nothing");
         let addr = self.layout.data_base + data_line * 64;
         let mut line = self.nvm.peek(addr);
-        line[0] ^= 0x01;
+        line[byte % 64] ^= mask;
         self.nvm.poke(addr, &line);
     }
 

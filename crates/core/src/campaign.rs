@@ -1,0 +1,627 @@
+//! Seeded randomized fault campaign (§III-H hardening, fault-model edition).
+//!
+//! The exhaustive crash sweep ([`crate::crash::CrashSweep`]) enumerates
+//! *every* persist boundary but only one fault shape at a time. The campaign
+//! composes the whole fault model at once, randomly but reproducibly:
+//!
+//! * a crash point drawn from the stream's persist-boundary range,
+//! * a torn-word mask (whole-line, prefix, arbitrary subset, dropped),
+//! * and — on attack iterations — post-crash NVM corruption: node/data bit
+//!   flips, offset-record rewrites, raw line overwrites, plus *media*
+//!   faults (stuck-at lines, uncorrectable reads) injected into the device.
+//!
+//! The contract is two-tier. **Crash-only points** must satisfy the strong
+//! sweep contract: recovery (strict, or the lenient scrub when a torn
+//! metadata line defeats fail-stop recovery) brings back every acknowledged
+//! line, with the torn line failing closed. **Attacked points** get the
+//! robustness contract: neither strict recovery nor the scrub may panic
+//! (arbitrary corruption is the scrub's whole reason to exist), tampered
+//! durable data must not be reported `Intact`, and no read of the scrubbed
+//! machine may ever return wrong data with an `Ok` — detection, not
+//! correction, is the promise under active attack.
+//!
+//! Every iteration derives its own RNG from `(seed, combo, iteration)`, so
+//! a failure reproduces from the tuple printed in the report — and the
+//! campaign re-runs the failing iteration on a truncated op stream to
+//! shrink the repro before reporting it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use steins_metadata::CounterMode;
+use steins_obs::{Histogram, MetricRegistry};
+use steins_trace::rng::SmallRng;
+
+use crate::config::{SchemeKind, SystemConfig};
+use crate::crash::{CrashSweep, PointSelection, SweepOp, TornCrash};
+use crate::scrub::ScrubReport;
+
+/// The six supported (scheme, counter-mode) combinations: ASIT and STAR are
+/// general-counter designs (split-counter variants are out of scope by
+/// design), WB and Steins run in both modes.
+pub const COMBOS: [(SchemeKind, CounterMode); 6] = [
+    (SchemeKind::WriteBack, CounterMode::General),
+    (SchemeKind::WriteBack, CounterMode::Split),
+    (SchemeKind::Asit, CounterMode::General),
+    (SchemeKind::Star, CounterMode::General),
+    (SchemeKind::Steins, CounterMode::General),
+    (SchemeKind::Steins, CounterMode::Split),
+];
+
+/// Campaign parameters. Fully deterministic for a fixed config.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed; every iteration's RNG derives from it.
+    pub seed: u64,
+    /// Fault points injected per (scheme, mode) combination.
+    pub points_per_combo: usize,
+    /// Length of the op stream replayed before each crash.
+    pub ops: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0x5EED_FA17,
+            points_per_combo: 32,
+            ops: 60,
+        }
+    }
+}
+
+/// How one injected fault point resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignOutcome {
+    /// Crash-only point: the strong sweep contract held.
+    CrashRecovered,
+    /// Crash-only point: the strong contract was violated.
+    CrashFailed,
+    /// Attacked point: no panic, verdicts and read-backs consistent.
+    AttackHandled,
+    /// Attacked point: strict recovery or the scrub unwound.
+    AttackPanicked,
+    /// Attacked point: a tampered durable line was reported intact, or a
+    /// read returned wrong data with `Ok`.
+    AttackInconsistent,
+}
+
+/// Aggregated campaign results (merge-able across combos).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Master seed the campaign ran under.
+    pub seed: u64,
+    /// Crash-only points injected / passed.
+    pub crash_points: u64,
+    /// Attacked points injected.
+    pub attack_points: u64,
+    /// Panics that escaped recovery or the scrub (must be zero).
+    pub panics: u64,
+    /// Strict-recovery integrity errors observed under attack (detection
+    /// events; informational).
+    pub strict_detected: u64,
+    /// Aggregated scrub verdict counters over all attack iterations.
+    pub data_intact: u64,
+    /// Data lines the scrub classified unrecoverable (expected under
+    /// attack; informational).
+    pub data_unrecoverable: u64,
+    /// Metadata nodes rebuilt by the scrub.
+    pub meta_recovered: u64,
+    /// Human-readable minimal repros, one per failed point.
+    pub failures: Vec<String>,
+    /// Distribution of injected crash points (persist-boundary index).
+    pub point_hist: Histogram,
+}
+
+impl CampaignReport {
+    /// True when every injected point met its contract.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty() && self.panics == 0
+    }
+
+    /// Total injected fault points.
+    pub fn points(&self) -> u64 {
+        self.crash_points + self.attack_points
+    }
+
+    /// Folds another combo's report into this one.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        self.crash_points += other.crash_points;
+        self.attack_points += other.attack_points;
+        self.panics += other.panics;
+        self.strict_detected += other.strict_detected;
+        self.data_intact += other.data_intact;
+        self.data_unrecoverable += other.data_unrecoverable;
+        self.meta_recovered += other.meta_recovered;
+        self.failures.extend(other.failures.iter().cloned());
+        self.point_hist.merge(&other.point_hist);
+    }
+
+    /// Exports the campaign counters under `core.campaign.`.
+    pub fn metrics(&self) -> MetricRegistry {
+        let mut m = MetricRegistry::new();
+        m.counter_add("core.campaign.points.crash", self.crash_points);
+        m.counter_add("core.campaign.points.attack", self.attack_points);
+        m.counter_add("core.campaign.panics", self.panics);
+        m.counter_add("core.campaign.failures", self.failures.len() as u64);
+        m.counter_add("core.campaign.strict.detected", self.strict_detected);
+        m.counter_add("core.campaign.scrub.data.intact", self.data_intact);
+        m.counter_add(
+            "core.campaign.scrub.data.unrecoverable",
+            self.data_unrecoverable,
+        );
+        m.counter_add("core.campaign.scrub.meta.recovered", self.meta_recovered);
+        m.insert_hist("core.campaign.point", &self.point_hist);
+        m
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "campaign seed {:#x}: {} points ({} crash, {} attack), \
+             {} panics, {} strict detections, scrub {{intact {}, \
+             unrecoverable {}, meta-recovered {}}}",
+            self.seed,
+            self.points(),
+            self.crash_points,
+            self.attack_points,
+            self.panics,
+            self.strict_detected,
+            self.data_intact,
+            self.data_unrecoverable,
+            self.meta_recovered,
+        )?;
+        if self.failures.is_empty() {
+            write!(f, "  PASS: every point met its contract")?;
+        } else {
+            writeln!(
+                f,
+                "  FAIL: {} point(s) broke the contract",
+                self.failures.len()
+            )?;
+            for fail in &self.failures {
+                writeln!(f, "  - {fail}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One random post-crash corruption, drawn per attack iteration.
+#[derive(Clone, Copy, Debug)]
+enum Attack {
+    TamperNode {
+        offset: u64,
+        byte: usize,
+        mask: u8,
+    },
+    TamperData {
+        line: u64,
+        byte: usize,
+        mask: u8,
+    },
+    RewriteRecord {
+        slot: u64,
+        entry: Option<u64>,
+    },
+    RawOverwrite {
+        node_offset: u64,
+        fill: u8,
+    },
+    StuckLine {
+        node_offset: u64,
+        fill: u8,
+    },
+    Unreadable {
+        data_line: u64,
+    },
+    BitFlip {
+        data_line: u64,
+        byte: usize,
+        bit: u8,
+    },
+}
+
+/// The randomized fault-campaign driver.
+pub struct FaultCampaign {
+    pub cfg: CampaignConfig,
+}
+
+impl FaultCampaign {
+    /// A campaign with the given parameters.
+    pub fn new(cfg: CampaignConfig) -> Self {
+        FaultCampaign { cfg }
+    }
+
+    /// Per-iteration RNG: independent of execution order, so any single
+    /// iteration reproduces from `(seed, combo, i)` alone.
+    fn rng_for(&self, combo: usize, i: usize) -> SmallRng {
+        SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(combo as u32 * 7)
+                ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+        )
+    }
+
+    /// Draws the torn-word mask: whole-line persists stay the common case,
+    /// with prefix tears, arbitrary subsets, and dropped writes mixed in.
+    fn draw_mask(rng: &mut SmallRng) -> u8 {
+        match rng.next_u64() % 4 {
+            0 | 1 => 0xFF,
+            2 => {
+                // Prefix tear: the first 1..=7 words landed.
+                let words = 1 + (rng.next_u64() % 7) as u8;
+                (1u16 << words).wrapping_sub(1) as u8
+            }
+            _ => (rng.next_u64() & 0xFF) as u8, // arbitrary subset, 0x00 possible
+        }
+    }
+
+    /// Draws one post-crash corruption against the given image geometry.
+    fn draw_attack(
+        rng: &mut SmallRng,
+        total_nodes: u64,
+        data_lines: u64,
+        cache_slots: u64,
+    ) -> Attack {
+        let nz = |m: u8| if m == 0 { 1 } else { m };
+        match rng.next_u64() % 7 {
+            0 => Attack::TamperNode {
+                offset: rng.next_u64() % total_nodes,
+                byte: (rng.next_u64() % 64) as usize,
+                mask: nz((rng.next_u64() & 0xFF) as u8),
+            },
+            1 => Attack::TamperData {
+                line: rng.next_u64() % data_lines,
+                byte: (rng.next_u64() % 64) as usize,
+                mask: nz((rng.next_u64() & 0xFF) as u8),
+            },
+            2 => Attack::RewriteRecord {
+                slot: rng.next_u64() % cache_slots,
+                entry: if rng.next_u64() % 2 == 0 {
+                    Some(rng.next_u64() % total_nodes)
+                } else {
+                    None
+                },
+            },
+            3 => Attack::RawOverwrite {
+                node_offset: rng.next_u64() % total_nodes,
+                fill: (rng.next_u64() & 0xFF) as u8,
+            },
+            4 => Attack::StuckLine {
+                node_offset: rng.next_u64() % total_nodes,
+                fill: (rng.next_u64() & 0xFF) as u8,
+            },
+            5 => Attack::Unreadable {
+                data_line: rng.next_u64() % data_lines,
+            },
+            _ => Attack::BitFlip {
+                data_line: rng.next_u64() % data_lines,
+                byte: (rng.next_u64() % 64) as usize,
+                bit: (rng.next_u64() % 8) as u8,
+            },
+        }
+    }
+
+    /// Applies a drawn attack to a crashed image. Returns the *data*
+    /// address the attack corrupted in storage, when it targeted the data
+    /// plane directly (used for the no-false-`Intact` assertion), and
+    /// whether the attack was a read-path media fault.
+    fn apply_attack(tc: &mut TornCrash, a: Attack) -> (Option<u64>, bool) {
+        let crashed = &mut tc.crashed;
+        match a {
+            Attack::TamperNode { offset, byte, mask } => {
+                crashed.tamper_node_at(offset, byte, mask);
+                (None, false)
+            }
+            Attack::TamperData { line, byte, mask } => {
+                crashed.tamper_data_at(line, byte, mask);
+                (Some(crashed.layout.data_base + line * 64), false)
+            }
+            Attack::RewriteRecord { slot, entry } => {
+                crashed.rewrite_record(slot, entry);
+                (None, false)
+            }
+            Attack::RawOverwrite { node_offset, fill } => {
+                let addr = crashed.layout.node_addr(node_offset);
+                crashed.poke_raw(addr, &[fill; 64]);
+                (None, false)
+            }
+            Attack::StuckLine { node_offset, fill } => {
+                let addr = crashed.layout.node_addr(node_offset);
+                crashed.nvm_mut().inject_stuck_line(addr, [fill; 64]);
+                (None, true)
+            }
+            Attack::Unreadable { data_line } => {
+                let addr = crashed.layout.data_base + data_line * 64;
+                crashed.nvm_mut().inject_unreadable(addr);
+                (None, true)
+            }
+            Attack::BitFlip {
+                data_line,
+                byte,
+                bit,
+            } => {
+                let addr = crashed.layout.data_base + data_line * 64;
+                crashed.nvm_mut().inject_bit_flip(addr, byte, bit);
+                (Some(addr), false)
+            }
+        }
+    }
+
+    /// Builds the crashed-and-attacked image for one attack iteration.
+    /// Rebuilding from scratch (rather than cloning) keeps the image's
+    /// fault plane and truth map exactly as recovery will see them.
+    fn attacked_image(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        mask: u8,
+        attacks: &[Attack],
+    ) -> Option<(TornCrash, Vec<u64>, bool)> {
+        let mut tc = CrashSweep::crash_torn(cfg, ops, k, mask).ok()??;
+        let mut tampered_data = Vec::new();
+        let mut media = false;
+        for &a in attacks {
+            let (data_addr, is_media) = Self::apply_attack(&mut tc, a);
+            if let Some(addr) = data_addr {
+                tampered_data.push(addr);
+            }
+            media |= is_media;
+        }
+        Some((tc, tampered_data, media))
+    }
+
+    /// Runs one attack iteration; returns `Ok(outcome)` or a failure
+    /// description.
+    fn attack_iteration(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        mask: u8,
+        attacks: &[Attack],
+        report: &mut CampaignReport,
+    ) -> Result<CampaignOutcome, String> {
+        // Strict recovery first: it may detect (Err) or even succeed (the
+        // attack can land on untouched regions) — it must never unwind.
+        let Some((tc, tampered, media)) = Self::attacked_image(cfg, ops, k, mask, attacks) else {
+            return Err("attack image not reproducible".into());
+        };
+        let expected = tc.expected.clone();
+        let sacrificed = tc.sacrificed;
+        let crashed = tc.crashed;
+        let recoverable = crashed.recoverable();
+        match catch_unwind(AssertUnwindSafe(move || crashed.recover().err())) {
+            Ok(Some(_)) => report.strict_detected += 1,
+            Ok(None) => {}
+            Err(_) => {
+                report.panics += 1;
+                return Err("strict recovery panicked".into());
+            }
+        }
+
+        // The lenient scrub on a fresh copy of the same image: total by
+        // contract, and its damage report must not whitewash the attack.
+        let Some((tc2, _, _)) = Self::attacked_image(cfg, ops, k, mask, attacks) else {
+            return Err("attack image not reproducible".into());
+        };
+        let crashed2 = tc2.crashed;
+        let (sys, scrub): (Option<crate::SecureNvmSystem>, ScrubReport) =
+            match catch_unwind(AssertUnwindSafe(move || crashed2.recover_lenient())) {
+                Ok(r) => r,
+                Err(_) => {
+                    report.panics += 1;
+                    return Err("lenient scrub panicked".into());
+                }
+            };
+        report.data_intact += scrub.data_intact;
+        report.data_unrecoverable += scrub.data_unrecoverable;
+        report.meta_recovered += scrub.meta_recovered;
+
+        // No false Intact: a data line whose *storage* the attack corrupted
+        // and that held acknowledged content must show up unrecoverable —
+        // unless a read-path media fault shadows what the scrub saw, or the
+        // tear already sacrificed it.
+        if !media {
+            for &addr in &tampered {
+                if expected.contains_key(&addr)
+                    && Some(addr) != sacrificed
+                    && !scrub.unrecoverable_addrs.contains(&addr)
+                {
+                    return Err(format!(
+                        "tampered durable line {addr:#x} not flagged unrecoverable"
+                    ));
+                }
+            }
+        }
+
+        // Post-scrub reads must never panic and never return wrong data as
+        // `Ok` — Err is acceptable (detection), wrong-Ok is a MAC break.
+        if recoverable {
+            let Some(mut sys) = sys else {
+                return Err("scrub returned no system for a recoverable scheme".into());
+            };
+            let mut addrs: Vec<u64> = expected.keys().copied().collect();
+            addrs.sort_unstable();
+            let verdict = catch_unwind(AssertUnwindSafe(move || {
+                for addr in addrs {
+                    if let Ok(got) = sys.read(addr) {
+                        if got != expected[&addr] {
+                            return Some(addr);
+                        }
+                    }
+                }
+                None
+            }));
+            match verdict {
+                Ok(None) => {}
+                Ok(Some(addr)) => {
+                    return Err(format!(
+                        "read of {addr:#x} returned wrong data as Ok after scrub"
+                    ));
+                }
+                Err(_) => {
+                    report.panics += 1;
+                    return Err("post-scrub read panicked".into());
+                }
+            }
+        }
+        Ok(CampaignOutcome::AttackHandled)
+    }
+
+    /// Runs the campaign for one (scheme, mode) combination.
+    pub fn run_combo(&self, combo: usize, scheme: SchemeKind, mode: CounterMode) -> CampaignReport {
+        let cfg = SystemConfig::small_for_tests(scheme, mode);
+        let ops = SweepOp::stream(self.cfg.seed ^ ((combo as u64) << 17), 192, self.cfg.ops);
+        let sweep = CrashSweep::new(cfg.clone(), ops.clone(), PointSelection::All);
+        let label = scheme.label(mode);
+        let mut report = CampaignReport {
+            seed: self.cfg.seed,
+            ..CampaignReport::default()
+        };
+        let total = match sweep.total_points() {
+            Ok(t) if t > 0 => t,
+            Ok(_) => return report,
+            Err(e) => {
+                report
+                    .failures
+                    .push(format!("{label}: baseline run failed: {e}"));
+                return report;
+            }
+        };
+        let data_lines = 192u64; // the stream's line universe (SweepOp::stream)
+        let layout =
+            steins_metadata::MemoryLayout::new(cfg.mode, cfg.data_lines, cfg.meta_cache.slots());
+        let total_nodes = layout.geometry.total_nodes();
+        let cache_slots = cfg.meta_cache.slots();
+
+        for i in 0..self.cfg.points_per_combo {
+            let mut rng = self.rng_for(combo, i);
+            let k = rng.gen_range_inclusive(1, total);
+            let mask = Self::draw_mask(&mut rng);
+            report.point_hist.record(k);
+            if i % 2 == 0 {
+                // Crash-only point: the strong sweep contract, torn-aware.
+                report.crash_points += 1;
+                if let Some(repro) = sweep.probe_point_torn(k, mask) {
+                    report.failures.push(format!(
+                        "{label} crash point {k} mask {mask:#04x} \
+                         (seed {:#x}, iter {i}, {} ops): {}",
+                        self.cfg.seed,
+                        repro.ops.len(),
+                        repro.error
+                    ));
+                }
+            } else {
+                // Attacked point: robustness contract.
+                report.attack_points += 1;
+                let n_attacks = 1 + (rng.next_u64() % 3) as usize;
+                let attacks: Vec<Attack> = (0..n_attacks)
+                    .map(|_| Self::draw_attack(&mut rng, total_nodes, data_lines, cache_slots))
+                    .collect();
+                if let Err(why) = Self::attack_iteration(&cfg, &ops, k, mask, &attacks, &mut report)
+                {
+                    // Shrink: re-run on the stream truncated past the
+                    // in-flight op; keep the shorter repro when it still
+                    // fails the same way.
+                    let mut repro_ops = ops.len();
+                    if let Ok(Some(tc)) = CrashSweep::crash_torn(&cfg, &ops, k, mask) {
+                        let cut = tc.op_index + 1;
+                        let mut scratch = CampaignReport::default();
+                        if cut < ops.len()
+                            && Self::attack_iteration(
+                                &cfg,
+                                &ops[..cut],
+                                k,
+                                mask,
+                                &attacks,
+                                &mut scratch,
+                            )
+                            .is_err()
+                        {
+                            repro_ops = cut;
+                        }
+                    }
+                    report.failures.push(format!(
+                        "{label} attack point {k} mask {mask:#04x} \
+                         (seed {:#x}, iter {i}, {repro_ops} ops, {attacks:?}): {why}",
+                        self.cfg.seed
+                    ));
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs all six combinations and merges the reports.
+    pub fn run_all(&self) -> CampaignReport {
+        let mut merged = CampaignReport {
+            seed: self.cfg.seed,
+            ..CampaignReport::default()
+        };
+        for (ci, (scheme, mode)) in COMBOS.iter().enumerate() {
+            merged.merge(&self.run_combo(ci, *scheme, *mode));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_for_a_fixed_seed() {
+        let cfg = CampaignConfig {
+            seed: 0xABCD,
+            points_per_combo: 4,
+            ops: 18,
+        };
+        let a =
+            FaultCampaign::new(cfg.clone()).run_combo(4, SchemeKind::Steins, CounterMode::General);
+        let b = FaultCampaign::new(cfg).run_combo(4, SchemeKind::Steins, CounterMode::General);
+        assert_eq!(a.clean(), b.clean());
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.data_intact, b.data_intact);
+        assert_eq!(a.data_unrecoverable, b.data_unrecoverable);
+        assert_eq!(a.strict_detected, b.strict_detected);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.point_hist.count(), b.point_hist.count());
+        assert_eq!(a.point_hist.sum(), b.point_hist.sum());
+    }
+
+    #[test]
+    fn small_campaign_passes_on_steins_and_asit() {
+        let cfg = CampaignConfig {
+            seed: 0xFA17,
+            points_per_combo: 6,
+            ops: 20,
+        };
+        let fc = FaultCampaign::new(cfg);
+        for (ci, scheme) in [(2, SchemeKind::Asit), (4, SchemeKind::Steins)] {
+            let r = fc.run_combo(ci, scheme, CounterMode::General);
+            assert!(r.clean(), "campaign failed:\n{r}");
+            assert_eq!(r.points(), 6);
+            assert_eq!(r.panics, 0);
+        }
+    }
+
+    #[test]
+    fn campaign_metrics_export_round_trips() {
+        let cfg = CampaignConfig {
+            seed: 1,
+            points_per_combo: 2,
+            ops: 12,
+        };
+        let r = FaultCampaign::new(cfg).run_combo(0, SchemeKind::WriteBack, CounterMode::General);
+        let m = r.metrics();
+        assert_eq!(
+            m.counter("core.campaign.points.crash").unwrap()
+                + m.counter("core.campaign.points.attack").unwrap(),
+            r.points()
+        );
+        assert!(m.hist("core.campaign.point").is_some());
+    }
+}

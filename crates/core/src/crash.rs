@@ -37,6 +37,10 @@ pub enum NvState {
         nv_root: u64,
         /// slot → node offset for occupied shadow entries.
         shadow_tags: HashMap<u64, u64>,
+        /// ADR-domain pre-image of an in-flight shadow update (None after a
+        /// clean boundary; Some exactly when the crash landed inside the
+        /// shadow write, where the line may have torn).
+        inflight: Option<crate::scheme::asit::AsitInflight>,
     },
     /// STAR: cache-tree root register.
     Star {
@@ -87,6 +91,7 @@ impl SecureNvmSystem {
             SchemeState::Asit(st) => NvState::Asit {
                 nv_root: st.nv_root,
                 shadow_tags: st.shadow_tags,
+                inflight: st.inflight,
             },
             SchemeState::Star(mut st) => {
                 for (addr, line) in st.bitmap_cache.crash_flush() {
@@ -139,6 +144,12 @@ impl CrashedSystem {
     /// Raw NVM view (used by tests and the attack helpers).
     pub fn nvm(&self) -> &NvmDevice {
         &self.nvm
+    }
+
+    /// Mutable NVM view — the media-fault injection surface (bit flips,
+    /// stuck-at lines, unreadable lines land on the crashed image here).
+    pub fn nvm_mut(&mut self) -> &mut NvmDevice {
+        &mut self.nvm
     }
 }
 
@@ -293,11 +304,24 @@ impl fmt::Display for SweepReport {
 }
 
 /// How a single injected crash point failed.
-struct PointFailure {
+pub(crate) struct PointFailure {
     op_index: usize,
     point: Option<PersistPoint>,
     error: String,
     divergent: String,
+}
+
+/// A replayed stream crashed at a (possibly torn) point, with ground truth
+/// already reconciled against the in-flight op and the sacrificial torn line.
+pub(crate) struct TornCrash {
+    pub(crate) crashed: CrashedSystem,
+    pub(crate) op_index: usize,
+    pub(crate) trip: Option<PersistPoint>,
+    /// Every line that must read back after recovery, with its content.
+    pub(crate) expected: HashMap<u64, [u8; 64]>,
+    /// A data line destroyed by the tear (in-place overwrite mixed old and
+    /// new words); reads of it must fail closed.
+    pub(crate) sacrificed: Option<u64>,
 }
 
 /// The exhaustive persist-boundary fault-injection driver.
@@ -368,6 +392,28 @@ impl CrashSweep {
         }
     }
 
+    /// Torn variant of [`Self::probe_point`]: at point `k` only the 8-byte
+    /// words selected by `word_mask` persist (bit *i* ⇒ word *i* durable;
+    /// `0x00` drops the write, `0xFF` is the classic full persist). Failures
+    /// are truncated to the in-flight op but not greedily shrunk.
+    pub fn probe_point_torn(&self, k: u64, word_mask: u8) -> Option<CrashRepro> {
+        match Self::test_point_torn(&self.cfg, &self.ops, k, word_mask) {
+            Ok(()) => None,
+            Err(fail) => Some(CrashRepro {
+                label: format!(
+                    "{} torn {word_mask:#04x}",
+                    self.cfg.scheme.label(self.cfg.mode)
+                ),
+                ops: self.ops[..=fail.op_index].to_vec(),
+                op_index: fail.op_index,
+                crash_point: k,
+                point: fail.point,
+                error: fail.error,
+                divergent: fail.divergent,
+            }),
+        }
+    }
+
     fn apply_op(sys: &mut SecureNvmSystem, op: SweepOp) -> Result<(), IntegrityError> {
         match op {
             SweepOp::Write { line, tag } => sys.write(line * 64, &SweepOp::payload(line, tag)),
@@ -388,9 +434,21 @@ impl CrashSweep {
     /// Injects a crash at point `k`, recovers, verifies. `Ok(())` means the
     /// point is recoverable (or provably unrecoverable by design for WB).
     fn test_point(cfg: &SystemConfig, ops: &[SweepOp], k: u64) -> Result<(), PointFailure> {
+        Self::test_point_torn(cfg, ops, k, 0xFF)
+    }
+
+    /// Replays `ops` with a (possibly torn) crash armed at `k`, then
+    /// reconciles ground truth. `Ok(None)` when `k` lies beyond the
+    /// stream's horizon. Shared with the randomized fault campaign.
+    pub(crate) fn crash_torn(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        word_mask: u8,
+    ) -> Result<Option<TornCrash>, PointFailure> {
         silence_crash_trips();
         let mut sys = SecureNvmSystem::new(cfg.clone());
-        sys.ctrl.nvm.arm_crash(k);
+        sys.ctrl.nvm.arm_crash_torn(k, word_mask);
 
         // Replay until the armed point pulls the plug.
         let mut acked: HashMap<u64, [u8; 64]> = HashMap::new();
@@ -422,22 +480,24 @@ impl CrashSweep {
         }
         let Some((op_index, op)) = in_flight else {
             // Armed beyond the stream's horizon: nothing to test.
-            return Ok(());
+            return Ok(None);
         };
         let trip = sys.ctrl.nvm.tripped_at();
         sys.ctrl.nvm.disarm_crash();
 
         // Lose power. Then reconcile ground truth for the op the crash
         // interrupted: its store is durable iff the tripping transition was
-        // the data line's own write (the MAC record rides the same line's
-        // ECC bits, so the pair is atomic).
+        // the data line's own *full* write (the MAC record rides the same
+        // line's ECC bits, so the pair is atomic; a torn line is never an
+        // acknowledged store).
         let mut expected = acked.clone();
         let mut crashed = sys.crash();
         if let SweepOp::Write { line, tag } = op {
             let addr = line * 64;
-            let durable = trip
-                .map(|p| p.kind == PersistKind::LineWrite && p.addr == addr)
-                .unwrap_or(false);
+            let durable = word_mask == 0xFF
+                && trip
+                    .map(|p| p.kind == PersistKind::LineWrite && p.addr == addr)
+                    .unwrap_or(false);
             if durable {
                 let data = SweepOp::payload(line, tag);
                 crashed.truth.insert(addr, data);
@@ -454,36 +514,44 @@ impl CrashSweep {
             }
         }
 
-        // WB has no recovery: the contract under fault injection is that it
-        // says so, at every single point.
-        if !crashed.recoverable() {
-            return match crashed.recover() {
-                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
-                other => Err(PointFailure {
-                    op_index,
-                    point: trip,
-                    error: format!(
-                        "WB must refuse recovery, got {:?}",
-                        other.as_ref().err().map(|e| e.to_string())
-                    ),
-                    divergent: "n/a".into(),
-                }),
-            };
+        // A partial tear of a *data* line destroys that line's previous
+        // content too — the in-place overwrite mixed old and new words, an
+        // inherent hazard of journal-free in-place data updates. The line is
+        // sacrificial: it must fail closed (MAC mismatch), and every other
+        // acked line must still read back.
+        let mut sacrificed = None;
+        if word_mask != 0xFF {
+            if let Some(p) = trip {
+                if p.kind == PersistKind::LineWrite && crashed.layout.is_data(p.addr) {
+                    sacrificed = Some(p.addr);
+                    expected.remove(&p.addr);
+                    crashed.truth.remove(&p.addr);
+                }
+            }
         }
 
-        let diag_cfg = cfg.clone();
-        let (mut recovered, _report) = match crashed.recover() {
-            Ok(ok) => ok,
-            Err(e) => {
-                return Err(PointFailure {
-                    op_index,
-                    point: trip,
-                    divergent: Self::diagnose_error(&diag_cfg, ops, k, &e),
-                    error: e.to_string(),
-                });
-            }
-        };
+        Ok(Some(TornCrash {
+            crashed,
+            op_index,
+            trip,
+            expected,
+            sacrificed,
+        }))
+    }
 
+    /// Verifies a recovered (or scrubbed) machine against the reconciled
+    /// expectations.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_recovered(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        recovered: &mut SecureNvmSystem,
+        expected: &HashMap<u64, [u8; 64]>,
+        sacrificed: Option<u64>,
+        op_index: usize,
+        trip: Option<PersistPoint>,
+    ) -> Result<(), PointFailure> {
         // Read back every acknowledged write: verifies the data MACs and —
         // through the fetch path — every ancestor node of every populated
         // tree branch.
@@ -510,10 +578,23 @@ impl CrashSweep {
                     return Err(PointFailure {
                         op_index,
                         point: trip,
-                        divergent: Self::diagnose_error(&diag_cfg, ops, k, &e),
+                        divergent: Self::diagnose_error(cfg, ops, k, &e),
                         error: format!("read-back of {addr:#x} failed: {e}"),
                     });
                 }
+            }
+        }
+
+        // The torn line must fail closed: its stored bytes are a mix that
+        // cannot verify against the MAC record.
+        if let Some(addr) = sacrificed {
+            if recovered.read(addr).is_ok() {
+                return Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    error: format!("torn data line {addr:#x} read back Ok"),
+                    divergent: "a torn line must fail its MAC, never return mixed words".into(),
+                });
             }
         }
 
@@ -532,6 +613,119 @@ impl CrashSweep {
             }
         }
         Ok(())
+    }
+
+    /// Injects a torn crash at point `k` (only `word_mask`'s words of the
+    /// tripping line persist) and verifies the torn contract: strict
+    /// recovery either succeeds — with every acked line intact and the torn
+    /// line failing closed — or errors cleanly, in which case the lenient
+    /// scrub must salvage everything except the torn line itself, without
+    /// panicking.
+    fn test_point_torn(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        word_mask: u8,
+    ) -> Result<(), PointFailure> {
+        let Some(tc) = Self::crash_torn(cfg, ops, k, word_mask)? else {
+            return Ok(());
+        };
+        let TornCrash {
+            crashed,
+            op_index,
+            trip,
+            expected,
+            sacrificed,
+        } = tc;
+
+        // WB has no recovery: the contract under fault injection is that it
+        // says so, at every single point.
+        if !crashed.recoverable() {
+            return match crashed.recover() {
+                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
+                other => Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    error: format!(
+                        "WB must refuse recovery, got {:?}",
+                        other.as_ref().err().map(|e| e.to_string())
+                    ),
+                    divergent: "n/a".into(),
+                }),
+            };
+        }
+
+        match crashed.recover() {
+            Ok((mut recovered, _report)) => Self::verify_recovered(
+                cfg,
+                ops,
+                k,
+                &mut recovered,
+                &expected,
+                sacrificed,
+                op_index,
+                trip,
+            ),
+            Err(strict) => {
+                if word_mask == 0xFF {
+                    // Whole-line persists must always recover strictly.
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        divergent: Self::diagnose_error(cfg, ops, k, &strict),
+                        error: strict.to_string(),
+                    });
+                }
+                // A torn line may defeat strict (fail-stop) recovery — e.g.
+                // a torn in-place node flush fails its MAC exactly like
+                // tampering. The lenient scrub must then rebuild everything
+                // from the data plane.
+                let Some(tc2) = Self::crash_torn(cfg, ops, k, word_mask)? else {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: "crash image not reproducible for the scrub".into(),
+                        divergent: "n/a".into(),
+                    });
+                };
+                let crashed2 = tc2.crashed;
+                let outcome = catch_unwind(AssertUnwindSafe(move || crashed2.recover_lenient()));
+                let (sys, report) = match outcome {
+                    Ok(r) => r,
+                    Err(_) => {
+                        return Err(PointFailure {
+                            op_index,
+                            point: trip,
+                            error: format!("scrub panicked after strict error: {strict}"),
+                            divergent: "lenient recovery must be total".into(),
+                        });
+                    }
+                };
+                if let Some(bad) = report
+                    .unrecoverable_addrs
+                    .iter()
+                    .find(|a| Some(**a) != sacrificed)
+                {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: format!(
+                            "scrub lost durable data at {bad:#x} (strict error: {strict})"
+                        ),
+                        divergent: format!("{report}"),
+                    });
+                }
+                let Some(mut sys) = sys else {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: "scrub returned no system for a recoverable scheme".into(),
+                        divergent: format!("{report}"),
+                    });
+                };
+                Self::verify_recovered(cfg, ops, k, &mut sys, &expected, sacrificed, op_index, trip)
+            }
+        }
     }
 
     /// Rebuilds the crashed NVM image for point `k` and probes which counter
@@ -718,6 +912,116 @@ impl CrashSweep {
             failures,
         }
     }
+
+    /// Runs the stream to completion with point journaling on, returning
+    /// every persist point it produces (for kind-aware point selection).
+    fn enumerate_journal(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+    ) -> Result<Vec<PersistPoint>, IntegrityError> {
+        let mut sys = SecureNvmSystem::new(cfg.clone());
+        sys.ctrl.nvm.journal_points(true);
+        for &op in ops {
+            Self::apply_op(&mut sys, op)?;
+        }
+        let journal = sys.ctrl.nvm.point_journal().to_vec();
+        Ok(journal)
+    }
+
+    /// Applies the sweep's [`PointSelection`] to an arbitrary point list,
+    /// striding by index so first and last survive bounding.
+    fn select(&self, points: Vec<u64>) -> Vec<u64> {
+        match self.selection {
+            PointSelection::All => points,
+            PointSelection::AtMost(n) if n >= points.len() => points,
+            PointSelection::AtMost(n) => {
+                let n = n.max(1) as u64;
+                let last = (points.len() - 1) as u64;
+                (0..n)
+                    .map(|i| points[(i * last / (n - 1).max(1)) as usize])
+                    .collect()
+            }
+        }
+    }
+
+    /// Every persist point of the stream that is a 64 B line write — the
+    /// only transitions that can tear (ADR updates are sub-word) — after
+    /// applying the sweep's [`PointSelection`]. The unit list for
+    /// point-parallel torn sweeps via [`Self::probe_point_torn`].
+    pub fn tearable_points(&self) -> Result<Vec<u64>, IntegrityError> {
+        let journal = Self::enumerate_journal(&self.cfg, &self.ops)?;
+        Ok(self.select(
+            journal
+                .iter()
+                .filter(|p| p.kind == PersistKind::LineWrite)
+                .map(|p| p.seq)
+                .collect(),
+        ))
+    }
+
+    /// Sweeps torn-write variants: for each selected `LineWrite` persist
+    /// point, re-runs the stream crashing there under every mask in
+    /// `word_masks` (bit *i* ⇒ 8-byte word *i* persists). ADR updates are
+    /// sub-word and never tear, so only line writes are enumerated. The
+    /// contract per (point, mask): strict recovery succeeds with the torn
+    /// line failing closed, or the lenient scrub salvages everything but the
+    /// torn line without panicking.
+    pub fn run_torn(&self, word_masks: &[u8]) -> SweepReport {
+        let label = format!("{} torn", self.cfg.scheme.label(self.cfg.mode));
+        let journal = match Self::enumerate_journal(&self.cfg, &self.ops) {
+            Ok(j) => j,
+            Err(e) => {
+                return SweepReport {
+                    label: label.clone(),
+                    total_points: 0,
+                    tested_points: 0,
+                    failures: vec![CrashRepro {
+                        label,
+                        ops: self.ops.clone(),
+                        op_index: 0,
+                        crash_point: 0,
+                        point: None,
+                        error: format!("baseline run failed: {e}"),
+                        divergent: "stream does not complete without a crash".into(),
+                    }],
+                };
+            }
+        };
+        let tearable: Vec<u64> = journal
+            .iter()
+            .filter(|p| p.kind == PersistKind::LineWrite)
+            .map(|p| p.seq)
+            .collect();
+        let total = tearable.len() as u64;
+        let points = self.select(tearable);
+        let mut failures = Vec::new();
+        let mut tested = 0u64;
+        'outer: for &k in &points {
+            for &mask in word_masks {
+                tested += 1;
+                if let Err(fail) = Self::test_point_torn(&self.cfg, &self.ops, k, mask) {
+                    failures.push(CrashRepro {
+                        label: format!("{label} {mask:#04x}"),
+                        ops: self.ops[..=fail.op_index].to_vec(),
+                        op_index: fail.op_index,
+                        crash_point: k,
+                        point: fail.point,
+                        error: fail.error,
+                        divergent: fail.divergent,
+                    });
+                    if failures.len() >= self.max_failures {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        SweepReport {
+            label,
+            total_points: total * word_masks.len() as u64,
+            tested_points: tested,
+            failures,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -848,6 +1152,51 @@ mod tests {
         assert_eq!(points[0], 1);
         assert_eq!(*points.last().unwrap(), total);
         assert_eq!(points.len() as u64, n);
+    }
+
+    /// Torn-write contract, sampled per recoverable scheme: at every
+    /// selected line-write boundary, tearing the line (prefix, sparse,
+    /// dropped) must leave every *other* acked line recoverable — strictly
+    /// or via the scrub — with the torn line failing closed.
+    fn torn_sweep(scheme: SchemeKind) {
+        let sweep = CrashSweep::small(scheme, CounterMode::General, 25, PointSelection::AtMost(10));
+        let report = sweep.run_torn(&[0x00, 0x0F, 0x5A]);
+        assert!(report.total_points > 0, "no tearable points enumerated");
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn steins_gc_torn_points_recover_or_scrub() {
+        torn_sweep(SchemeKind::Steins);
+    }
+
+    #[test]
+    fn asit_gc_torn_points_recover_or_scrub() {
+        torn_sweep(SchemeKind::Asit);
+    }
+
+    #[test]
+    fn star_gc_torn_points_recover_or_scrub() {
+        torn_sweep(SchemeKind::Star);
+    }
+
+    #[test]
+    fn wb_torn_points_keep_refusing_recovery() {
+        torn_sweep(SchemeKind::WriteBack);
+    }
+
+    #[test]
+    fn full_mask_torn_sweep_matches_classic_contract() {
+        // mask 0xFF through the torn driver must behave exactly like the
+        // classic whole-line sweep: strict recovery at every point.
+        let sweep = CrashSweep::small(
+            SchemeKind::Steins,
+            CounterMode::Split,
+            20,
+            PointSelection::AtMost(8),
+        );
+        let report = sweep.run_torn(&[0xFF]);
+        assert!(report.clean(), "{report}");
     }
 
     #[test]

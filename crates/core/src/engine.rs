@@ -484,10 +484,21 @@ impl SecureMemoryController {
         msg[64..].copy_from_slice(&slot.to_le_bytes());
         self.energy.hashes += 1;
         let leaf_mac = self.crypto.mac64_72(&msg);
+        // Stage the pre-image (slot, previous root/tag/durable line) in the
+        // ADR-domain in-flight buffer before touching any register: under
+        // 8 B write atomicity the shadow line below can tear, and recovery
+        // falls back to this authenticated pre-state (see `AsitInflight`).
+        let prev_line = self.nvm.peek(self.layout.shadow_addr(slot));
         let st = match &mut self.scheme {
             SchemeState::Asit(s) => s,
             _ => unreachable!("asit hook under asit scheme"),
         };
+        st.inflight = Some(crate::scheme::asit::AsitInflight {
+            slot,
+            prev_root: st.nv_root,
+            prev_tag: st.shadow_tags.get(&slot).copied(),
+            prev_line,
+        });
         st.shadow_tags.insert(slot, offset);
         let hashes = st
             .cache_tree
@@ -499,6 +510,12 @@ impl SecureMemoryController {
         t = self
             .wq
             .push(t, self.layout.shadow_addr(slot), &line, &mut self.nvm);
+        // The queue accepted the line (durable): the update is no longer in
+        // flight. A crash inside the push above unwinds before this clear.
+        match &mut self.scheme {
+            SchemeState::Asit(s) => s.inflight = None,
+            _ => unreachable!("asit hook under asit scheme"),
+        }
         t
     }
 
@@ -918,6 +935,11 @@ impl SecureMemoryController {
             .enc_pair(slot);
         let (ct, t2) = self.nvm.read(t, addr);
         t = t2;
+        if !self.nvm.is_readable(addr) {
+            // Uncorrectable media error: the bytes are poison, not merely
+            // tampered — report it as such instead of a spurious MAC verdict.
+            return Err(IntegrityError::Unreadable { addr });
+        }
         // The OTP is generated in parallel with the NVM read (§II-B), so it
         // adds no latency; the MAC check does.
         self.energy.aes_ops += 1;

@@ -40,6 +40,18 @@ pub enum IntegrityError {
     /// The scheme cannot recover at all (WB after a crash with dirty
     /// metadata).
     RecoveryUnsupported,
+    /// A persisted structure decoded to a state no crash-free execution can
+    /// produce — the signature of a torn (partially persisted) line.
+    Torn {
+        /// Line address of the torn structure.
+        addr: u64,
+    },
+    /// A line failed with an uncorrectable media error: its bytes are not
+    /// trustworthy at all (distinct from a MAC mismatch on readable bytes).
+    Unreadable {
+        /// Line address of the unreadable region.
+        addr: u64,
+    },
 }
 
 impl std::fmt::Display for IntegrityError {
@@ -70,6 +82,15 @@ impl std::fmt::Display for IntegrityError {
             ),
             IntegrityError::RecoveryUnsupported => {
                 write!(f, "scheme does not support metadata recovery")
+            }
+            IntegrityError::Torn { addr } => {
+                write!(
+                    f,
+                    "torn write detected at address {addr:#x} (partial persist)"
+                )
+            }
+            IntegrityError::Unreadable { addr } => {
+                write!(f, "uncorrectable media error at address {addr:#x}")
             }
         }
     }

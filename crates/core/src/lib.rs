@@ -15,6 +15,10 @@
 //! * [`crash`] / [`recovery`] — crash injection (volatile state loss with
 //!   ADR flush) and the per-scheme recovery engines with full verification.
 //! * [`attack`] — tampering/replay injection used by the security tests.
+//! * [`scrub`] — lenient recovery: the non-panicking integrity scrub with
+//!   region-granular verdicts (`Intact`/`Recovered`/`Unrecoverable`).
+//! * [`campaign`] — the seeded randomized fault campaign composing crash
+//!   points × torn-word masks × attacks/media faults.
 //! * [`cme`], [`linc`], [`nvbuffer`], [`cachetree`] — building blocks.
 //! * [`bmt`] — the Bonsai-Merkle-Tree baseline of §II-C, quantifying why
 //!   the paper (and this engine) build on the SIT instead.
@@ -23,6 +27,7 @@
 pub mod attack;
 pub mod bmt;
 pub mod cachetree;
+pub mod campaign;
 pub mod cme;
 pub mod config;
 pub mod crash;
@@ -34,13 +39,16 @@ pub mod nvbuffer;
 pub mod recovery;
 pub mod report;
 pub mod scheme;
+pub mod scrub;
 
+pub use campaign::{CampaignConfig, CampaignOutcome, CampaignReport, FaultCampaign};
 pub use config::{SchemeKind, SystemConfig};
 pub use crash::{CrashRepro, CrashSweep, CrashedSystem, PointSelection, SweepOp, SweepReport};
 pub use engine::SecureNvmSystem;
 pub use error::IntegrityError;
 pub use recovery::RecoveryReport;
 pub use report::RunReport;
+pub use scrub::{ScrubReport, Verdict};
 
 // Re-export the counter mode so downstream users need only this crate.
 pub use steins_metadata::CounterMode;

@@ -251,10 +251,21 @@ impl CrashedSystem {
         // 2. NV-buffer replay (§III-G step ⑤): transfer pending LInc deltas
         //    and mark the un-updated parents for recovery.
         for e in nv_buffer.entries() {
+            if e.child_offset >= geo.total_nodes() {
+                // No crash-free execution buffers an out-of-tree offset: the
+                // buffer line tore. Fail-stop rather than index out of range.
+                return Err(IntegrityError::Torn {
+                    addr: e.child_offset,
+                });
+            }
             let cid = geo.node_at_offset(e.child_offset);
-            let (pid, slot) = geo
-                .parent_of(cid)
-                .expect("root parents are applied inline, never buffered");
+            // Root parents are applied inline and never buffered, so a root
+            // entry here is likewise a torn/corrupt buffer image.
+            let Some((pid, slot)) = geo.parent_of(cid) else {
+                return Err(IntegrityError::Torn {
+                    addr: e.child_offset,
+                });
+            };
             let poff = geo.offset_of(pid);
             reads += 1;
             let sp = parse_node(
@@ -431,11 +442,12 @@ impl CrashedSystem {
     // ——————————————————————— ASIT ———————————————————————
 
     fn recover_asit(self) -> Result<(SecureNvmSystem, RecoveryReport), IntegrityError> {
-        let (nv_root, shadow_tags) = match &self.nv {
+        let (nv_root, shadow_tags, inflight) = match &self.nv {
             NvState::Asit {
                 nv_root,
                 shadow_tags,
-            } => (*nv_root, shadow_tags.clone()),
+                inflight,
+            } => (*nv_root, shadow_tags.clone(), *inflight),
             _ => unreachable!("asit recovery under asit scheme"),
         };
         let geo = self.layout.geometry.clone();
@@ -444,26 +456,58 @@ impl CrashedSystem {
         // Tag reads (8 tags per line, kept beside the table).
         rd.reads += slots.div_ceil(8);
         let mut leaf_macs = vec![0u64; slots as usize];
-        let mut entries: Vec<(u64, SitNode)> = Vec::new();
+        let mut slot_lines: Vec<Option<(u64, [u8; 64])>> = vec![None; slots as usize];
         for slot in 0..slots {
             if let Some(&off) = shadow_tags.get(&slot) {
                 let line = rd.line(self.layout.shadow_addr(slot));
-                let id = geo.node_at_offset(off);
-                let node = parse_node(self.cfg.mode, id, &line);
                 let mut msg = [0u8; 72];
                 msg[..64].copy_from_slice(&line);
                 msg[64..].copy_from_slice(&slot.to_le_bytes());
                 leaf_macs[slot as usize] = self.crypto.mac64_72(&msg);
-                entries.push((off, node));
+                slot_lines[slot as usize] = Some((off, line));
             }
         }
         let reads_shadow_scan = rd.reads;
         let (rebuilt, _) = CacheTree::rebuild(self.crypto.as_ref(), &leaf_macs);
         if rebuilt != nv_root {
-            return Err(IntegrityError::CacheTreeMismatch {
-                stored: nv_root,
-                recomputed: rebuilt,
-            });
+            // Under 8 B write atomicity the one shadow write that was in
+            // flight at the crash may have torn — the registers already hold
+            // the post-update root, but NVM holds a mixed line. The ADR
+            // staging buffer carries that update's authenticated pre-image:
+            // substitute it and require the tree to match the *previous*
+            // root. Anything else (no in-flight write, or a mismatch even
+            // after rollback) is tampering, not tearing.
+            let Some(inf) = inflight else {
+                return Err(IntegrityError::CacheTreeMismatch {
+                    stored: nv_root,
+                    recomputed: rebuilt,
+                });
+            };
+            let old_mac = if inf.prev_tag.is_some() {
+                let mut msg = [0u8; 72];
+                msg[..64].copy_from_slice(&inf.prev_line);
+                msg[64..].copy_from_slice(&inf.slot.to_le_bytes());
+                self.crypto.mac64_72(&msg)
+            } else {
+                0
+            };
+            let mut prev_macs = leaf_macs.clone();
+            prev_macs[inf.slot as usize] = old_mac;
+            let (prev_rebuilt, _) = CacheTree::rebuild(self.crypto.as_ref(), &prev_macs);
+            if prev_rebuilt != inf.prev_root {
+                return Err(IntegrityError::CacheTreeMismatch {
+                    stored: nv_root,
+                    recomputed: rebuilt,
+                });
+            }
+            // Roll the torn slot back to its pre-image: the interrupted op
+            // was never acked, so the pre-state is the correct durable state.
+            slot_lines[inf.slot as usize] = inf.prev_tag.map(|off| (off, inf.prev_line));
+        }
+        let mut entries: Vec<(u64, SitNode)> = Vec::new();
+        for (off, line) in slot_lines.iter().flatten() {
+            let id = geo.node_at_offset(*off);
+            entries.push((*off, parse_node(self.cfg.mode, id, line)));
         }
         // Torn-write reconciliation: within one write op the shadow push
         // persists before the data line + MacRecord push, so a crash in

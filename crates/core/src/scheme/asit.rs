@@ -10,6 +10,30 @@ use crate::cachetree::CacheTree;
 use std::collections::HashMap;
 use steins_crypto::CryptoEngine;
 
+/// The in-flight shadow update staged in the controller's ADR domain.
+///
+/// The cache-tree registers are updated *before* the shadow-line write (so
+/// they ride its persist event atomically), which under whole-line-atomic
+/// writes was sufficient. Under 8 B write atomicity the shadow line itself
+/// can tear: the registers then hold the new root while NVM holds a torn
+/// mix. The staging buffer keeps the outgoing update's **pre-image** — the
+/// slot, the previous root, the previous tag, and the previous durable line
+/// content — until the write-queue accepts the line (entries are durable at
+/// acceptance). Recovery uses it to fall back to the authenticated pre-state
+/// when the rebuilt root does not match; a clean shutdown leaves it `None`,
+/// so tampering detection is unchanged when no write was in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct AsitInflight {
+    /// The cache slot whose shadow write was in flight.
+    pub slot: u64,
+    /// The NV root before this update was registered.
+    pub prev_root: u64,
+    /// The slot's tag before the update (`None`: slot was unoccupied).
+    pub prev_tag: Option<u64>,
+    /// The slot's durable shadow-line content before the update.
+    pub prev_line: [u8; 64],
+}
+
 /// Mutable ASIT state.
 pub struct AsitState {
     /// Cache-tree over cache slots (intermediate levels volatile, root in an
@@ -21,6 +45,9 @@ pub struct AsitState {
     /// hardware keeps these tags in the shadow entries' spare/ECC bits; they
     /// are non-volatile alongside the table itself.
     pub shadow_tags: HashMap<u64, u64>,
+    /// Pre-image of the shadow update currently in flight (ADR domain:
+    /// survives a crash, cleared once the write queue accepts the line).
+    pub inflight: Option<AsitInflight>,
 }
 
 impl AsitState {
@@ -32,6 +59,7 @@ impl AsitState {
             cache_tree,
             nv_root,
             shadow_tags: HashMap::new(),
+            inflight: None,
         }
     }
 

@@ -65,10 +65,12 @@ impl GeneralCounters {
     }
 
     /// Sets counter `slot` (used when a parent adopts a generated value).
+    /// Values are masked to the 56-bit field — callers may pass sums
+    /// reconstructed from corrupt NVM lines, which must truncate exactly
+    /// like the wire format does rather than abort.
     pub fn set(&mut self, slot: usize, value: u64) {
         debug_assert!(slot < 8);
-        debug_assert!(value <= CTR56_MAX, "56-bit counter overflow");
-        self.0[slot] = value;
+        self.0[slot] = value & CTR56_MAX;
     }
 
     /// Reads counter `slot`.
@@ -145,10 +147,14 @@ impl SplitCounters {
     }
 
     /// Eq. 2: the generated parent counter,
-    /// `major · 2^6 + Σ minors`.
+    /// `major · 2^6 + Σ minors`. Saturating: a torn/corrupt stored major
+    /// can be arbitrarily large, and the generated value must stay a total
+    /// function of the decoded bytes (the MAC check rejects the node; the
+    /// arithmetic must not abort first).
     pub fn parent_value(&self) -> u64 {
-        self.major * (u64::from(MINOR_MAX) + 1)
-            + self.minors.iter().map(|&m| u64::from(m)).sum::<u64>()
+        self.major
+            .saturating_mul(u64::from(MINOR_MAX) + 1)
+            .saturating_add(self.minors.iter().map(|&m| u64::from(m)).sum::<u64>())
     }
 }
 

@@ -44,10 +44,12 @@ impl SitNode {
         let mut out = [0u8; 56];
         match &self.counters {
             CounterBlock::General(g) => {
-                // 8 × 56-bit, little-endian, packed back to back.
+                // 8 × 56-bit, little-endian, packed back to back. Values
+                // are masked, not asserted: nodes reconstructed from corrupt
+                // images may carry out-of-range sums, and serialization must
+                // truncate exactly as the field width dictates.
                 for (i, &c) in g.0.iter().enumerate() {
-                    debug_assert!(c <= CTR56_MAX);
-                    let bytes = c.to_le_bytes();
+                    let bytes = (c & CTR56_MAX).to_le_bytes();
                     out[i * 7..i * 7 + 7].copy_from_slice(&bytes[..7]);
                 }
             }

@@ -8,11 +8,17 @@
 //! drives the per-workload spread in Figs. 9–16).
 
 use crate::config::NvmConfig;
+use crate::fault::FaultPlane;
 use crate::stats::NvmStats;
 use crate::storage::{Line, SparseStore};
 use crate::wear::WearTracker;
 use crate::Cycle;
 use steins_obs::{Histogram, MetricRegistry};
+
+/// Number of atomically-persisted words per 64 B line. Real NVM DIMMs
+/// guarantee 8-byte write atomicity, not whole-line atomicity: a power
+/// failure mid-line may persist any subset of these words.
+pub const WORDS_PER_LINE: usize = 8;
 
 #[derive(Clone, Copy, Default)]
 struct Bank {
@@ -64,8 +70,22 @@ pub struct NvmDevice {
     persist_seq: u64,
     /// Armed crash point: trip when `persist_seq` reaches this value.
     crash_at: Option<u64>,
+    /// Word-persistence mask for the tripping write: bit `i` set means
+    /// 8-byte word `i` of the line persisted. `0xFF` models the legacy
+    /// whole-line-atomic crash; anything else is a torn write.
+    crash_torn_mask: u8,
     /// The point that tripped, readable after the unwind.
     tripped: Option<PersistPoint>,
+    /// The torn mask actually applied at the trip (`None` until tripped, or
+    /// when the tripping transition was not a line write).
+    tripped_torn: Option<u8>,
+    /// When enabled, every persist point is journaled (crash-point
+    /// enumeration wants the kinds, not just the count).
+    journal_points: bool,
+    /// The journal itself.
+    point_journal: Vec<PersistPoint>,
+    /// Injected media faults (read-path overlay).
+    faults: FaultPlane,
     /// Arrival→completion service-cycle distribution of reads.
     read_hist: Histogram,
     /// Arrival→completion service-cycle distribution of writes.
@@ -92,7 +112,12 @@ impl NvmDevice {
             wear: WearTracker::new(),
             persist_seq: 0,
             crash_at: None,
+            crash_torn_mask: 0xFF,
             tripped: None,
+            tripped_torn: None,
+            journal_points: false,
+            point_journal: Vec::new(),
+            faults: FaultPlane::new(),
             read_hist: Histogram::new(),
             write_hist: Histogram::new(),
             bank_hists,
@@ -111,12 +136,26 @@ impl NvmDevice {
             PersistKind::LineWrite => self.persist_line_writes += 1,
             PersistKind::AdrUpdate => self.persist_adr_updates += 1,
         }
+        if self.journal_points {
+            self.point_journal.push(PersistPoint {
+                seq: self.persist_seq,
+                kind,
+                addr,
+            });
+        }
         if self.crash_at == Some(self.persist_seq) {
             self.tripped = Some(PersistPoint {
                 seq: self.persist_seq,
                 kind,
                 addr,
             });
+            self.tripped_torn = match kind {
+                PersistKind::LineWrite => Some(self.crash_torn_mask),
+                // In-place ADR updates mutate at most one aligned 8-byte
+                // word (a 4 B record entry, a bitmap bit), so word-level
+                // atomicity makes them untearable.
+                PersistKind::AdrUpdate => None,
+            };
             std::panic::panic_any(CrashTripped);
         }
     }
@@ -134,21 +173,53 @@ impl NvmDevice {
     }
 
     /// Arms a crash at transition number `at` (1-based). The device panics
-    /// with [`CrashTripped`] the moment that transition completes.
+    /// with [`CrashTripped`] the moment that transition completes; the
+    /// tripping write persists in full (whole-line-atomic legacy model).
     pub fn arm_crash(&mut self, at: u64) {
+        self.arm_crash_torn(at, 0xFF);
+    }
+
+    /// Arms a crash at transition `at` with torn-write semantics: if the
+    /// tripping transition is a 64 B line write, only the 8-byte words whose
+    /// bit is set in `word_mask` persist — the rest keep their pre-write
+    /// content (real NVM guarantees 8 B, not 64 B, atomicity). `0xFF`
+    /// reproduces [`Self::arm_crash`]; `0x00` drops the write entirely.
+    /// ADR in-place updates are sub-word and never tear.
+    pub fn arm_crash_torn(&mut self, at: u64, word_mask: u8) {
         assert!(at >= 1, "crash points are 1-based");
         self.crash_at = Some(at);
+        self.crash_torn_mask = word_mask;
         self.tripped = None;
+        self.tripped_torn = None;
     }
 
     /// Disarms any pending crash point.
     pub fn disarm_crash(&mut self) {
         self.crash_at = None;
+        self.crash_torn_mask = 0xFF;
     }
 
     /// The persist point that tripped the armed crash, if any.
     pub fn tripped_at(&self) -> Option<PersistPoint> {
         self.tripped
+    }
+
+    /// The word mask applied to the tripping write (`None` if nothing
+    /// tripped or the tripping transition was an untearable ADR update).
+    pub fn tripped_torn_mask(&self) -> Option<u8> {
+        self.tripped_torn
+    }
+
+    /// Enables/disables persist-point journaling (crash-point enumeration).
+    /// Enabling clears any previous journal.
+    pub fn journal_points(&mut self, on: bool) {
+        self.journal_points = on;
+        self.point_journal.clear();
+    }
+
+    /// The journaled persist points (empty unless journaling was on).
+    pub fn point_journal(&self) -> &[PersistPoint] {
+        &self.point_journal
     }
 
     fn bank_of(&self, addr: u64) -> usize {
@@ -189,7 +260,7 @@ impl NvmDevice {
         self.read_hist.record(done - now);
         self.bank_hists[bank_idx].record(done - now);
 
-        (self.storage.read(addr), done)
+        (self.faults.observe(addr, self.storage.read(addr)), done)
     }
 
     /// Writes `line` at `addr`, returning the persist-completion cycle.
@@ -211,15 +282,70 @@ impl NvmDevice {
         self.bank_hists[bank_idx].record(done - now);
 
         self.wear.record(addr);
-        self.storage.write(addr, line);
+        // Torn-write injection: if this very write trips the armed crash
+        // under a partial word mask, persist only the masked 8-byte words —
+        // the line's other words keep their previous durable content.
+        let will_trip = self.crash_at == Some(self.persist_seq + 1);
+        if will_trip && self.crash_torn_mask != 0xFF {
+            let mut merged = self.storage.read(addr);
+            for w in 0..WORDS_PER_LINE {
+                if self.crash_torn_mask & (1 << w) != 0 {
+                    merged[w * 8..w * 8 + 8].copy_from_slice(&line[w * 8..w * 8 + 8]);
+                }
+            }
+            self.storage.write(addr, &merged);
+        } else {
+            self.storage.write(addr, line);
+        }
         self.persist_event(PersistKind::LineWrite, addr);
         done
     }
 
     /// Functional read without timing (used by recovery-time analysis which
-    /// charges its own fixed per-read latency, and by assertions).
+    /// charges its own fixed per-read latency, and by assertions). Observes
+    /// injected media faults like the timed read path does.
     pub fn peek(&self, addr: u64) -> Line {
-        self.storage.read(addr)
+        self.faults.observe(addr, self.storage.read(addr))
+    }
+
+    // ——— Media-fault injection (see `crate::fault`) ———
+
+    /// Flips bit `bit` of byte `byte` in the stored line at `addr` (a
+    /// one-shot corruption; a later full-line write heals it).
+    pub fn inject_bit_flip(&mut self, addr: u64, byte: usize, bit: u8) {
+        let base = addr & !63;
+        let mut line = self.storage.read(base);
+        line[byte % crate::storage::LINE_BYTES] ^= 1 << (bit % 8);
+        self.storage.write(base, &line);
+    }
+
+    /// Marks `addr`'s line stuck at `line`: reads return `line` forever,
+    /// writes are timed and counted but have no visible effect.
+    pub fn inject_stuck_line(&mut self, addr: u64, line: Line) {
+        self.faults.stick_line(addr, line);
+    }
+
+    /// Marks `addr`'s line unreadable: reads return the poison pattern and
+    /// [`Self::is_readable`] reports the uncorrectable error.
+    pub fn inject_unreadable(&mut self, addr: u64) {
+        self.faults.mark_unreadable(addr);
+    }
+
+    /// Clears every injected stuck/unreadable fault (bit flips already
+    /// landed in storage and stay).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Whether `addr`'s line reads back real content (false = uncorrectable
+    /// media error; the returned bytes are poison).
+    pub fn is_readable(&self, addr: u64) -> bool {
+        self.faults.is_readable(addr)
+    }
+
+    /// Number of lines with an active stuck/unreadable fault.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
     }
 
     /// Functional write without timing (used for ADR flush at crash and for
@@ -411,6 +537,85 @@ mod tests {
         d.disarm_crash();
         d.write(0, 128, &[3; 64]);
         assert_eq!(d.persist_seq(), 3);
+    }
+
+    #[test]
+    fn torn_crash_persists_only_masked_words() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut d = dev();
+        d.write(0, 0, &[0x11; 64]);
+        // Arm point 2 with only the first three words persisting.
+        d.arm_crash_torn(2, 0b0000_0111);
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.write(0, 0, &[0x22; 64]);
+        }));
+        std::panic::set_hook(prev);
+        assert!(trip.expect_err("must trip").is::<CrashTripped>());
+        let line = d.peek(0);
+        assert_eq!(&line[..24], &[0x22; 24][..], "masked words persist");
+        assert_eq!(
+            &line[24..],
+            &[0x11; 40][..],
+            "unmasked words keep old content"
+        );
+        assert_eq!(d.tripped_torn_mask(), Some(0b0000_0111));
+        // Mask 0x00 at a fresh point: write dropped entirely.
+        d.disarm_crash();
+        d.arm_crash_torn(3, 0x00);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.write(0, 64, &[0x33; 64]);
+        }));
+        std::panic::set_hook(prev);
+        assert!(trip.is_err());
+        assert_eq!(d.peek(64), [0u8; 64], "mask 0x00 drops the write");
+    }
+
+    #[test]
+    fn point_journal_records_kinds() {
+        let mut d = dev();
+        d.journal_points(true);
+        d.write(0, 0, &[1; 64]);
+        d.adr_persist_event(64);
+        d.write(0, 128, &[2; 64]);
+        let j = d.point_journal();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j[0].kind, PersistKind::LineWrite);
+        assert_eq!(j[1].kind, PersistKind::AdrUpdate);
+        assert_eq!(j[1].addr, 64);
+        assert_eq!(j[2].seq, 3);
+        d.journal_points(false);
+        d.write(0, 192, &[3; 64]);
+        assert!(d.point_journal().is_empty(), "disabling clears the journal");
+    }
+
+    #[test]
+    fn media_faults_overlay_reads_not_writes() {
+        let mut d = dev();
+        d.write(0, 0, &[5; 64]);
+        d.inject_bit_flip(0, 3, 2);
+        let mut want = [5u8; 64];
+        want[3] ^= 1 << 2;
+        assert_eq!(d.peek(0), want, "bit flip lands in storage");
+        d.write(0, 0, &[6; 64]);
+        assert_eq!(d.peek(0), [6; 64], "full-line write heals the flip");
+
+        d.inject_stuck_line(64, [0xAA; 64]);
+        d.write(0, 64, &[7; 64]);
+        assert_eq!(d.peek(64), [0xAA; 64], "stuck line ignores writes");
+        let (got, _) = d.read(0, 64);
+        assert_eq!(got, [0xAA; 64]);
+
+        d.inject_unreadable(128);
+        assert!(!d.is_readable(128));
+        assert!(d.is_readable(64));
+        assert_eq!(d.peek(128), [crate::fault::POISON_BYTE; 64]);
+        assert_eq!(d.fault_count(), 2);
+        d.clear_faults();
+        assert_eq!(d.peek(64), [7; 64], "clearing restores stored content");
+        assert!(d.is_readable(128));
     }
 
     #[test]

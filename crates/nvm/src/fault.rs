@@ -1,0 +1,130 @@
+//! Media-fault injection plane.
+//!
+//! Models the NVM failure modes a recovery scrub must survive, usable both
+//! against a crashed image and live under a running controller:
+//!
+//! * **bit flips** — a one-shot corruption of stored content (radiation,
+//!   wear-out, or an attacker with physical access). Applied directly to
+//!   the backing store: a later full-line write heals it.
+//! * **stuck-at lines** — a permanently failed line: reads always return
+//!   the stuck value, writes are accepted (and timed/counted) but have no
+//!   effect on what is read back.
+//! * **unreadable lines** — an uncorrectable media error: reads return a
+//!   recognizable poison pattern, and [`FaultPlane::is_readable`] lets the
+//!   scrub classify the region instead of trusting the poison bytes.
+//!
+//! The plane is an overlay on [`crate::device::NvmDevice`]'s read path, so
+//! timing, wear, and persist-point enumeration are unaffected by injected
+//! faults — a fault changes what the controller *sees*, not what the device
+//! *does*.
+
+use crate::storage::Line;
+use std::collections::{HashMap, HashSet};
+
+/// The poison pattern an unreadable line returns. Chosen to be non-zero (a
+/// zero line is the legitimate never-written state) and structured enough to
+/// be recognizable in hex dumps.
+pub const POISON_BYTE: u8 = 0xBD;
+
+/// Overlay of injected media faults, keyed by line address.
+#[derive(Clone, Default)]
+pub struct FaultPlane {
+    stuck: HashMap<u64, Line>,
+    unreadable: HashSet<u64>,
+}
+
+impl FaultPlane {
+    /// Empty plane: no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `addr`'s line stuck at `line`: every read observes `line`
+    /// regardless of writes.
+    pub fn stick_line(&mut self, addr: u64, line: Line) {
+        self.stuck.insert(addr & !63, line);
+    }
+
+    /// Marks `addr`'s line unreadable: reads return the poison pattern.
+    pub fn mark_unreadable(&mut self, addr: u64) {
+        self.unreadable.insert(addr & !63);
+    }
+
+    /// Clears every injected fault.
+    pub fn clear(&mut self) {
+        self.stuck.clear();
+        self.unreadable.clear();
+    }
+
+    /// Whether `addr`'s line reads back real (possibly stuck) content.
+    pub fn is_readable(&self, addr: u64) -> bool {
+        !self.unreadable.contains(&(addr & !63))
+    }
+
+    /// Number of faulted lines (stuck + unreadable).
+    pub fn len(&self) -> usize {
+        self.stuck.len() + self.unreadable.len()
+    }
+
+    /// True when no faults are injected.
+    pub fn is_empty(&self) -> bool {
+        self.stuck.is_empty() && self.unreadable.is_empty()
+    }
+
+    /// Applies the overlay to a line read from the backing store.
+    pub fn observe(&self, addr: u64, stored: Line) -> Line {
+        let key = addr & !63;
+        if self.unreadable.contains(&key) {
+            return [POISON_BYTE; 64];
+        }
+        if let Some(stuck) = self.stuck.get(&key) {
+            return *stuck;
+        }
+        stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plane_passes_through() {
+        let p = FaultPlane::new();
+        assert!(p.is_empty());
+        assert!(p.is_readable(64));
+        assert_eq!(p.observe(64, [7; 64]), [7; 64]);
+    }
+
+    #[test]
+    fn stuck_line_overrides_stored_content() {
+        let mut p = FaultPlane::new();
+        p.stick_line(128, [0xAA; 64]);
+        assert_eq!(p.observe(128, [1; 64]), [0xAA; 64]);
+        assert_eq!(p.observe(192, [1; 64]), [1; 64]);
+        assert!(p.is_readable(128), "stuck lines still read (wrong) data");
+    }
+
+    #[test]
+    fn unreadable_line_poisons_and_reports() {
+        let mut p = FaultPlane::new();
+        p.mark_unreadable(256);
+        assert!(
+            !p.is_readable(256 + 13),
+            "sub-line addresses map to the line"
+        );
+        assert_eq!(p.observe(256, [1; 64]), [POISON_BYTE; 64]);
+        p.clear();
+        assert!(p.is_readable(256));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn unreadable_wins_over_stuck() {
+        let mut p = FaultPlane::new();
+        p.stick_line(0, [0x11; 64]);
+        p.mark_unreadable(0);
+        assert_eq!(p.observe(0, [9; 64]), [POISON_BYTE; 64]);
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -23,6 +23,7 @@ pub mod command;
 pub mod config;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod stats;
 pub mod storage;
 pub mod timing;
@@ -32,8 +33,9 @@ pub mod write_queue;
 pub use adr::AdrRegion;
 pub use command::{CommandNvmDevice, DdrCommand};
 pub use config::NvmConfig;
-pub use device::{CrashTripped, NvmDevice, PersistKind, PersistPoint};
+pub use device::{CrashTripped, NvmDevice, PersistKind, PersistPoint, WORDS_PER_LINE};
 pub use energy::{EnergyCounters, EnergyModel};
+pub use fault::{FaultPlane, POISON_BYTE};
 pub use stats::NvmStats;
 pub use storage::{Line, SparseStore, LINE_BYTES};
 pub use timing::NvmTimings;
