@@ -17,8 +17,16 @@
 //! succeeds with the torn line failing closed, or the lenient scrub
 //! salvages every other acknowledged line without panicking.
 //!
+//! Phase three nests the crashes: at selected outer boundaries (whole-line
+//! and torn), the second crash is armed at a persist point *recovery
+//! itself* fires — journal updates, record/shadow rewrites, scrub pokes —
+//! and the doubly-crashed machine must recover again, restartably, off the
+//! ADR recovery journal.
+//!
 //! Env knobs: `STEINS_SWEEP_OPS` (stream length, default 150),
 //! `STEINS_TORN_POINTS` (line-write boundaries torn per combo, default 48),
+//! `STEINS_NESTED_OUTER` (outer boundaries nested per combo, default 12),
+//! `STEINS_NESTED_INNER` (recovery-time points per outer crash, default 6),
 //! `STEINS_THREADS` (worker pool size).
 
 use steins_bench::par;
@@ -27,6 +35,13 @@ use steins_core::{CounterMode, CrashSweep, PointSelection, SchemeKind};
 /// Torn-word masks swept at every selected line-write boundary: dropped,
 /// one-word prefix, half-line prefix, sparse even words, sparse odd words.
 const TORN_MASKS: [u8; 5] = [0x00, 0x01, 0x0F, 0x55, 0xAA];
+
+/// Outer masks of the nested sweep: the classic whole-line crash plus a
+/// half-line tear (which forces the scrub leg under a second crash).
+const NESTED_OUTER_MASKS: [u8; 2] = [0xFF, 0x0F];
+
+/// Inner masks re-armed against recovery's own writes.
+const NESTED_INNER_MASKS: [u8; 2] = [0xFF, 0x0F];
 
 fn main() {
     let ops: usize = std::env::var("STEINS_SWEEP_OPS")
@@ -37,6 +52,14 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(48);
+    let nested_outer: usize = std::env::var("STEINS_NESTED_OUTER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let nested_inner: usize = std::env::var("STEINS_NESTED_INNER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
     let combos = [
         (SchemeKind::WriteBack, CounterMode::General),
         (SchemeKind::WriteBack, CounterMode::Split),
@@ -124,6 +147,51 @@ fn main() {
             println!("{repro}");
         }
     }
+
+    println!(
+        "\nNested sweep: crash during recovery, ≤{nested_outer} outer × ≤{nested_inner} \
+         recovery-time points per combo, outer masks {NESTED_OUTER_MASKS:02x?}, \
+         inner masks {NESTED_INNER_MASKS:02x?}"
+    );
+    println!("{:>10}  {:>8}  {:>8}  result", "combo", "nested", "failed");
+    for (scheme, mode) in combos {
+        let sweep = CrashSweep::small(scheme, mode, ops, PointSelection::AtMost(nested_outer));
+        let jobs = match sweep.nested_jobs(
+            &NESTED_OUTER_MASKS,
+            &NESTED_INNER_MASKS,
+            PointSelection::AtMost(nested_inner),
+        ) {
+            Ok(j) => j,
+            Err(e) => {
+                all_clean = false;
+                println!("{:>10}  baseline run failed: {e}", scheme.label(mode));
+                continue;
+            }
+        };
+        let tested = jobs.len();
+        let failures: Vec<_> = par::map(jobs, |(k, m0, j, m1)| {
+            sweep.probe_point_nested(k, m0, j, m1)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let verdict = if failures.is_empty() {
+            "all nested points re-recovered".to_string()
+        } else {
+            all_clean = false;
+            "NESTED CONTRACT VIOLATIONS".to_string()
+        };
+        println!(
+            "{:>10}  {:>8}  {:>8}  {verdict}",
+            scheme.label(mode),
+            tested,
+            failures.len()
+        );
+        for repro in failures.iter().take(3) {
+            println!("{repro}");
+        }
+    }
+
     if !all_clean {
         std::process::exit(1);
     }

@@ -11,8 +11,15 @@
 //! durable data never whitewashed as intact; no read ever returns wrong
 //! data as `Ok`).
 //!
+//! Every fourth iteration is a **nested point**: the crash is injected,
+//! recovery starts, and a second crash lands on one of recovery's own
+//! persist points (journal updates, record/shadow rewrites) — the second
+//! recovery must converge off the ADR recovery journal.
+//!
 //! Fully deterministic for a fixed seed: any failure reproduces from the
-//! `(seed, combo, iteration)` tuple in its repro line. Exits non-zero on
+//! `(seed, combo, iteration)` tuple in its repro line — replay exactly one
+//! point with `fault_campaign --repro <combo-label>:<iteration>` (e.g.
+//! `--repro Steins-GC:42`) under the same seed/ops env. Exits non-zero on
 //! any contract violation or escaped panic.
 //!
 //! Env knobs: `STEINS_CAMPAIGN_POINTS` (fault points per combo, default
@@ -22,6 +29,17 @@
 use steins_bench::metrics::write_metrics;
 use steins_bench::par;
 use steins_core::campaign::{CampaignConfig, CampaignReport, FaultCampaign, COMBOS};
+
+/// Parses a `--repro` point spec `<combo-label>:<iteration>` against the
+/// campaign's combo labels.
+fn parse_repro(spec: &str) -> Option<(usize, usize)> {
+    let (label, iter) = spec.rsplit_once(':')?;
+    let iter = iter.trim().parse().ok()?;
+    let combo = COMBOS
+        .iter()
+        .position(|(s, m)| s.label(*m) == label.trim())?;
+    Some((combo, iter))
+}
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key)
@@ -42,6 +60,36 @@ fn main() {
         points_per_combo: env_u64("STEINS_CAMPAIGN_POINTS", 168) as usize,
         ops: env_u64("STEINS_CAMPAIGN_OPS", 40) as usize,
     };
+
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--repro") {
+        let spec = args.get(pos + 1).cloned().unwrap_or_default();
+        let Some((combo, iter)) = parse_repro(&spec) else {
+            eprintln!(
+                "usage: fault_campaign --repro <combo-label>:<iteration>  (e.g. Steins-GC:42)\n\
+                 combo labels: {}",
+                COMBOS
+                    .iter()
+                    .map(|(s, m)| s.label(*m))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        };
+        let (scheme, mode) = COMBOS[combo];
+        println!(
+            "Repro: {} iteration {iter}, seed {:#x}, {} ops/stream",
+            scheme.label(mode),
+            cfg.seed,
+            cfg.ops
+        );
+        let r = FaultCampaign::new(cfg)
+            .run_point(combo, iter)
+            .expect("combo index in range");
+        println!("{r}");
+        std::process::exit(if r.clean() { 0 } else { 1 });
+    }
+
     println!(
         "Fault campaign: seed {:#x}, {} points × {} combos ({} ops/stream), {} workers",
         cfg.seed,
@@ -59,12 +107,12 @@ fn main() {
 
     let mut summary = String::from(
         "### Fault campaign\n\n\
-         | combo | points | crash | attack | panics | detected | unrecoverable | result |\n\
-         |---|---|---|---|---|---|---|---|\n",
+         | combo | points | crash | nested | attack | panics | detected | unrecoverable | result |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
     );
     println!(
-        "{:>10}  {:>7}  {:>6}  {:>7}  {:>7}  {:>9}  {:>14}  result",
-        "combo", "points", "crash", "attack", "panics", "detected", "unrecoverable"
+        "{:>10}  {:>7}  {:>6}  {:>7}  {:>7}  {:>7}  {:>9}  {:>14}  result",
+        "combo", "points", "crash", "nested", "attack", "panics", "detected", "unrecoverable"
     );
     let mut merged = CampaignReport {
         seed: cfg.seed,
@@ -73,19 +121,21 @@ fn main() {
     for (label, r) in &reports {
         let verdict = if r.clean() { "pass" } else { "FAIL" };
         println!(
-            "{:>10}  {:>7}  {:>6}  {:>7}  {:>7}  {:>9}  {:>14}  {verdict}",
+            "{:>10}  {:>7}  {:>6}  {:>7}  {:>7}  {:>7}  {:>9}  {:>14}  {verdict}",
             label,
             r.points(),
             r.crash_points,
+            r.nested_points,
             r.attack_points,
             r.panics,
             r.strict_detected,
             r.data_unrecoverable
         );
         summary.push_str(&format!(
-            "| {label} | {} | {} | {} | {} | {} | {} | {verdict} |\n",
+            "| {label} | {} | {} | {} | {} | {} | {} | {} | {verdict} |\n",
             r.points(),
             r.crash_points,
+            r.nested_points,
             r.attack_points,
             r.panics,
             r.strict_detected,
@@ -95,8 +145,9 @@ fn main() {
     }
     println!("\n{merged}");
     summary.push_str(&format!(
-        "\n**{} total points, {} panics, {} failures.**\n",
+        "\n**{} total points ({} nested), {} panics, {} failures.**\n",
         merged.points(),
+        merged.nested_points,
         merged.panics,
         merged.failures.len()
     ));

@@ -6,6 +6,7 @@
 use std::collections::BTreeMap;
 use steins_bench::metrics::matrix_metrics;
 use steins_bench::{par, run_one, Cell};
+use steins_core::campaign::{CampaignConfig, CampaignReport, FaultCampaign, COMBOS};
 use steins_core::SchemeKind;
 use steins_metadata::CounterMode;
 use steins_trace::WorkloadKind;
@@ -38,4 +39,38 @@ fn metrics_export_identical_for_1_and_4_workers() {
     assert!(seq.contains("core.read.latency_cycles"));
     assert!(!seq.contains("wall."), "wall-clock must be excluded");
     assert_eq!(seq, par4, "worker count must not change exported metrics");
+}
+
+/// The fault campaign's exported metrics — including the nested
+/// crash-during-recovery axis (every iteration with `i % 4 == 2`) — must be
+/// byte-identical across worker counts: each iteration's RNG derives from
+/// `(seed, combo, i)` alone and combos merge in a fixed order.
+fn campaign_json(workers: usize) -> String {
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        points_per_combo: 4,
+        ops: 14,
+    };
+    let campaign = FaultCampaign::new(cfg.clone());
+    let reports = par::map_with(
+        workers,
+        COMBOS.iter().enumerate().collect::<Vec<_>>(),
+        |(ci, (scheme, mode))| campaign.run_combo(ci, *scheme, *mode),
+    );
+    let mut merged = CampaignReport {
+        seed: cfg.seed,
+        ..CampaignReport::default()
+    };
+    for r in &reports {
+        merged.merge(r);
+    }
+    merged.metrics().to_json_deterministic().pretty()
+}
+
+#[test]
+fn campaign_metrics_with_nested_axis_identical_for_1_and_4_workers() {
+    let seq = campaign_json(1);
+    let par4 = campaign_json(4);
+    assert!(seq.contains("core.campaign.points.nested"));
+    assert_eq!(seq, par4, "worker count must not change campaign metrics");
 }

@@ -95,9 +95,12 @@ impl CacheTree {
         *self.levels.last().expect("nonempty").first().expect("root")
     }
 
-    /// Rebuilds a whole tree from scratch over `leaf_macs` (recovery path),
-    /// returning `(root, hashes_computed)`.
-    pub fn rebuild(engine: &dyn CryptoEngine, leaf_macs: &[u64]) -> (u64, usize) {
+    /// Builds a whole tree over the given `leaf_macs` with every interior
+    /// MAC computed. Recovery seeds a restartable tree from the durable
+    /// leaf summaries it has just verified, then resumes incremental
+    /// updates from there.
+    pub fn from_leaves(engine: &dyn CryptoEngine, leaf_macs: &[u64]) -> Self {
+        assert!(!leaf_macs.is_empty());
         let mut tree = CacheTree {
             levels: vec![leaf_macs.to_vec()],
         };
@@ -105,8 +108,15 @@ impl CacheTree {
             let next = tree.levels.last().unwrap().len().div_ceil(CT_FANOUT);
             tree.levels.push(vec![0u64; next]);
         }
-        let hashes: usize = tree.levels[1..].iter().map(|l| l.len()).sum();
         tree.recompute_all(engine);
+        tree
+    }
+
+    /// Rebuilds a whole tree from scratch over `leaf_macs` (recovery path),
+    /// returning `(root, hashes_computed)`.
+    pub fn rebuild(engine: &dyn CryptoEngine, leaf_macs: &[u64]) -> (u64, usize) {
+        let tree = Self::from_leaves(engine, leaf_macs);
+        let hashes: usize = tree.levels[1..].iter().map(|l| l.len()).sum();
         (tree.root(), hashes)
     }
 }
@@ -160,6 +170,21 @@ mod tests {
         tampered[17] ^= 1;
         let (root2, _) = CacheTree::rebuild(e.as_ref(), &tampered);
         assert_ne!(root, root2);
+    }
+
+    #[test]
+    fn from_leaves_resumes_incremental_updates() {
+        let e = eng();
+        let leaves: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        let mut seeded = CacheTree::from_leaves(e.as_ref(), &leaves);
+        let (root, _) = CacheTree::rebuild(e.as_ref(), &leaves);
+        assert_eq!(seeded.root(), root);
+        // Incremental update on the seeded tree matches a fresh rebuild.
+        seeded.update(e.as_ref(), 17, 0xBEEF);
+        let mut changed = leaves;
+        changed[17] = 0xBEEF;
+        let (root2, _) = CacheTree::rebuild(e.as_ref(), &changed);
+        assert_eq!(seeded.root(), root2);
     }
 
     #[test]

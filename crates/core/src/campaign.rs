@@ -91,6 +91,8 @@ pub struct CampaignReport {
     pub seed: u64,
     /// Crash-only points injected / passed.
     pub crash_points: u64,
+    /// Nested points injected (crash *during* recovery of a crash).
+    pub nested_points: u64,
     /// Attacked points injected.
     pub attack_points: u64,
     /// Panics that escaped recovery or the scrub (must be zero).
@@ -119,12 +121,13 @@ impl CampaignReport {
 
     /// Total injected fault points.
     pub fn points(&self) -> u64 {
-        self.crash_points + self.attack_points
+        self.crash_points + self.nested_points + self.attack_points
     }
 
     /// Folds another combo's report into this one.
     pub fn merge(&mut self, other: &CampaignReport) {
         self.crash_points += other.crash_points;
+        self.nested_points += other.nested_points;
         self.attack_points += other.attack_points;
         self.panics += other.panics;
         self.strict_detected += other.strict_detected;
@@ -139,6 +142,7 @@ impl CampaignReport {
     pub fn metrics(&self) -> MetricRegistry {
         let mut m = MetricRegistry::new();
         m.counter_add("core.campaign.points.crash", self.crash_points);
+        m.counter_add("core.campaign.points.nested", self.nested_points);
         m.counter_add("core.campaign.points.attack", self.attack_points);
         m.counter_add("core.campaign.panics", self.panics);
         m.counter_add("core.campaign.failures", self.failures.len() as u64);
@@ -158,12 +162,13 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "campaign seed {:#x}: {} points ({} crash, {} attack), \
+            "campaign seed {:#x}: {} points ({} crash, {} nested, {} attack), \
              {} panics, {} strict detections, scrub {{intact {}, \
              unrecoverable {}, meta-recovered {}}}",
             self.seed,
             self.points(),
             self.crash_points,
+            self.nested_points,
             self.attack_points,
             self.panics,
             self.strict_detected,
@@ -473,6 +478,26 @@ impl FaultCampaign {
 
     /// Runs the campaign for one (scheme, mode) combination.
     pub fn run_combo(&self, combo: usize, scheme: SchemeKind, mode: CounterMode) -> CampaignReport {
+        self.run_combo_range(combo, scheme, mode, 0..self.cfg.points_per_combo)
+    }
+
+    /// Re-runs exactly one campaign iteration — the `--repro` path. The
+    /// per-iteration RNG derives from `(seed, combo, i)` alone, so this
+    /// replays the very same point, masks and attacks the full campaign
+    /// drew. `None` for an out-of-range combo.
+    pub fn run_point(&self, combo: usize, i: usize) -> Option<CampaignReport> {
+        let (scheme, mode) = *COMBOS.get(combo)?;
+        Some(self.run_combo_range(combo, scheme, mode, i..i + 1))
+    }
+
+    /// [`Self::run_combo`] over an explicit iteration range.
+    fn run_combo_range(
+        &self,
+        combo: usize,
+        scheme: SchemeKind,
+        mode: CounterMode,
+        range: std::ops::Range<usize>,
+    ) -> CampaignReport {
         let cfg = SystemConfig::small_for_tests(scheme, mode);
         let ops = SweepOp::stream(self.cfg.seed ^ ((combo as u64) << 17), 192, self.cfg.ops);
         let sweep = CrashSweep::new(cfg.clone(), ops.clone(), PointSelection::All);
@@ -497,12 +522,55 @@ impl FaultCampaign {
         let total_nodes = layout.geometry.total_nodes();
         let cache_slots = cfg.meta_cache.slots();
 
-        for i in 0..self.cfg.points_per_combo {
+        for i in range {
             let mut rng = self.rng_for(combo, i);
             let k = rng.gen_range_inclusive(1, total);
             let mask = Self::draw_mask(&mut rng);
             report.point_hist.record(k);
-            if i % 2 == 0 {
+            if i % 4 == 2 {
+                // Nested point: crash during recovery, then recover again.
+                // The inner point is drawn from the persist points recovery
+                // itself fires for this exact outer crash; its mask only
+                // applies to tearable (line-write) boundaries.
+                report.nested_points += 1;
+                let draw = rng.next_u64();
+                let m1_draw = Self::draw_mask(&mut rng);
+                let inner = match CrashSweep::recovery_points(&cfg, &ops, k, mask) {
+                    Ok(pts) => pts,
+                    Err(fail) => {
+                        report.failures.push(format!(
+                            "{label} nested point {k} mask {mask:#04x} \
+                             (seed {:#x}, iter {i}, {} ops): {}",
+                            self.cfg.seed,
+                            ops.len(),
+                            fail.error
+                        ));
+                        continue;
+                    }
+                };
+                let (j, m1) = if inner.is_empty() {
+                    // WB never starts recovery: the synthetic point checks
+                    // the refusal contract under nested arming.
+                    (k + 1, 0xFF)
+                } else {
+                    let p = inner[(draw % inner.len() as u64) as usize];
+                    let m1 = if p.kind == steins_nvm::PersistKind::LineWrite {
+                        m1_draw
+                    } else {
+                        0xFF
+                    };
+                    (p.seq, m1)
+                };
+                if let Some(repro) = sweep.probe_point_nested(k, mask, j, m1) {
+                    report.failures.push(format!(
+                        "{label} nested point {k}>{j} masks {mask:#04x}>{m1:#04x} \
+                         (seed {:#x}, iter {i}, {} ops): {}",
+                        self.cfg.seed,
+                        repro.ops.len(),
+                        repro.error
+                    ));
+                }
+            } else if i % 2 == 0 {
                 // Crash-only point: the strong sweep contract, torn-aware.
                 report.crash_points += 1;
                 if let Some(repro) = sweep.probe_point_torn(k, mask) {
@@ -619,9 +687,45 @@ mod tests {
         let m = r.metrics();
         assert_eq!(
             m.counter("core.campaign.points.crash").unwrap()
+                + m.counter("core.campaign.points.nested").unwrap()
                 + m.counter("core.campaign.points.attack").unwrap(),
             r.points()
         );
         assert!(m.hist("core.campaign.point").is_some());
+    }
+
+    #[test]
+    fn campaign_includes_nested_axis_and_passes() {
+        // points_per_combo ≥ 3 makes iteration 2 a nested point.
+        let cfg = CampaignConfig {
+            seed: 0x2E57ED,
+            points_per_combo: 4,
+            ops: 16,
+        };
+        let fc = FaultCampaign::new(cfg);
+        for (ci, scheme) in [(2, SchemeKind::Asit), (3, SchemeKind::Star)] {
+            let r = fc.run_combo(ci, scheme, CounterMode::General);
+            assert_eq!(r.nested_points, 1, "iteration 2 must be nested");
+            assert!(r.clean(), "campaign failed:\n{r}");
+        }
+    }
+
+    #[test]
+    fn repro_replays_a_single_iteration_identically() {
+        let cfg = CampaignConfig {
+            seed: 0xFA17,
+            points_per_combo: 6,
+            ops: 20,
+        };
+        let fc = FaultCampaign::new(cfg.clone());
+        // Iteration 2 is the nested slot; replaying it alone must draw the
+        // same point and meet the same contract as inside the full run.
+        let one = fc.run_point(4, 2).unwrap();
+        assert_eq!(one.points(), 1);
+        assert_eq!(one.nested_points, 1);
+        let two = fc.run_point(4, 2).unwrap();
+        assert_eq!(one.clean(), two.clean());
+        assert_eq!(one.point_hist.sum(), two.point_hist.sum());
+        assert!(fc.run_point(99, 0).is_none(), "unknown combo");
     }
 }

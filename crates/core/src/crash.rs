@@ -305,10 +305,10 @@ impl fmt::Display for SweepReport {
 
 /// How a single injected crash point failed.
 pub(crate) struct PointFailure {
-    op_index: usize,
-    point: Option<PersistPoint>,
-    error: String,
-    divergent: String,
+    pub(crate) op_index: usize,
+    pub(crate) point: Option<PersistPoint>,
+    pub(crate) error: String,
+    pub(crate) divergent: String,
 }
 
 /// A replayed stream crashed at a (possibly torn) point, with ground truth
@@ -322,6 +322,30 @@ pub(crate) struct TornCrash {
     /// A data line destroyed by the tear (in-place overwrite mixed old and
     /// new words); reads of it must fail closed.
     pub(crate) sacrificed: Option<u64>,
+}
+
+/// What the outer crash promised: carried through a nested run so the
+/// final machine — however many recoveries it took — verifies against the
+/// same reconciled expectations.
+pub(crate) struct NestedCtx {
+    op_index: usize,
+    trip: Option<PersistPoint>,
+    expected: HashMap<u64, [u8; 64]>,
+    sacrificed: Option<u64>,
+}
+
+/// Outcome of arming a second crash *inside* recovery of an outer crash.
+pub(crate) enum NestedRun {
+    /// The inner point lay beyond recovery's horizon: recovery finished
+    /// first and produced a fully recovered system.
+    Completed(Box<SecureNvmSystem>),
+    /// Strict recovery failed cleanly before the inner point tripped (a
+    /// torn outer line can legitimately defeat fail-stop recovery).
+    StrictFailed(IntegrityError),
+    /// The inner crash tripped mid-recovery; the partial system — parked in
+    /// the caller's slot before recovery's first durable write — lost power
+    /// again. The doubly-crashed machine.
+    Crashed(Box<CrashedSystem>),
 }
 
 /// The exhaustive persist-boundary fault-injection driver.
@@ -931,7 +955,13 @@ impl CrashSweep {
     /// Applies the sweep's [`PointSelection`] to an arbitrary point list,
     /// striding by index so first and last survive bounding.
     fn select(&self, points: Vec<u64>) -> Vec<u64> {
-        match self.selection {
+        Self::select_with(self.selection, points)
+    }
+
+    /// [`Self::select`] with an explicit selection (nested sweeps bound
+    /// outer and inner point lists independently).
+    fn select_with<T: Copy>(selection: PointSelection, points: Vec<T>) -> Vec<T> {
+        match selection {
             PointSelection::All => points,
             PointSelection::AtMost(n) if n >= points.len() => points,
             PointSelection::AtMost(n) => {
@@ -1018,6 +1048,597 @@ impl CrashSweep {
         SweepReport {
             label,
             total_points: total * word_masks.len() as u64,
+            tested_points: tested,
+            failures,
+        }
+    }
+
+    // ———————— Nested injection: crash *during* recovery ————————
+    //
+    // The recovery state machine journals its progress in the ADR domain
+    // (`RecoveryJournal`), parks the partial system in the caller's slot
+    // before its first durable write, and replays each phase re-entrantly.
+    // These drivers prove it: reproduce an outer crash, re-arm the device at
+    // a persist point *recovery itself* fires (journal updates, record and
+    // shadow rewrites, scrub pokes — pokes are traced as tearable points
+    // during injection), crash again, and require the second recovery to
+    // converge on the same verified state.
+
+    /// Enumerates the persist points recovery fires for the outer crash
+    /// `(k, outer_mask)`: journal updates, record/shadow line writes, and —
+    /// with poke tracing on — every in-place rewrite. When a torn outer
+    /// defeats strict recovery the scrub's points are enumerated instead
+    /// (that is the path a second crash would interrupt). Empty when `k` is
+    /// beyond the stream's horizon or the scheme cannot recover.
+    pub(crate) fn recovery_points(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        outer_mask: u8,
+    ) -> Result<Vec<PersistPoint>, PointFailure> {
+        let Some(tc) = Self::crash_torn(cfg, ops, k, outer_mask)? else {
+            return Ok(Vec::new());
+        };
+        let mut crashed = tc.crashed;
+        if !crashed.recoverable() {
+            return Ok(Vec::new());
+        }
+        crashed.nvm.trace_pokes(true);
+        crashed.nvm.journal_points(true);
+        let mut slot = None;
+        if crashed.recover_into(&mut slot).is_ok() {
+            let sys = slot.take().expect("recovery parks the rebuilt system");
+            return Ok(sys.ctrl.nvm.point_journal().to_vec());
+        }
+        // Strict recovery refused (torn outer): the scrub is what a second
+        // crash would interrupt — enumerate its points instead.
+        let Some(tc2) = Self::crash_torn(cfg, ops, k, outer_mask)? else {
+            return Ok(Vec::new());
+        };
+        let mut crashed2 = tc2.crashed;
+        crashed2.nvm.trace_pokes(true);
+        crashed2.nvm.journal_points(true);
+        let mut slot2 = None;
+        let _report = crashed2.recover_lenient_into(&mut slot2);
+        Ok(slot2
+            .map(|s| s.ctrl.nvm.point_journal().to_vec())
+            .unwrap_or_default())
+    }
+
+    /// Reproduces the outer crash `(k, outer_mask)`, re-arms the device at
+    /// absolute persist point `j` (torn by `inner_mask` for line writes)
+    /// with poke tracing on, and runs strict recovery once. Returns how the
+    /// nested run ended plus the outer crash's reconciled expectations.
+    /// `Ok(None)` when `k` lies beyond the stream's horizon.
+    pub(crate) fn crash_nested(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        outer_mask: u8,
+        j: u64,
+        inner_mask: u8,
+    ) -> Result<Option<(NestedRun, NestedCtx)>, PointFailure> {
+        let Some(tc) = Self::crash_torn(cfg, ops, k, outer_mask)? else {
+            return Ok(None);
+        };
+        let TornCrash {
+            mut crashed,
+            op_index,
+            trip,
+            expected,
+            sacrificed,
+        } = tc;
+        let ctx = NestedCtx {
+            op_index,
+            trip,
+            expected,
+            sacrificed,
+        };
+        crashed.nvm.trace_pokes(true);
+        crashed.nvm.arm_crash_torn(j, inner_mask);
+        let mut slot = None;
+        let outcome = catch_unwind(AssertUnwindSafe(|| crashed.recover_into(&mut slot)));
+        let run = match outcome {
+            Ok(Ok(_report)) => {
+                let Some(mut sys) = slot.take() else {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: "recovery returned Ok without parking the system".into(),
+                        divergent: "recover_into must fill the caller's slot".into(),
+                    });
+                };
+                sys.ctrl.nvm.disarm_crash();
+                sys.ctrl.nvm.trace_pokes(false);
+                NestedRun::Completed(Box::new(sys))
+            }
+            Ok(Err(e)) => NestedRun::StrictFailed(e),
+            Err(payload) => {
+                if !payload.is::<CrashTripped>() {
+                    std::panic::resume_unwind(payload);
+                }
+                let Some(mut partial) = slot.take() else {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: format!(
+                            "inner crash at point {j} tripped before recovery parked the system"
+                        ),
+                        divergent: "recovery must park before its first durable write".into(),
+                    });
+                };
+                partial.ctrl.nvm.disarm_crash();
+                partial.ctrl.nvm.trace_pokes(false);
+                NestedRun::Crashed(Box::new(partial.crash()))
+            }
+        };
+        Ok(Some((run, ctx)))
+    }
+
+    /// Tests one nested point: outer crash at `k` (mask `outer_mask`), a
+    /// second crash at recovery-time point `j` (mask `inner_mask`), then a
+    /// *second* recovery of the doubly-crashed machine. The contract:
+    /// * WB refuses recovery at every nested point;
+    /// * if the inner point never tripped, the single recovery verifies;
+    /// * if it tripped, recovery must have parked a partial system whose
+    ///   second recovery verifies — reporting `core.recovery.restarts ≥ 1`
+    ///   unless the journal already read `DONE` (the inner crash landed on
+    ///   recovery's final durable write);
+    /// * only a torn write may defeat the strict path, in which case the
+    ///   lenient scrub must salvage everything but the sacrificed line —
+    ///   including when the inner crash interrupts the scrub itself.
+    pub(crate) fn test_point_nested(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        outer_mask: u8,
+        j: u64,
+        inner_mask: u8,
+    ) -> Result<(), PointFailure> {
+        let Some((run, ctx)) = Self::crash_nested(cfg, ops, k, outer_mask, j, inner_mask)? else {
+            return Ok(());
+        };
+        let NestedCtx {
+            op_index,
+            trip,
+            expected,
+            sacrificed,
+        } = ctx;
+
+        if matches!(cfg.scheme, SchemeKind::WriteBack) {
+            return match run {
+                NestedRun::StrictFailed(IntegrityError::RecoveryUnsupported) => Ok(()),
+                _ => Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    error: "WB must refuse recovery under nested injection".into(),
+                    divergent: "n/a".into(),
+                }),
+            };
+        }
+
+        match run {
+            NestedRun::Completed(mut sys) => {
+                Self::verify_recovered(cfg, ops, k, &mut sys, &expected, sacrificed, op_index, trip)
+            }
+            NestedRun::Crashed(crashed2) => {
+                let finished =
+                    !crate::recovery::journal::in_progress(crashed2.nvm.recovery_journal().phase);
+                match crashed2.recover() {
+                    Ok((mut sys2, report2)) => {
+                        let restarts = report2
+                            .metrics
+                            .counter("core.recovery.restarts")
+                            .unwrap_or(0);
+                        if restarts == 0 && !finished {
+                            return Err(PointFailure {
+                                op_index,
+                                point: trip,
+                                error: format!(
+                                    "second recovery after inner crash at {j} reported no restart"
+                                ),
+                                divergent: "the ADR journal must record the interrupted attempt"
+                                    .into(),
+                            });
+                        }
+                        Self::verify_recovered(
+                            cfg, ops, k, &mut sys2, &expected, sacrificed, op_index, trip,
+                        )
+                    }
+                    Err(strict) => {
+                        if outer_mask == 0xFF && inner_mask == 0xFF {
+                            return Err(PointFailure {
+                                op_index,
+                                point: trip,
+                                error: format!(
+                                    "clean nested crash {k}>{j} failed second recovery: {strict}"
+                                ),
+                                divergent: "untorn nested crashes must recover strictly".into(),
+                            });
+                        }
+                        Self::nested_scrub_leg(
+                            cfg, ops, k, outer_mask, j, inner_mask, &expected, sacrificed,
+                            op_index, trip, &strict,
+                        )
+                    }
+                }
+            }
+            NestedRun::StrictFailed(strict) => {
+                if outer_mask == 0xFF {
+                    // Whole-line outer persists must always recover strictly
+                    // — the inner crash never even fired here.
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        divergent: Self::diagnose_error(cfg, ops, k, &strict),
+                        error: strict.to_string(),
+                    });
+                }
+                Self::nested_scrub_leg(
+                    cfg, ops, k, outer_mask, j, inner_mask, &expected, sacrificed, op_index, trip,
+                    &strict,
+                )
+            }
+        }
+    }
+
+    /// The lenient leg of a nested point: reproduces the nested run and
+    /// scrubs whatever state the double fault left — the doubly-crashed
+    /// partial machine, or the outer image with the inner crash re-armed
+    /// against the scrub's own persist points (including a trip *during*
+    /// the scrub, which must journal `SCRUB` and complete on the next
+    /// lenient pass).
+    #[allow(clippy::too_many_arguments)]
+    fn nested_scrub_leg(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        outer_mask: u8,
+        j: u64,
+        inner_mask: u8,
+        expected: &HashMap<u64, [u8; 64]>,
+        sacrificed: Option<u64>,
+        op_index: usize,
+        trip: Option<PersistPoint>,
+        strict: &IntegrityError,
+    ) -> Result<(), PointFailure> {
+        let Some((run, _ctx)) = Self::crash_nested(cfg, ops, k, outer_mask, j, inner_mask)? else {
+            return Err(PointFailure {
+                op_index,
+                point: trip,
+                error: "nested crash not reproducible for the scrub".into(),
+                divergent: "n/a".into(),
+            });
+        };
+        match run {
+            NestedRun::Completed(_) => Err(PointFailure {
+                op_index,
+                point: trip,
+                error: "nested run is nondeterministic: completed on replay".into(),
+                divergent: format!("first attempt failed with: {strict}"),
+            }),
+            NestedRun::Crashed(crashed2) => {
+                let min_restarts = u64::from(crate::recovery::journal::in_progress(
+                    crashed2.nvm.recovery_journal().phase,
+                ));
+                Self::scrub_and_verify(
+                    cfg,
+                    ops,
+                    k,
+                    *crashed2,
+                    expected,
+                    sacrificed,
+                    op_index,
+                    trip,
+                    strict,
+                    min_restarts,
+                )
+            }
+            NestedRun::StrictFailed(_) => {
+                // Strict recovery refused before the inner point tripped:
+                // the scrub is what runs next, with the inner crash armed
+                // against its own rewrites.
+                let Some(tc) = Self::crash_torn(cfg, ops, k, outer_mask)? else {
+                    return Err(PointFailure {
+                        op_index,
+                        point: trip,
+                        error: "outer crash not reproducible for the scrub".into(),
+                        divergent: "n/a".into(),
+                    });
+                };
+                let mut crashed = tc.crashed;
+                crashed.nvm.trace_pokes(true);
+                crashed.nvm.arm_crash_torn(j, inner_mask);
+                let mut slot = None;
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| crashed.recover_lenient_into(&mut slot)));
+                match outcome {
+                    Ok(report) => {
+                        // Inner point beyond the scrub's horizon: the plain
+                        // scrub contract applies.
+                        let mut sys_opt = slot.take();
+                        if let Some(sys) = sys_opt.as_mut() {
+                            sys.ctrl.nvm.disarm_crash();
+                            sys.ctrl.nvm.trace_pokes(false);
+                        }
+                        Self::check_scrub_outcome(
+                            cfg, ops, k, sys_opt, &report, expected, sacrificed, op_index, trip,
+                            strict, 0,
+                        )
+                    }
+                    Err(payload) => {
+                        if !payload.is::<CrashTripped>() {
+                            std::panic::resume_unwind(payload);
+                        }
+                        let Some(mut partial) = slot.take() else {
+                            return Err(PointFailure {
+                                op_index,
+                                point: trip,
+                                error: format!(
+                                    "inner crash at {j} tripped before the scrub parked the system"
+                                ),
+                                divergent: "the scrub must park before its first rewrite".into(),
+                            });
+                        };
+                        partial.ctrl.nvm.disarm_crash();
+                        partial.ctrl.nvm.trace_pokes(false);
+                        let crashed3 = partial.crash();
+                        // The interrupted scrub must be journaled: strict
+                        // recovery is no longer sound on this image. A trip
+                        // on the scrub's final write legitimately reads
+                        // `DONE` — all durable work already landed.
+                        let phase = crashed3.nvm.recovery_journal().phase;
+                        if phase != crate::recovery::journal::SCRUB
+                            && phase != crate::recovery::journal::DONE
+                        {
+                            return Err(PointFailure {
+                                op_index,
+                                point: trip,
+                                error: "interrupted scrub left no SCRUB journal entry".into(),
+                                divergent: format!(
+                                    "journal phase {}",
+                                    crate::recovery::journal::name(phase)
+                                ),
+                            });
+                        }
+                        let min_restarts = u64::from(crate::recovery::journal::in_progress(phase));
+                        Self::scrub_and_verify(
+                            cfg,
+                            ops,
+                            k,
+                            crashed3,
+                            expected,
+                            sacrificed,
+                            op_index,
+                            trip,
+                            strict,
+                            min_restarts,
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scrubs a (possibly doubly-) crashed machine and checks the lenient
+    /// contract against the outer crash's expectations.
+    #[allow(clippy::too_many_arguments)]
+    fn scrub_and_verify(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        crashed: CrashedSystem,
+        expected: &HashMap<u64, [u8; 64]>,
+        sacrificed: Option<u64>,
+        op_index: usize,
+        trip: Option<PersistPoint>,
+        strict: &IntegrityError,
+        min_restarts: u64,
+    ) -> Result<(), PointFailure> {
+        let outcome = catch_unwind(AssertUnwindSafe(move || crashed.recover_lenient()));
+        let (sys, report) = match outcome {
+            Ok(r) => r,
+            Err(_) => {
+                return Err(PointFailure {
+                    op_index,
+                    point: trip,
+                    error: format!("scrub panicked after nested crash (strict error: {strict})"),
+                    divergent: "lenient recovery must be total".into(),
+                });
+            }
+        };
+        Self::check_scrub_outcome(
+            cfg,
+            ops,
+            k,
+            sys,
+            &report,
+            expected,
+            sacrificed,
+            op_index,
+            trip,
+            strict,
+            min_restarts,
+        )
+    }
+
+    /// The lenient contract: nothing beyond the sacrificed line is lost,
+    /// a system comes back, it verifies, and an interrupted prior pass is
+    /// visible as a restart.
+    #[allow(clippy::too_many_arguments)]
+    fn check_scrub_outcome(
+        cfg: &SystemConfig,
+        ops: &[SweepOp],
+        k: u64,
+        sys: Option<SecureNvmSystem>,
+        report: &crate::scrub::ScrubReport,
+        expected: &HashMap<u64, [u8; 64]>,
+        sacrificed: Option<u64>,
+        op_index: usize,
+        trip: Option<PersistPoint>,
+        strict: &IntegrityError,
+        min_restarts: u64,
+    ) -> Result<(), PointFailure> {
+        if report.restarts < min_restarts {
+            return Err(PointFailure {
+                op_index,
+                point: trip,
+                error: format!(
+                    "scrub after an interrupted pass reported {} restarts, need ≥ {min_restarts}",
+                    report.restarts
+                ),
+                divergent: "the ADR journal must record the interrupted attempt".into(),
+            });
+        }
+        if let Some(bad) = report
+            .unrecoverable_addrs
+            .iter()
+            .find(|a| Some(**a) != sacrificed)
+        {
+            return Err(PointFailure {
+                op_index,
+                point: trip,
+                error: format!("scrub lost durable data at {bad:#x} (strict error: {strict})"),
+                divergent: format!("{report}"),
+            });
+        }
+        let Some(mut sys) = sys else {
+            return Err(PointFailure {
+                op_index,
+                point: trip,
+                error: "scrub returned no system for a recoverable scheme".into(),
+                divergent: format!("{report}"),
+            });
+        };
+        Self::verify_recovered(cfg, ops, k, &mut sys, expected, sacrificed, op_index, trip)
+    }
+
+    /// Probes one nested point, returning the repro on failure (campaign
+    /// unit of work; truncated to the in-flight op, not greedily shrunk).
+    pub fn probe_point_nested(
+        &self,
+        k: u64,
+        outer_mask: u8,
+        j: u64,
+        inner_mask: u8,
+    ) -> Option<CrashRepro> {
+        match Self::test_point_nested(&self.cfg, &self.ops, k, outer_mask, j, inner_mask) {
+            Ok(()) => None,
+            Err(fail) => Some(CrashRepro {
+                label: format!(
+                    "{} nested {k}>{j} masks {outer_mask:#04x}>{inner_mask:#04x}",
+                    self.cfg.scheme.label(self.cfg.mode)
+                ),
+                ops: self.ops[..=fail.op_index].to_vec(),
+                op_index: fail.op_index,
+                crash_point: k,
+                point: fail.point,
+                error: fail.error,
+                divergent: fail.divergent,
+            }),
+        }
+    }
+
+    /// Enumerates the nested sweep's job tuples `(k, outer_mask, j,
+    /// inner_mask)`: for every selected outer point × outer mask, the
+    /// persist points *recovery itself* fires, bounded by `inner_sel`. ADR
+    /// journal updates are sub-word and never tear, so torn inner masks
+    /// only pair with line writes; torn outer masks restrict the outer list
+    /// to line writes. When recovery fires no points (WB's refusal, or a
+    /// pre-crash error) one synthetic beyond-horizon inner point keeps the
+    /// contract checked. The unit list for point-parallel nested sweeps via
+    /// [`Self::probe_point_nested`].
+    pub fn nested_jobs(
+        &self,
+        outer_masks: &[u8],
+        inner_masks: &[u8],
+        inner_sel: PointSelection,
+    ) -> Result<Vec<(u64, u8, u64, u8)>, IntegrityError> {
+        let journal = Self::enumerate_journal(&self.cfg, &self.ops)?;
+        let mut jobs = Vec::new();
+        for &m0 in outer_masks {
+            let outer: Vec<u64> = self.select(
+                journal
+                    .iter()
+                    .filter(|p| m0 == 0xFF || p.kind == PersistKind::LineWrite)
+                    .map(|p| p.seq)
+                    .collect(),
+            );
+            for &k in &outer {
+                let inner = Self::recovery_points(&self.cfg, &self.ops, k, m0).unwrap_or_default();
+                let inner = if inner.is_empty() {
+                    vec![PersistPoint {
+                        seq: k + 1,
+                        kind: PersistKind::AdrUpdate,
+                        addr: 0,
+                    }]
+                } else {
+                    Self::select_with(inner_sel, inner)
+                };
+                for p in &inner {
+                    for &m1 in inner_masks {
+                        if p.kind != PersistKind::LineWrite && m1 != 0xFF {
+                            // ADR updates are sub-word: they never tear.
+                            continue;
+                        }
+                        jobs.push((k, m0, p.seq, m1));
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// The nested sweep, serially: [`Self::nested_jobs`] × the per-point
+    /// nested contract check.
+    pub fn run_nested(
+        &self,
+        outer_masks: &[u8],
+        inner_masks: &[u8],
+        inner_sel: PointSelection,
+    ) -> SweepReport {
+        let label = format!("{} nested", self.cfg.scheme.label(self.cfg.mode));
+        let jobs = match self.nested_jobs(outer_masks, inner_masks, inner_sel) {
+            Ok(j) => j,
+            Err(e) => {
+                return SweepReport {
+                    label: label.clone(),
+                    total_points: 0,
+                    tested_points: 0,
+                    failures: vec![CrashRepro {
+                        label,
+                        ops: self.ops.clone(),
+                        op_index: 0,
+                        crash_point: 0,
+                        point: None,
+                        error: format!("baseline run failed: {e}"),
+                        divergent: "stream does not complete without a crash".into(),
+                    }],
+                };
+            }
+        };
+        let mut failures: Vec<CrashRepro> = Vec::new();
+        let mut tested = 0u64;
+        for &(k, m0, j, m1) in &jobs {
+            tested += 1;
+            if let Err(fail) = Self::test_point_nested(&self.cfg, &self.ops, k, m0, j, m1) {
+                failures.push(CrashRepro {
+                    label: format!("{label} {k}>{j} masks {m0:#04x}>{m1:#04x}"),
+                    ops: self.ops[..=fail.op_index].to_vec(),
+                    op_index: fail.op_index,
+                    crash_point: k,
+                    point: fail.point,
+                    error: fail.error,
+                    divergent: fail.divergent,
+                });
+                if failures.len() >= self.max_failures {
+                    break;
+                }
+            }
+        }
+        SweepReport {
+            label,
+            total_points: jobs.len() as u64,
             tested_points: tested,
             failures,
         }
@@ -1197,6 +1818,76 @@ mod tests {
         );
         let report = sweep.run_torn(&[0xFF]);
         assert!(report.clean(), "{report}");
+    }
+
+    /// Nested contract, sampled per scheme: crash at an outer point, crash
+    /// *again* during recovery, and require the second recovery (or scrub)
+    /// to converge — the recovery state machine is restartable.
+    fn nested_sweep(scheme: SchemeKind) {
+        let sweep = CrashSweep::small(scheme, CounterMode::General, 18, PointSelection::AtMost(5));
+        let report = sweep.run_nested(&[0xFF, 0x0F], &[0xFF, 0x0F], PointSelection::AtMost(4));
+        assert!(report.tested_points > 0, "no nested points enumerated");
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn steins_gc_nested_points_all_recover() {
+        nested_sweep(SchemeKind::Steins);
+    }
+
+    #[test]
+    fn asit_gc_nested_points_all_recover() {
+        nested_sweep(SchemeKind::Asit);
+    }
+
+    #[test]
+    fn star_gc_nested_points_all_recover() {
+        nested_sweep(SchemeKind::Star);
+    }
+
+    #[test]
+    fn wb_nested_points_keep_refusing_recovery() {
+        nested_sweep(SchemeKind::WriteBack);
+    }
+
+    #[test]
+    fn interrupted_recovery_reports_restart_metrics() {
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+        let ops = SweepOp::stream(0xD0C5, 64, 20);
+        let total = CrashSweep::enumerate(&cfg, &ops).unwrap();
+        let k = total / 2;
+        let inner = CrashSweep::recovery_points(&cfg, &ops, k, 0xFF)
+            .ok()
+            .unwrap();
+        assert!(!inner.is_empty(), "recovery fires no persist points");
+        // Trip on recovery's very first durable write (the phase journal
+        // update), then recover the doubly-crashed machine.
+        let j = inner[0].seq;
+        let (run, _ctx) = CrashSweep::crash_nested(&cfg, &ops, k, 0xFF, j, 0xFF)
+            .ok()
+            .unwrap()
+            .unwrap();
+        let NestedRun::Crashed(crashed2) = run else {
+            panic!("inner point must trip mid-recovery");
+        };
+        assert!(
+            crate::recovery::journal::in_progress(crashed2.nvm.recovery_journal().phase),
+            "interrupted recovery must leave an in-progress journal phase"
+        );
+        let (_sys, report) = crashed2.recover().unwrap();
+        assert!(
+            report
+                .metrics
+                .counter("core.recovery.restarts")
+                .unwrap_or(0)
+                >= 1,
+            "second recovery must report a restart"
+        );
+        assert_eq!(
+            report.metrics.counter("core.recovery.resumed"),
+            Some(1),
+            "second recovery must report it resumed a journaled attempt"
+        );
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub enum IntegrityError {
         /// Line address of the unreadable region.
         addr: u64,
     },
+    /// The ADR recovery journal records an interrupted lenient scrub.
+    /// A scrub rewrites the very regions strict recovery trusts (records,
+    /// shadow table, bitmap), so once one has started, strict recovery is
+    /// no longer sound — the caller must re-run the scrub instead.
+    ScrubInterrupted,
 }
 
 impl std::fmt::Display for IntegrityError {
@@ -91,6 +96,12 @@ impl std::fmt::Display for IntegrityError {
             }
             IntegrityError::Unreadable { addr } => {
                 write!(f, "uncorrectable media error at address {addr:#x}")
+            }
+            IntegrityError::ScrubInterrupted => {
+                write!(
+                    f,
+                    "recovery journal records an interrupted scrub: re-run the scrub"
+                )
             }
         }
     }

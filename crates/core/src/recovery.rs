@@ -15,13 +15,68 @@ use crate::engine::SecureNvmSystem;
 use crate::error::IntegrityError;
 use crate::linc::LincBank;
 use crate::nvbuffer::NvBuffer;
-use crate::scheme::{star, SchemeState, SteinsState};
-use std::collections::{BTreeSet, HashMap};
+use crate::scheme::{star, AsitState, SchemeState, SteinsState};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use steins_metadata::counter::{CounterBlock, SplitCounters};
 use steins_metadata::records::{record_coords, RecordLine, RECORDS_PER_LINE};
 use steins_metadata::{CounterMode, NodeId, SitNode};
-use steins_nvm::AdrRegion;
+use steins_nvm::{AdrRegion, RecoveryJournal};
 use steins_obs::MetricRegistry;
+
+/// Phase tags of the ADR-resident recovery journal
+/// ([`steins_nvm::RecoveryJournal`]). The journal makes recovery a
+/// restartable state machine: every phase is re-entrant, and a crash at any
+/// persist boundary inside recovery leaves a journal telling the next
+/// attempt where the previous one stopped (and, for STAR, how much of the
+/// cache-tree register the interrupted rebuild had regrown).
+pub mod journal {
+    /// No recovery has ever run on this image.
+    pub const IDLE: u8 = 0;
+    /// Steins: reinstalling recovered nodes into the metadata cache.
+    /// Durable NVM state is untouched in this phase (installs are volatile;
+    /// the LInc registers and NV buffer still hold their crash values), so
+    /// a re-run simply repeats the whole recovery.
+    pub const STEINS_REBUILD: u8 = 1;
+    /// Steins: rewriting the offset-record region to the fresh slot
+    /// assignment. Slot-pinned installs make the rewritten lines byte-equal
+    /// to the pre-crash ones for every previously-recorded slot, and the
+    /// still-unswitched LInc/NV-buffer registers reconcile any partially
+    /// rewritten mix exactly as the first attempt did.
+    pub const STEINS_RECORDS: u8 = 2;
+    /// ASIT: replaying shadow-slot updates against a cache-tree seeded from
+    /// the durable shadow content — each update is the normal runtime
+    /// register-then-push sequence, so every boundary inside the replay is
+    /// a runtime-consistent image.
+    pub const ASIT_REPLAY: u8 = 3;
+    /// STAR: reinstalling nodes in canonical order while regrowing the
+    /// cache-tree register from empty; `hwm` counts completed items, so a
+    /// re-run verifies the register over exactly the covered prefix.
+    pub const STAR_REBUILD: u8 = 4;
+    /// Lenient scrub rewriting the image (see `crate::scrub`). Strict
+    /// recovery refuses to run over a half-scrubbed image.
+    pub const SCRUB: u8 = 5;
+    /// The last recovery or scrub ran to completion.
+    pub const DONE: u8 = 6;
+
+    /// Human-readable phase name.
+    pub fn name(phase: u8) -> &'static str {
+        match phase {
+            IDLE => "idle",
+            STEINS_REBUILD => "steins-rebuild",
+            STEINS_RECORDS => "steins-records",
+            ASIT_REPLAY => "asit-replay",
+            STAR_REBUILD => "star-rebuild",
+            SCRUB => "scrub",
+            DONE => "done",
+            _ => "unknown",
+        }
+    }
+
+    /// Whether the journal records an interrupted (non-terminal) recovery.
+    pub fn in_progress(phase: u8) -> bool {
+        !matches!(phase, IDLE | DONE)
+    }
+}
 
 /// What a recovery run did and how long it would take on hardware.
 #[derive(Clone, Debug)]
@@ -42,16 +97,30 @@ pub struct RecoveryReport {
 }
 
 /// Builds the `core.recovery.` registry: total/per-phase modeled read
-/// counts and per-level recovered-node counts.
+/// counts, per-level recovered-node counts, and the restart/journal state
+/// this attempt started from (`prior` is the journal as found at entry —
+/// an in-progress phase there means this attempt is a restart).
 fn recovery_metrics(
     phases: &[(&str, u64)],
     reads: u64,
     nodes: usize,
     per_level: &[usize],
+    prior: RecoveryJournal,
+    restarts: u32,
 ) -> MetricRegistry {
     let mut m = MetricRegistry::new();
     m.counter_add("core.recovery.reads", reads);
     m.counter_add("core.recovery.nodes", nodes as u64);
+    m.counter_add("core.recovery.restarts", restarts as u64);
+    m.counter_add(
+        "core.recovery.resumed",
+        journal::in_progress(prior.phase) as u64,
+    );
+    m.counter_add(
+        &format!("core.recovery.journal.prior.{}", journal::name(prior.phase)),
+        1,
+    );
+    m.counter_add("core.recovery.journal.prior_hwm", prior.hwm);
     for (name, r) in phases {
         m.counter_add(&format!("core.recovery.phase.{name}.reads"), *r);
     }
@@ -98,11 +167,42 @@ impl CrashedSystem {
     /// Fails with the precise [`IntegrityError`] when the persisted state
     /// was tampered with or replayed (§III-H).
     pub fn recover(self) -> Result<(SecureNvmSystem, RecoveryReport), IntegrityError> {
+        let mut out = None;
+        let report = self.recover_into(&mut out)?;
+        Ok((
+            out.take().expect("recovery parks the rebuilt system"),
+            report,
+        ))
+    }
+
+    /// Restartable form of [`Self::recover`]: the rebuilt system is parked
+    /// in `out` *before* recovery issues its first durable write, so if a
+    /// second crash trips mid-rebuild (an armed persist point inside
+    /// recovery), the unwinding caller still owns the partially-rebuilt
+    /// system — including its NVM image and ADR recovery journal — and can
+    /// crash it again and re-run recovery. All planning and verification
+    /// happen before parking and touch nothing durable.
+    pub fn recover_into(
+        self,
+        out: &mut Option<SecureNvmSystem>,
+    ) -> Result<RecoveryReport, IntegrityError> {
+        if matches!(self.cfg.scheme, SchemeKind::WriteBack) {
+            return Err(IntegrityError::RecoveryUnsupported);
+        }
+        let prior = self.nvm.recovery_journal();
+        if prior.phase == journal::SCRUB {
+            return Err(IntegrityError::ScrubInterrupted);
+        }
+        let restarts = if journal::in_progress(prior.phase) {
+            prior.restarts.saturating_add(1)
+        } else {
+            0
+        };
         match self.cfg.scheme {
-            SchemeKind::WriteBack => Err(IntegrityError::RecoveryUnsupported),
-            SchemeKind::Steins => self.recover_steins(),
-            SchemeKind::Asit => self.recover_asit(),
-            SchemeKind::Star => self.recover_star(),
+            SchemeKind::WriteBack => unreachable!("handled above"),
+            SchemeKind::Steins => self.recover_steins(out, prior, restarts),
+            SchemeKind::Asit => self.recover_asit(out, prior, restarts),
+            SchemeKind::Star => self.recover_star(out, prior, restarts),
         }
     }
 
@@ -222,7 +322,12 @@ impl CrashedSystem {
 
     // ——————————————————————— Steins ———————————————————————
 
-    fn recover_steins(self) -> Result<(SecureNvmSystem, RecoveryReport), IntegrityError> {
+    fn recover_steins(
+        self,
+        out: &mut Option<SecureNvmSystem>,
+        prior: RecoveryJournal,
+        restarts: u32,
+    ) -> Result<RecoveryReport, IntegrityError> {
         let geo = self.layout.geometry.clone();
         let (mut lincs, nv_buffer) = match &self.nv {
             NvState::Steins { lincs, nv_buffer } => (lincs.clone(), nv_buffer.clone()),
@@ -231,17 +336,35 @@ impl CrashedSystem {
         let mut reads = 0u64;
 
         // 1. Offset records → candidate dirty set (may over-approximate;
-        //    clean nodes recover to themselves, §III-H).
+        //    clean nodes recover to themselves, §III-H). Remember each
+        //    offset's recorded slot: the rebuild pins nodes back into their
+        //    old slots so the rewritten record region is byte-identical to
+        //    the pre-crash one (recovery idempotence).
         let slots = self.cfg.meta_cache.slots();
+        let sets = self.cfg.meta_cache.sets();
+        let ways = self.cfg.meta_cache.ways as u64;
         let rec_lines = slots.div_ceil(RECORDS_PER_LINE);
         let mut dirty: BTreeSet<u64> = BTreeSet::new();
+        let mut pinned: HashMap<u64, u64> = HashMap::new();
         for r in 0..rec_lines {
             reads += 1;
             let line = self.nvm.peek(self.layout.record_addr(r));
-            for (_, off) in RecordLine::from_line(&line).entries() {
+            for (e, off) in RecordLine::from_line(&line).entries() {
                 let off = u64::from(off);
                 if off < geo.total_nodes() {
                     dirty.insert(off);
+                    // Stale duplicates (a node re-dirtied in a new slot
+                    // leaves its old entry behind) resolve last-wins; any
+                    // consistent choice keeps chosen slots unique because a
+                    // slot's entry names exactly one offset. Entries whose
+                    // slot is not in the offset's set are never written by
+                    // the runtime — they are zero-initialized record lines
+                    // decoding as "offset 0" — so they only feed the dirty
+                    // over-approximation, not the slot pinning.
+                    let slot = r * RECORDS_PER_LINE + e as u64;
+                    if slot / ways == off % sets {
+                        pinned.insert(off, slot);
+                    }
                 }
             }
         }
@@ -379,51 +502,120 @@ impl CrashedSystem {
             reads,
             nodes,
             &per_level,
+            prior,
+            restarts,
         );
-        let sys = self.rebuild_steins(recovered, lincs)?;
-        let est_seconds = reads as f64 * sys.config().recovery_read_ns * 1e-9;
-        Ok((
-            sys,
-            RecoveryReport {
-                scheme: "Steins".into(),
-                nvm_reads: reads,
-                nodes_recovered: nodes,
-                per_level,
-                est_seconds,
-                metrics,
-            },
-        ))
+        let read_ns = self.cfg.recovery_read_ns;
+        self.rebuild_steins(out, recovered, lincs, pinned, restarts)?;
+        let est_seconds = reads as f64 * read_ns * 1e-9;
+        Ok(RecoveryReport {
+            scheme: "Steins".into(),
+            nvm_reads: reads,
+            nodes_recovered: nodes,
+            per_level,
+            est_seconds,
+            metrics,
+        })
     }
 
+    /// Rebuilds the live Steins system, restartably. The phase structure:
+    ///
+    /// 1. `STEINS_REBUILD` — reinstall recovered nodes into the metadata
+    ///    cache (volatile). The scheme registers keep their *crash-time*
+    ///    LInc/NV-buffer values, so durable state is completely unchanged
+    ///    through this phase: a crash here re-runs recovery verbatim.
+    /// 2. `STEINS_RECORDS` — rewrite the offset-record region. Nodes were
+    ///    pinned back into their recorded slots, so for those slots the new
+    ///    lines equal the old ones; lines gaining buffer-replay parents may
+    ///    differ, but the still-old registers make a partial mix replay to
+    ///    the same recovered state (or, if an injected tear mangles a word,
+    ///    fail closed into the scrub path).
+    /// 3. Register switch + `DONE` — the recovered LIncs and an empty NV
+    ///    buffer are installed in the same persist interval as the `DONE`
+    ///    journal write, so no crash can observe new records with old
+    ///    registers or vice versa beyond what phase 2 already reconciles.
     fn rebuild_steins(
         self,
+        out: &mut Option<SecureNvmSystem>,
         recovered: HashMap<u64, SitNode>,
         lincs: LincBank,
-    ) -> Result<SecureNvmSystem, IntegrityError> {
+        pinned: HashMap<u64, u64>,
+        restarts: u32,
+    ) -> Result<(), IntegrityError> {
         let cfg = self.cfg.clone();
         let geo = self.layout.geometry.clone();
+        let (old_lincs, old_buffer) = match &self.nv {
+            NvState::Steins { lincs, nv_buffer } => (lincs.clone(), nv_buffer.clone()),
+            _ => unreachable!("steins rebuild under steins scheme"),
+        };
         let mut sys = SecureNvmSystem::new(cfg.clone());
         sys.ctrl.nvm = self.nvm;
         sys.ctrl.root = self.root;
         sys.truth = self.truth;
         sys.ctrl.scheme = SchemeState::Steins(SteinsState {
-            lincs,
-            nv_buffer: NvBuffer::new(cfg.nv_buffer_bytes),
+            lincs: old_lincs,
+            nv_buffer: old_buffer,
             record_cache: AdrRegion::new(cfg.record_cache_lines),
             draining: false,
         });
         // Reinstall recovered nodes dirty, top level first (§III-G: "all
-        // the retrieved nodes will be marked as dirty").
+        // the retrieved nodes will be marked as dirty"). Nodes with a
+        // record entry go back into their recorded slot; buffer-replay
+        // parents (never recorded) take a free way in their set.
         let mut items: Vec<(u64, SitNode)> = recovered.into_iter().collect();
         items.sort_by_key(|(off, _)| {
             let id = geo.node_at_offset(*off);
             (std::cmp::Reverse(id.level), id.index)
         });
-        for (off, node) in items {
+        let sets = cfg.meta_cache.sets();
+        let ways = cfg.meta_cache.ways as u64;
+        let mut occupied: HashSet<u64> = pinned.values().copied().collect();
+        let assigned: Vec<Option<u64>> = items
+            .iter()
+            .map(|(off, _)| match pinned.get(off) {
+                Some(&slot) => Some(slot),
+                None => {
+                    let set = off % sets;
+                    let free = (0..ways)
+                        .map(|w| set * ways + w)
+                        .find(|f| !occupied.contains(f));
+                    if let Some(f) = free {
+                        occupied.insert(f);
+                    }
+                    free
+                }
+            })
+            .collect();
+        *out = Some(sys);
+        let sys = out.as_mut().expect("just parked");
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::STEINS_REBUILD,
+            hwm: 0,
+            restarts,
+        });
+        let total = items.len() as u64;
+        for (i, ((off, node), slot)) in items.into_iter().zip(assigned).enumerate() {
             let id = geo.node_at_offset(off);
-            sys.ctrl.install_node(0, id, node, true)?;
+            match slot {
+                Some(s) => sys.ctrl.meta.install_at(s, off, node, true),
+                // Set over-full (a parent landed in a set whose ways were
+                // all recorded dirty): fall back to the evicting install.
+                None => {
+                    sys.ctrl.install_node(0, id, node, true)?;
+                }
+            }
+            sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+                phase: journal::STEINS_REBUILD,
+                hwm: i as u64 + 1,
+                restarts,
+            });
         }
-        // Rebuild the record region to match the fresh slot assignment.
+        // Rewrite the record region to match the slot assignment.
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::STEINS_RECORDS,
+            hwm: 0,
+            restarts,
+        });
         let slots = cfg.meta_cache.slots();
         let rec_lines = slots.div_ceil(RECORDS_PER_LINE) as usize;
         let mut lines = vec![RecordLine::default(); rec_lines];
@@ -435,13 +627,29 @@ impl CrashedSystem {
             let addr = sys.ctrl.layout.record_addr(r as u64);
             sys.ctrl.nvm.poke(addr, &rl.to_line());
         }
+        // Atomic register switch: recovered LIncs + empty buffer become
+        // live in the same persist interval as the DONE journal write.
+        if let SchemeState::Steins(st) = &mut sys.ctrl.scheme {
+            st.lincs = lincs;
+            st.nv_buffer = NvBuffer::new(cfg.nv_buffer_bytes);
+        }
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::DONE,
+            hwm: total,
+            restarts,
+        });
         sys.ctrl.nvm.reset_stats();
-        Ok(sys)
+        Ok(())
     }
 
     // ——————————————————————— ASIT ———————————————————————
 
-    fn recover_asit(self) -> Result<(SecureNvmSystem, RecoveryReport), IntegrityError> {
+    fn recover_asit(
+        self,
+        out: &mut Option<SecureNvmSystem>,
+        prior: RecoveryJournal,
+        restarts: u32,
+    ) -> Result<RecoveryReport, IntegrityError> {
         let (nv_root, shadow_tags, inflight) = match &self.nv {
             NvState::Asit {
                 nv_root,
@@ -468,6 +676,13 @@ impl CrashedSystem {
             }
         }
         let reads_shadow_scan = rd.reads;
+        // The seed for the rebuilt system's cache-tree: the tree over the
+        // *durable-consistent* shadow content (post-rollback if the
+        // in-flight write tore), with the matching root and — while the torn
+        // slot's line is still unrewritten in NVM — the original in-flight
+        // pre-image, so a crash during the replay below recovers again.
+        let mut seed_root = nv_root;
+        let mut seed_inflight = None;
         let (rebuilt, _) = CacheTree::rebuild(self.crypto.as_ref(), &leaf_macs);
         if rebuilt != nv_root {
             // Under 8 B write atomicity the one shadow write that was in
@@ -503,11 +718,16 @@ impl CrashedSystem {
             // Roll the torn slot back to its pre-image: the interrupted op
             // was never acked, so the pre-state is the correct durable state.
             slot_lines[inf.slot as usize] = inf.prev_tag.map(|off| (off, inf.prev_line));
+            leaf_macs = prev_macs;
+            seed_root = inf.prev_root;
+            seed_inflight = Some(inf);
         }
-        let mut entries: Vec<(u64, SitNode)> = Vec::new();
-        for (off, line) in slot_lines.iter().flatten() {
-            let id = geo.node_at_offset(*off);
-            entries.push((*off, parse_node(self.cfg.mode, id, line)));
+        let mut entries: Vec<(u64, u64, SitNode)> = Vec::new();
+        for (slot, sl) in slot_lines.iter().enumerate() {
+            if let Some((off, line)) = sl {
+                let id = geo.node_at_offset(*off);
+                entries.push((slot as u64, *off, parse_node(self.cfg.mode, id, line)));
+            }
         }
         // Torn-write reconciliation: within one write op the shadow push
         // persists before the data line + MacRecord push, so a crash in
@@ -518,7 +738,7 @@ impl CrashedSystem {
         // outside that one-ahead window as replay/tampering. The reconciled
         // leaf is installed dirty; the replayed slot update below re-syncs
         // its shadow copy and the cache-tree.
-        for (off, node) in entries.iter_mut() {
+        for (_, off, node) in entries.iter_mut() {
             let id = geo.node_at_offset(*off);
             if id.level != 0 {
                 continue;
@@ -537,7 +757,7 @@ impl CrashedSystem {
         let reads = rd.reads;
         let nodes = entries.len();
         let mut per_level = vec![0usize; geo.levels()];
-        for (off, _) in &entries {
+        for (_, off, _) in &entries {
             per_level[geo.node_at_offset(*off).level] += 1;
         }
         let metrics = recovery_metrics(
@@ -548,44 +768,82 @@ impl CrashedSystem {
             reads,
             nodes,
             &per_level,
+            prior,
+            restarts,
         );
 
         let cfg = self.cfg.clone();
-        let mut sys = SecureNvmSystem::new(cfg.clone());
+        let read_ns = cfg.recovery_read_ns;
+        let mut sys = SecureNvmSystem::new(cfg);
+        // Seed the scheme state from the verified durable image instead of
+        // starting empty: the tags, tree and root already describe what is
+        // in NVM, so every boundary inside the replay below is a state this
+        // same recovery procedure accepts — the replay is re-entrant.
+        let seeded = CacheTree::from_leaves(self.crypto.as_ref(), &leaf_macs);
+        debug_assert_eq!(seeded.root(), seed_root, "seed tree must match root");
+        let tags: HashMap<u64, u64> = entries.iter().map(|(s, off, _)| (*s, *off)).collect();
+        sys.ctrl.scheme = SchemeState::Asit(AsitState {
+            cache_tree: seeded,
+            nv_root: seed_root,
+            shadow_tags: tags,
+            inflight: seed_inflight,
+        });
         sys.ctrl.nvm = self.nvm;
         sys.ctrl.root = self.root;
         sys.truth = self.truth;
-        // Install every shadow copy as dirty (home copies may be stale) and
-        // replay the slot updates so the shadow table, tags and cache-tree
-        // match the fresh slot assignment.
+        *out = Some(sys);
+        let sys = out.as_mut().expect("just parked");
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::ASIT_REPLAY,
+            hwm: 0,
+            restarts,
+        });
+        // Install every shadow copy as dirty (home copies may be stale) in
+        // its *original* slot, and replay the slot updates so the shadow
+        // table and cache-tree converge on the reconciled content. Each
+        // update is the normal runtime sequence (stage pre-image → update
+        // registers → push shadow line), so a crash at any point inside it
+        // is recoverable like a runtime crash.
         let mut items = entries;
-        items.sort_by_key(|(off, _)| {
+        items.sort_by_key(|(_, off, _)| {
             let id = geo.node_at_offset(*off);
             (std::cmp::Reverse(id.level), id.index)
         });
-        for (off, node) in items {
-            let id = geo.node_at_offset(off);
-            sys.ctrl.install_node(0, id, node, true)?;
+        let total = items.len() as u64;
+        for (i, (slot, off, node)) in items.into_iter().enumerate() {
+            sys.ctrl.meta.install_at(slot, off, node, true);
             sys.ctrl.asit_slot_update(0, off);
+            sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+                phase: journal::ASIT_REPLAY,
+                hwm: i as u64 + 1,
+                restarts,
+            });
         }
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::DONE,
+            hwm: total,
+            restarts,
+        });
         sys.ctrl.nvm.reset_stats();
-        let est_seconds = reads as f64 * cfg.recovery_read_ns * 1e-9;
-        Ok((
-            sys,
-            RecoveryReport {
-                scheme: "ASIT".into(),
-                nvm_reads: reads,
-                nodes_recovered: nodes,
-                per_level,
-                est_seconds,
-                metrics,
-            },
-        ))
+        let est_seconds = reads as f64 * read_ns * 1e-9;
+        Ok(RecoveryReport {
+            scheme: "ASIT".into(),
+            nvm_reads: reads,
+            nodes_recovered: nodes,
+            per_level,
+            est_seconds,
+            metrics,
+        })
     }
 
     // ——————————————————————— STAR ———————————————————————
 
-    fn recover_star(self) -> Result<(SecureNvmSystem, RecoveryReport), IntegrityError> {
+    fn recover_star(
+        self,
+        out: &mut Option<SecureNvmSystem>,
+        prior: RecoveryJournal,
+        restarts: u32,
+    ) -> Result<RecoveryReport, IntegrityError> {
         let nv_root = match &self.nv {
             NvState::Star { nv_root } => *nv_root,
             _ => unreachable!("star recovery under star scheme"),
@@ -661,12 +919,32 @@ impl CrashedSystem {
             }
         }
 
-        // 3. Verify the cache-tree over recovered dirty nodes (per-set
-        //    sorted MACs, exactly as maintained at runtime).
+        // Canonical install order, shared by first runs and restarts: the
+        // rebuild below regrows the cache-tree register one item at a time
+        // in exactly this order, bumping the journal high-water mark after
+        // each item.
+        let mut items: Vec<(u64, SitNode)> = recovered.iter().map(|(o, n)| (*o, *n)).collect();
+        items.sort_by_key(|(off, _)| {
+            let id = geo.node_at_offset(*off);
+            (std::cmp::Reverse(id.level), id.index)
+        });
+
+        // 3. Verify the cache-tree register (per-set sorted MACs, exactly as
+        //    maintained at runtime). A completed run's register covers every
+        //    recovered node; an *interrupted rebuild's* register covers
+        //    exactly the canonical prefix its journal high-water mark
+        //    records — the journal write is the only persist boundary in the
+        //    rebuild loop and always follows the register update for the
+        //    same item, so `hwm` items are covered at every trip point.
+        let covered = if prior.phase == journal::STAR_REBUILD {
+            (prior.hwm as usize).min(items.len())
+        } else {
+            items.len()
+        };
         let sets = self.cfg.meta_cache.sets();
         let mut leaf_macs = vec![0u64; sets as usize];
         for set in 0..sets {
-            let mut in_set: Vec<(u64, &SitNode)> = recovered
+            let mut in_set: Vec<(u64, &SitNode)> = items[..covered]
                 .iter()
                 .filter(|(off, _)| *off % sets == set)
                 .map(|(off, n)| (*off, n))
@@ -704,39 +982,55 @@ impl CrashedSystem {
             reads,
             nodes,
             &per_level,
+            prior,
+            restarts,
         );
         let cfg = self.cfg.clone();
-        let mut sys = SecureNvmSystem::new(cfg.clone());
+        let read_ns = cfg.recovery_read_ns;
+        let mut sys = SecureNvmSystem::new(cfg);
         sys.ctrl.nvm = self.nvm;
         sys.ctrl.root = self.root;
         sys.truth = self.truth;
-        let mut items: Vec<(u64, SitNode)> = recovered.into_iter().collect();
-        items.sort_by_key(|(off, _)| {
-            let id = geo.node_at_offset(*off);
-            (std::cmp::Reverse(id.level), id.index)
+        *out = Some(sys);
+        let sys = out.as_mut().expect("just parked");
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::STAR_REBUILD,
+            hwm: 0,
+            restarts,
         });
-        let mut touched_sets: BTreeSet<usize> = BTreeSet::new();
-        for (off, node) in items {
+        // Reinstall in canonical order, refreshing the register after every
+        // item: the durable bitmap, node lines and data plane are untouched,
+        // so a crash here re-derives the same `recovered` set, and the
+        // prefix rule above re-verifies the partially-regrown register.
+        // Every dirty set was fully resident at crash time, so no install
+        // can overflow its set (no evictions, no durable node writes).
+        let total = items.len() as u64;
+        for (i, (off, node)) in items.into_iter().enumerate() {
             let id = geo.node_at_offset(off);
             sys.ctrl.install_node(0, id, node, true)?;
-            touched_sets.insert(sys.ctrl.meta.set_index(off));
-        }
-        for set in touched_sets {
+            let set = sys.ctrl.meta.set_index(off);
             sys.ctrl.star_tree_update(0, set);
+            sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+                phase: journal::STAR_REBUILD,
+                hwm: i as u64 + 1,
+                restarts,
+            });
         }
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
+            phase: journal::DONE,
+            hwm: total,
+            restarts,
+        });
         sys.ctrl.nvm.reset_stats();
-        let est_seconds = reads as f64 * cfg.recovery_read_ns * 1e-9;
-        Ok((
-            sys,
-            RecoveryReport {
-                scheme: "STAR".into(),
-                nvm_reads: reads,
-                nodes_recovered: nodes,
-                per_level,
-                est_seconds,
-                metrics,
-            },
-        ))
+        let est_seconds = reads as f64 * read_ns * 1e-9;
+        Ok(RecoveryReport {
+            scheme: "STAR".into(),
+            nvm_reads: reads,
+            nodes_recovered: nodes,
+            per_level,
+            est_seconds,
+            metrics,
+        })
     }
 }
 

@@ -80,6 +80,10 @@ pub struct ScrubReport {
     pub anchors_updated: u64,
     /// NVM line reads the scrub performed.
     pub nvm_reads: u64,
+    /// How many earlier recovery/scrub attempts the ADR journal recorded as
+    /// interrupted before this one completed (0 on a first, uninterrupted
+    /// run).
+    pub restarts: u64,
 }
 
 impl ScrubReport {
@@ -98,6 +102,7 @@ impl ScrubReport {
         m.counter_add("core.scrub.meta.recovered", self.meta_recovered);
         m.counter_add("core.scrub.anchors.updated", self.anchors_updated);
         m.counter_add("core.scrub.reads", self.nvm_reads);
+        m.counter_add("core.scrub.restarts", self.restarts);
         m
     }
 }
@@ -140,8 +145,30 @@ impl CrashedSystem {
     /// rebuilds a consistent live system (`None` for WB, which has no
     /// metadata redundancy to rebuild from — the report still classifies
     /// the data plane). Never panics, for any NVM image.
-    pub fn recover_lenient(mut self) -> (Option<SecureNvmSystem>, ScrubReport) {
+    pub fn recover_lenient(self) -> (Option<SecureNvmSystem>, ScrubReport) {
+        let mut out = None;
+        let report = self.recover_lenient_into(&mut out);
+        (out, report)
+    }
+
+    /// Restartable form of [`Self::recover_lenient`]: the rebuilt system is
+    /// parked in `out` *before* the scrub issues its first durable write
+    /// (all classification and planning are peek-only). If a second crash
+    /// trips mid-rewrite, the unwinding caller still owns the half-scrubbed
+    /// system and can crash it and scrub again — the verdicts re-derive
+    /// identically because the scrub never rewrites the data plane or the
+    /// MAC records it classifies from. The ADR recovery journal holds
+    /// `SCRUB` for the whole rewrite (strict recovery refuses such an
+    /// image: [`crate::IntegrityError::ScrubInterrupted`]) and `DONE` once
+    /// complete.
+    pub fn recover_lenient_into(mut self, out: &mut Option<SecureNvmSystem>) -> ScrubReport {
         let geo = self.layout.geometry.clone();
+        let prior = self.nvm.recovery_journal();
+        let restarts = if crate::recovery::journal::in_progress(prior.phase) {
+            u64::from(prior.restarts.saturating_add(1))
+        } else {
+            0
+        };
         let mut reads = 0u64;
         let mut report = ScrubReport {
             scheme: self.cfg.scheme.label(self.cfg.mode),
@@ -153,6 +180,7 @@ impl CrashedSystem {
             meta_recovered: 0,
             anchors_updated: 0,
             nvm_reads: 0,
+            restarts,
         };
 
         // —— 1. Data plane: verify every MAC record, rebuild the leaves. ——
@@ -176,7 +204,7 @@ impl CrashedSystem {
 
         if !self.recoverable() {
             report.nvm_reads = reads;
-            return (None, report);
+            return report;
         }
 
         // —— 2. Parents bottom-up: regenerate every counter from children. ——
@@ -207,8 +235,10 @@ impl CrashedSystem {
             }
         }
 
-        // —— 4. Re-MAC every node against its regenerated parent counter
-        //       and write it home; classify against the stale copy. ——
+        // —— 4. Plan: re-MAC every node against its regenerated parent
+        //       counter and classify against the stale home copy (peek-only;
+        //       the rewrites are collected and issued after parking). ——
+        let mut rewrites: Vec<(u64, [u8; 64])> = Vec::new();
         for off in 0..total as u64 {
             let id = geo.node_at_offset(off);
             let pc = match geo.parent_of(id) {
@@ -239,37 +269,67 @@ impl CrashedSystem {
                 report.meta_intact += 1;
             } else {
                 report.meta_recovered += 1;
-                self.nvm.poke(self.layout.node_addr(off), &line);
+                rewrites.push((self.layout.node_addr(off), line));
             }
         }
 
-        // —— 5. Derived regions reset to empty: all nodes come back clean,
-        //       so records/shadow/bitmap must say so. ——
-        let slots = self.cfg.meta_cache.slots();
-        let empty_record = RecordLine::default().to_line();
-        for r in 0..slots.div_ceil(steins_metadata::records::RECORDS_PER_LINE) {
-            self.nvm.poke(self.layout.record_addr(r), &empty_record);
-        }
-        for s in 0..slots {
-            self.nvm.poke(self.layout.shadow_addr(s), &[0u8; 64]);
-        }
-        let bitmap_lines = geo.total_nodes().div_ceil(8).div_ceil(64);
-        for l in 0..bitmap_lines {
-            self.nvm.poke(self.layout.bitmap_base + l * 64, &[0u8; 64]);
-        }
-
-        // —— 6. Fresh machine around the scrubbed image. `new` builds the
-        //       per-scheme NV state from scratch (zero LIncs, empty shadow
-        //       tags, fresh cache-tree roots) — exactly the state a clean,
-        //       all-nodes-clean machine holds.
+        // —— 5. Fresh machine around the image, parked *before* the first
+        //       durable write. `new` builds the per-scheme NV state from
+        //       scratch (zero LIncs, empty shadow tags, fresh cache-tree
+        //       roots) — exactly the state a clean, all-nodes-clean machine
+        //       holds.
         report.nvm_reads = reads;
         let mut sys = SecureNvmSystem::new(self.cfg.clone());
         sys.ctrl.nvm = self.nvm;
-        sys.ctrl.nvm.disarm_crash();
         sys.ctrl.root = self.root;
         sys.truth = self.truth;
+        *out = Some(sys);
+        let sys = out.as_mut().expect("just parked");
+        sys.ctrl
+            .nvm
+            .set_recovery_journal(steins_nvm::RecoveryJournal {
+                phase: crate::recovery::journal::SCRUB,
+                hwm: 0,
+                restarts: restarts.min(u64::from(u32::MAX)) as u32,
+            });
+
+        // —— 6. Rewrite: planned node homes, then the derived regions reset
+        //       to empty (all nodes come back clean, so records/shadow/
+        //       bitmap must say so). Every write is idempotent — a crash
+        //       anywhere in here re-runs the scrub, which re-plans the same
+        //       rewrites from the untouched data plane.
+        let rewritten = rewrites.len() as u64;
+        for (addr, line) in rewrites {
+            sys.ctrl.nvm.poke(addr, &line);
+        }
+        let slots = self.cfg.meta_cache.slots();
+        let empty_record = RecordLine::default().to_line();
+        for r in 0..slots.div_ceil(steins_metadata::records::RECORDS_PER_LINE) {
+            sys.ctrl
+                .nvm
+                .poke(sys.ctrl.layout.record_addr(r), &empty_record);
+        }
+        for s in 0..slots {
+            sys.ctrl
+                .nvm
+                .poke(sys.ctrl.layout.shadow_addr(s), &[0u8; 64]);
+        }
+        let bitmap_lines = geo.total_nodes().div_ceil(8).div_ceil(64);
+        for l in 0..bitmap_lines {
+            sys.ctrl
+                .nvm
+                .poke(sys.ctrl.layout.bitmap_base + l * 64, &[0u8; 64]);
+        }
+        sys.ctrl
+            .nvm
+            .set_recovery_journal(steins_nvm::RecoveryJournal {
+                phase: crate::recovery::journal::DONE,
+                hwm: rewritten,
+                restarts: restarts.min(u64::from(u32::MAX)) as u32,
+            });
+        sys.ctrl.nvm.disarm_crash();
         sys.ctrl.nvm.reset_stats();
-        (Some(sys), report)
+        report
     }
 
     /// Rebuilds one leaf from the data plane, recording verdicts. Total on

@@ -363,6 +363,43 @@ impl MetadataCache {
         evicted
     }
 
+    /// Installs `node` at a *specific* flat slot index. Recovery uses this
+    /// to put a node back into the slot the durable per-slot state (Steins'
+    /// offset records, ASIT's shadow tags) says it occupied, so the rebuilt
+    /// per-slot regions are byte-identical to the pre-crash ones and a
+    /// re-run of recovery is idempotent.
+    ///
+    /// Panics if `slot` is not in `offset`'s set, is already valid, or
+    /// `offset` is already resident elsewhere — recovery installs into a
+    /// fresh cache, so any of these is a recovery bug.
+    pub fn install_at(&mut self, slot: u64, offset: u64, node: SitNode, dirty: bool) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(offset);
+        assert_eq!(
+            (slot as usize) / self.ways,
+            set,
+            "slot {slot} is not in offset {offset}'s set"
+        );
+        assert!(
+            !self.contains(offset),
+            "install_at over resident node {offset}"
+        );
+        let s = &mut self.slots[slot as usize];
+        assert!(!s.valid, "install_at into occupied slot {slot}");
+        *s = Slot {
+            valid: true,
+            dirty,
+            offset,
+            node,
+            lru: stamp,
+        };
+        if dirty {
+            self.dirty_count += 1;
+            self.dirty_occ_hist.record(self.dirty_count);
+        }
+    }
+
     /// The flat slot index currently holding `offset`.
     pub fn slot_of(&self, offset: u64) -> Option<u64> {
         let set = self.set_of(offset);
@@ -437,6 +474,28 @@ mod tests {
             capacity_bytes: 4 * 64,
             ways: 2,
         })
+    }
+
+    #[test]
+    fn install_at_pins_slot_and_accounts_dirty() {
+        let mut c = tiny();
+        // Offsets 0 and 2 map to set 0 (2 sets); pin them to specific ways.
+        c.install_at(1, 2, SitNode::zero_general(), true);
+        c.install_at(0, 0, SitNode::zero_general(), false);
+        assert_eq!(c.slot_of(2), Some(1));
+        assert_eq!(c.slot_of(0), Some(0));
+        assert_eq!(c.dirty_count(), 1);
+        let dirty = c.dirty_nodes();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!((dirty[0].0, dirty[0].1), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in offset")]
+    fn install_at_rejects_wrong_set() {
+        let mut c = tiny();
+        // Offset 1 maps to set 1 (slots 2..4); slot 0 is in set 0.
+        c.install_at(0, 1, SitNode::zero_general(), false);
     }
 
     #[test]

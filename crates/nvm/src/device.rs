@@ -20,6 +20,31 @@ use steins_obs::{Histogram, MetricRegistry};
 /// failure mid-line may persist any subset of these words.
 pub const WORDS_PER_LINE: usize = 8;
 
+/// Bounded re-read attempts the timed read path makes against a transient
+/// media fault before the uncorrectable error reaches the engine.
+pub const READ_RETRY_ATTEMPTS: u32 = 3;
+
+/// Reserved line address of the ADR-resident recovery journal. Far outside
+/// any data/metadata region (the sparse store never allocates it), so the
+/// journal's persist events never collide with a real line.
+pub const RECOVERY_JOURNAL_ADDR: u64 = !63;
+
+/// The ADR-resident recovery journal: a phase tag plus high-water mark that
+/// recovery updates as it replays durable state, making a second crash
+/// *during* recovery survivable. `phase` values are assigned by the
+/// controller crate (the device only persists them); `hwm` counts completed
+/// re-entrant steps within the phase; `restarts` counts recovery attempts
+/// that were interrupted before reaching their terminal phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryJournal {
+    /// Controller-defined phase tag (0 = idle / never recovered).
+    pub phase: u8,
+    /// Completed steps within the phase (re-entry resumes past these).
+    pub hwm: u64,
+    /// Recovery attempts interrupted before completion.
+    pub restarts: u32,
+}
+
 #[derive(Clone, Copy, Default)]
 struct Bank {
     next_free: Cycle,
@@ -84,8 +109,18 @@ pub struct NvmDevice {
     journal_points: bool,
     /// The journal itself.
     point_journal: Vec<PersistPoint>,
+    /// When enabled, functional `poke` writes are treated as timed line
+    /// writes for crash-point purposes: they emit persist events and honor
+    /// torn-write masks. Recovery turns this on so a crash *during* its own
+    /// NVM rewrites is enumerable; normal pokes (ADR flush at crash, attack
+    /// injection) stay silent.
+    trace_pokes: bool,
+    /// ADR-resident recovery progress record (see [`RecoveryJournal`]).
+    recovery_journal: RecoveryJournal,
     /// Injected media faults (read-path overlay).
     faults: FaultPlane,
+    /// Timed reads that retried a transient media fault this epoch.
+    read_retries: u64,
     /// Arrival→completion service-cycle distribution of reads.
     read_hist: Histogram,
     /// Arrival→completion service-cycle distribution of writes.
@@ -117,7 +152,10 @@ impl NvmDevice {
             tripped_torn: None,
             journal_points: false,
             point_journal: Vec::new(),
+            trace_pokes: false,
+            recovery_journal: RecoveryJournal::default(),
             faults: FaultPlane::new(),
+            read_retries: 0,
             read_hist: Histogram::new(),
             write_hist: Histogram::new(),
             bank_hists,
@@ -260,6 +298,16 @@ impl NvmDevice {
         self.read_hist.record(done - now);
         self.bank_hists[bank_idx].record(done - now);
 
+        // Bounded retry against transient media faults: each failed attempt
+        // consumes one pending failure; short transients heal before the
+        // error can reach the engine. Retries are functional only — the
+        // simulated timing above already covers the request.
+        let mut retries = 0;
+        while retries < READ_RETRY_ATTEMPTS && self.faults.consume_transient_failure(addr) {
+            retries += 1;
+        }
+        self.read_retries += retries as u64;
+
         (self.faults.observe(addr, self.storage.read(addr)), done)
     }
 
@@ -282,6 +330,15 @@ impl NvmDevice {
         self.bank_hists[bank_idx].record(done - now);
 
         self.wear.record(addr);
+        self.store_line(addr, line);
+        done
+    }
+
+    /// Stores a line with crash-point semantics: applies the torn-write
+    /// word mask if this store trips the armed crash, then emits the
+    /// line-write persist event (which unwinds when armed). Shared by the
+    /// timed write path and traced pokes.
+    fn store_line(&mut self, addr: u64, line: &Line) {
         // Torn-write injection: if this very write trips the armed crash
         // under a partial word mask, persist only the masked 8-byte words —
         // the line's other words keep their previous durable content.
@@ -298,7 +355,6 @@ impl NvmDevice {
             self.storage.write(addr, line);
         }
         self.persist_event(PersistKind::LineWrite, addr);
-        done
     }
 
     /// Functional read without timing (used by recovery-time analysis which
@@ -331,6 +387,14 @@ impl NvmDevice {
         self.faults.mark_unreadable(addr);
     }
 
+    /// Marks `addr`'s line transiently unreadable: the next `failures` read
+    /// attempts fail, then the line heals. Transients within
+    /// [`READ_RETRY_ATTEMPTS`] are absorbed by the timed read path's retry
+    /// loop and never reach the engine.
+    pub fn inject_transient_unreadable(&mut self, addr: u64, failures: u32) {
+        self.faults.mark_transient_unreadable(addr, failures);
+    }
+
     /// Clears every injected stuck/unreadable fault (bit flips already
     /// landed in storage and stay).
     pub fn clear_faults(&mut self) {
@@ -349,9 +413,34 @@ impl NvmDevice {
     }
 
     /// Functional write without timing (used for ADR flush at crash and for
-    /// attack injection between runs).
+    /// attack injection between runs). When poke tracing is on (recovery in
+    /// progress under the nested-crash harness), the write is a full persist
+    /// point: enumerable, armable, and tearable like a timed line write.
     pub fn poke(&mut self, addr: u64, line: &Line) {
-        self.storage.write(addr, line);
+        if self.trace_pokes {
+            self.store_line(addr, line);
+        } else {
+            self.storage.write(addr, line);
+        }
+    }
+
+    /// Enables/disables persist-event tracing of `poke` writes.
+    pub fn trace_pokes(&mut self, on: bool) {
+        self.trace_pokes = on;
+    }
+
+    /// The ADR-resident recovery journal.
+    pub fn recovery_journal(&self) -> RecoveryJournal {
+        self.recovery_journal
+    }
+
+    /// Updates the recovery journal. The update is itself a durable-state
+    /// transition (an in-place ADR word rewrite), so it emits a persist
+    /// event — and can therefore trip an armed crash *after* the new journal
+    /// content is in place, exactly like any other ADR update.
+    pub fn set_recovery_journal(&mut self, journal: RecoveryJournal) {
+        self.recovery_journal = journal;
+        self.persist_event(PersistKind::AdrUpdate, RECOVERY_JOURNAL_ADDR);
     }
 
     /// Immutable view of the backing store.
@@ -383,7 +472,8 @@ impl NvmDevice {
     /// Zeroes the statistics (e.g. when a recovered system starts a fresh
     /// measurement epoch). Histograms and persist-event counters reset with
     /// the rest; `persist_seq` does not (crash-point enumeration spans
-    /// epochs).
+    /// epochs), and neither does the recovery journal (it is durable ADR
+    /// state, not a statistic).
     pub fn reset_stats(&mut self) {
         self.stats = NvmStats::default();
         self.read_hist = Histogram::new();
@@ -393,6 +483,7 @@ impl NvmDevice {
         }
         self.persist_line_writes = 0;
         self.persist_adr_updates = 0;
+        self.read_retries = 0;
     }
 
     /// Service-cycle distribution of reads (arrival → data ready).
@@ -417,6 +508,7 @@ impl NvmDevice {
         reg.counter_add("nvm.device.wq_stall_cycles", self.stats.wq_stall_cycles);
         reg.counter_add("nvm.adr.persists.line_write", self.persist_line_writes);
         reg.counter_add("nvm.adr.persists.in_place", self.persist_adr_updates);
+        reg.counter_add("nvm.read.retries", self.read_retries);
         reg.insert_hist("nvm.device.read_service_cycles", &self.read_hist);
         reg.insert_hist("nvm.device.write_service_cycles", &self.write_hist);
         for (i, h) in self.bank_hists.iter().enumerate() {
@@ -616,6 +708,93 @@ mod tests {
         d.clear_faults();
         assert_eq!(d.peek(64), [7; 64], "clearing restores stored content");
         assert!(d.is_readable(128));
+    }
+
+    #[test]
+    fn transient_fault_retries_then_heals_or_errors() {
+        let mut d = dev();
+        d.write(0, 0, &[4; 64]);
+        // Within the retry budget: the engine-visible read succeeds.
+        d.inject_transient_unreadable(0, READ_RETRY_ATTEMPTS);
+        assert!(!d.is_readable(0), "pending transient reads as a fault");
+        let (got, _) = d.read(0, 0);
+        assert_eq!(got, [4; 64], "retries absorb a short transient");
+        assert!(d.is_readable(0));
+        // Beyond the budget: the read fails like a permanent error, but a
+        // later read (after the residual failures age out) succeeds.
+        d.inject_transient_unreadable(0, READ_RETRY_ATTEMPTS + 2);
+        let (got, _) = d.read(0, 0);
+        assert_eq!(got, [crate::fault::POISON_BYTE; 64]);
+        assert!(!d.is_readable(0));
+        let (got, _) = d.read(0, 0);
+        assert_eq!(got, [4; 64], "residual failures drain on later reads");
+        let mut reg = MetricRegistry::new();
+        d.export_metrics(&mut reg);
+        assert_eq!(reg.counter("nvm.read.retries"), Some(3 + 2 + 3));
+        d.reset_stats();
+        let mut reg = MetricRegistry::new();
+        d.export_metrics(&mut reg);
+        assert_eq!(reg.counter("nvm.read.retries"), Some(0));
+    }
+
+    #[test]
+    fn traced_pokes_are_tearable_persist_points() {
+        let mut d = dev();
+        d.poke(0, &[1; 64]);
+        assert_eq!(d.persist_seq(), 0, "untraced pokes are silent");
+        d.trace_pokes(true);
+        d.journal_points(true);
+        d.poke(0, &[2; 64]);
+        assert_eq!(d.persist_seq(), 1);
+        assert_eq!(d.point_journal()[0].kind, PersistKind::LineWrite);
+        // A traced poke honors torn-write masks like a timed write.
+        d.arm_crash_torn(2, 0x01);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.poke(0, &[3; 64]);
+        }));
+        std::panic::set_hook(prev);
+        assert!(trip
+            .expect_err("traced poke must trip")
+            .is::<CrashTripped>());
+        let line = d.peek(0);
+        assert_eq!(&line[..8], &[3; 8][..]);
+        assert_eq!(&line[8..], &[2; 56][..]);
+        d.disarm_crash();
+        d.trace_pokes(false);
+        d.poke(64, &[4; 64]);
+        assert_eq!(d.persist_seq(), 2, "tracing off: pokes silent again");
+    }
+
+    #[test]
+    fn recovery_journal_is_a_persist_point_and_survives_reset() {
+        let mut d = dev();
+        let j = RecoveryJournal {
+            phase: 3,
+            hwm: 17,
+            restarts: 1,
+        };
+        d.set_recovery_journal(j);
+        assert_eq!(d.persist_seq(), 1, "journal update is an ADR persist");
+        assert_eq!(d.recovery_journal(), j);
+        d.reset_stats();
+        assert_eq!(d.recovery_journal(), j, "journal is durable, not a stat");
+        // An armed crash trips *after* the journal content is in place.
+        d.arm_crash(2);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.set_recovery_journal(RecoveryJournal {
+                phase: 4,
+                hwm: 0,
+                restarts: 0,
+            });
+        }));
+        std::panic::set_hook(prev);
+        assert!(trip.expect_err("must trip").is::<CrashTripped>());
+        assert_eq!(d.recovery_journal().phase, 4);
+        assert_eq!(d.tripped_at().map(|p| p.addr), Some(RECOVERY_JOURNAL_ADDR));
     }
 
     #[test]

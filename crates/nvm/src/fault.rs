@@ -12,6 +12,11 @@
 //! * **unreadable lines** — an uncorrectable media error: reads return a
 //!   recognizable poison pattern, and [`FaultPlane::is_readable`] lets the
 //!   scrub classify the region instead of trusting the poison bytes.
+//! * **transient unreadable lines** — a soft media error that fails the
+//!   next *n* read attempts and then heals (marginal cells, disturbed
+//!   rows). The device's timed read path retries a bounded number of
+//!   times before surfacing the error, so short transients never reach
+//!   the engine.
 //!
 //! The plane is an overlay on [`crate::device::NvmDevice`]'s read path, so
 //! timing, wear, and persist-point enumeration are unaffected by injected
@@ -31,6 +36,8 @@ pub const POISON_BYTE: u8 = 0xBD;
 pub struct FaultPlane {
     stuck: HashMap<u64, Line>,
     unreadable: HashSet<u64>,
+    /// Remaining failed attempts per transiently-unreadable line.
+    transient: HashMap<u64, u32>,
 }
 
 impl FaultPlane {
@@ -50,31 +57,65 @@ impl FaultPlane {
         self.unreadable.insert(addr & !63);
     }
 
+    /// Marks `addr`'s line transiently unreadable: the next `failures`
+    /// read attempts observe poison, after which the line heals.
+    pub fn mark_transient_unreadable(&mut self, addr: u64, failures: u32) {
+        if failures > 0 {
+            self.transient.insert(addr & !63, failures);
+        }
+    }
+
+    /// Consumes one pending transient failure on `addr`'s line. Returns
+    /// `true` when an attempt failed (count decremented), `false` when the
+    /// line has no transient fault left.
+    pub fn consume_transient_failure(&mut self, addr: u64) -> bool {
+        let key = addr & !63;
+        match self.transient.get_mut(&key) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    self.transient.remove(&key);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remaining failed attempts on a transiently-unreadable line.
+    pub fn transient_remaining(&self, addr: u64) -> u32 {
+        self.transient.get(&(addr & !63)).copied().unwrap_or(0)
+    }
+
     /// Clears every injected fault.
     pub fn clear(&mut self) {
         self.stuck.clear();
         self.unreadable.clear();
+        self.transient.clear();
     }
 
-    /// Whether `addr`'s line reads back real (possibly stuck) content.
+    /// Whether `addr`'s line reads back real (possibly stuck) content
+    /// right now — a transient fault makes the line unreadable until its
+    /// remaining failures are consumed.
     pub fn is_readable(&self, addr: u64) -> bool {
-        !self.unreadable.contains(&(addr & !63))
+        let key = addr & !63;
+        !self.unreadable.contains(&key) && !self.transient.contains_key(&key)
     }
 
-    /// Number of faulted lines (stuck + unreadable).
+    /// Number of faulted lines (stuck + unreadable + transient).
     pub fn len(&self) -> usize {
-        self.stuck.len() + self.unreadable.len()
+        self.stuck.len() + self.unreadable.len() + self.transient.len()
     }
 
     /// True when no faults are injected.
     pub fn is_empty(&self) -> bool {
-        self.stuck.is_empty() && self.unreadable.is_empty()
+        self.stuck.is_empty() && self.unreadable.is_empty() && self.transient.is_empty()
     }
 
     /// Applies the overlay to a line read from the backing store.
     pub fn observe(&self, addr: u64, stored: Line) -> Line {
         let key = addr & !63;
-        if self.unreadable.contains(&key) {
+        if self.unreadable.contains(&key) || self.transient.contains_key(&key) {
             return [POISON_BYTE; 64];
         }
         if let Some(stuck) = self.stuck.get(&key) {
@@ -116,6 +157,21 @@ mod tests {
         assert_eq!(p.observe(256, [1; 64]), [POISON_BYTE; 64]);
         p.clear();
         assert!(p.is_readable(256));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn transient_fault_heals_after_consuming_failures() {
+        let mut p = FaultPlane::new();
+        p.mark_transient_unreadable(320, 2);
+        assert!(!p.is_readable(320));
+        assert_eq!(p.observe(320, [5; 64]), [POISON_BYTE; 64]);
+        assert!(p.consume_transient_failure(320));
+        assert_eq!(p.transient_remaining(320), 1);
+        assert!(p.consume_transient_failure(320 + 7), "sub-line addr maps");
+        assert!(!p.consume_transient_failure(320), "fault healed");
+        assert!(p.is_readable(320));
+        assert_eq!(p.observe(320, [5; 64]), [5; 64]);
         assert!(p.is_empty());
     }
 

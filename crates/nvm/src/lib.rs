@@ -33,7 +33,10 @@ pub mod write_queue;
 pub use adr::AdrRegion;
 pub use command::{CommandNvmDevice, DdrCommand};
 pub use config::NvmConfig;
-pub use device::{CrashTripped, NvmDevice, PersistKind, PersistPoint, WORDS_PER_LINE};
+pub use device::{
+    CrashTripped, NvmDevice, PersistKind, PersistPoint, RecoveryJournal, READ_RETRY_ATTEMPTS,
+    RECOVERY_JOURNAL_ADDR, WORDS_PER_LINE,
+};
 pub use energy::{EnergyCounters, EnergyModel};
 pub use fault::{FaultPlane, POISON_BYTE};
 pub use stats::NvmStats;
