@@ -168,6 +168,78 @@ fn main() {
         work_per_op: 1.0,
     });
 
+    // Satellite routing guard: the two hot message sizes must stay on the
+    // monomorphized fixed-length path. If either falls off this list (the
+    // `data_mac_88B` regression), the bench run fails loudly instead of the
+    // slowdown only showing up as a worse number.
+    for len in [72usize, 88] {
+        assert!(
+            HmacSha256::FIXED_FAST_LENS.contains(&len),
+            "{len} B messages fell off the fixed fast-path list"
+        );
+    }
+    assert_eq!(
+        engine.data_mac(0x40, &data, 7, 3),
+        engine.mac64_88(&msg88),
+        "data_mac must build the canonical 88 B message and route it through mac64_88"
+    );
+
+    let mut g = micro::group("hmac_batched");
+    const BATCH: usize = 64;
+    let msgs72: Vec<[u8; 72]> = (0..BATCH)
+        .map(|i| core::array::from_fn(|j| (i * 7 + j) as u8))
+        .collect();
+    let msgs88: Vec<[u8; 88]> = (0..BATCH)
+        .map(|i| core::array::from_fn(|j| (i * 11 + j + 1) as u8))
+        .collect();
+    let mut out = [0u64; BATCH];
+    let before = g.bench("mac64_72B_serial_loop", || {
+        for (m, o) in msgs72.iter().zip(out.iter_mut()) {
+            *o = hmac.mac64_72(m);
+        }
+        std::hint::black_box(&out);
+    }) / BATCH as f64;
+    let after = g.bench("mac64_72B_multi_lane", || {
+        hmac.mac64_72_many(&msgs72, &mut out);
+        std::hint::black_box(&out);
+    }) / BATCH as f64;
+    {
+        // Differential: the measured batch must produce the serial bytes.
+        let mut serial = [0u64; BATCH];
+        for (m, o) in msgs72.iter().zip(serial.iter_mut()) {
+            *o = hmac.mac64_72(m);
+        }
+        let mut batched = [0u64; BATCH];
+        hmac.mac64_72_many(&msgs72, &mut batched);
+        assert_eq!(serial, batched, "batched path must compute the same MACs");
+    }
+    entries.push(Entry {
+        name: "hmac_mac64_72B_batched",
+        unit: "ns per 72 B MAC (batch of 64, serial loop vs multi-lane)",
+        before_ns: before,
+        after_ns: after,
+        rate_unit: "msgs/s",
+        work_per_op: 1.0,
+    });
+    let before = g.bench("mac64_88B_serial_loop", || {
+        for (m, o) in msgs88.iter().zip(out.iter_mut()) {
+            *o = hmac.mac64_88(m);
+        }
+        std::hint::black_box(&out);
+    }) / BATCH as f64;
+    let after = g.bench("mac64_88B_multi_lane", || {
+        hmac.mac64_88_many(&msgs88, &mut out);
+        std::hint::black_box(&out);
+    }) / BATCH as f64;
+    entries.push(Entry {
+        name: "data_mac_88B_batched",
+        unit: "ns per 88 B data MAC (batch of 64, serial loop vs multi-lane)",
+        before_ns: before,
+        after_ns: after,
+        rate_unit: "msgs/s",
+        work_per_op: 1.0,
+    });
+
     let mut g = micro::group("line_store");
     const LINES: u64 = 4096;
     let mut sip_map: HashMap<u64, [u8; 64]> = HashMap::new();

@@ -24,7 +24,7 @@ use crate::nvbuffer::NvBufferEntry;
 use crate::report::{LatencyStats, RunReport};
 use crate::scheme::{star, AsitState, SchemeState, StarState, SteinsState};
 use steins_cache::{CacheHierarchy, CpuModel, MemEvent};
-use steins_crypto::{engine::make_engine, CryptoEngine, FxHashMap};
+use steins_crypto::{data_mac_message, engine::make_engine, CryptoEngine, FxHashMap};
 use steins_metadata::counter::{CounterBlock, CounterMode, SplitIncrement};
 use steins_metadata::records::record_coords;
 use steins_metadata::{MemoryLayout, MetadataCache, NodeId, RootNode, SitNode};
@@ -56,6 +56,15 @@ pub struct SecureMemoryController {
 impl SecureMemoryController {
     /// Builds a fresh controller (zeroed NVM, empty caches).
     pub fn new(cfg: SystemConfig) -> Self {
+        let crypto = make_engine(cfg.crypto, cfg.secret_key());
+        Self::with_engine(cfg, crypto)
+    }
+
+    /// Builds a fresh controller around an injected crypto engine. Tests use
+    /// this to wrap the real engine (e.g. in a `SerialPresentation`) and
+    /// prove batched and serial crypto presentation drive byte-identical
+    /// system behavior; `cfg.crypto` is ignored in favor of `crypto`.
+    pub fn with_engine(cfg: SystemConfig, crypto: Box<dyn CryptoEngine>) -> Self {
         cfg.validate();
         let layout = MemoryLayout::new(cfg.mode, cfg.data_lines, cfg.meta_cache.slots());
         assert!(
@@ -64,7 +73,6 @@ impl SecureMemoryController {
             layout.end,
             cfg.nvm.capacity_bytes
         );
-        let crypto = make_engine(cfg.crypto, cfg.secret_key());
         let nvm = NvmDevice::new(cfg.nvm.clone());
         let wq = WriteQueue::new(cfg.nvm.write_queue_entries);
         let meta = MetadataCache::new(cfg.meta_cache);
@@ -760,6 +768,10 @@ impl SecureMemoryController {
         new_major: u64,
         skip_line: u64,
     ) -> Result<Cycle, IntegrityError> {
+        // Phase 1 — compute: read and re-encrypt every covered line, then
+        // MAC all of them in one batch so the engine's lanes fill. Only the
+        // crypto is batched; no durable state changes in this phase.
+        let mut pending: Vec<(u64, u64, [u8; 64])> = Vec::new();
         for d in self.layout.geometry.data_of_leaf(leaf) {
             if d == skip_line {
                 continue;
@@ -783,15 +795,29 @@ impl SecureMemoryController {
             xor_otp(self.crypto.as_ref(), daddr, new_major, 0, &mut buf);
             self.energy.aes_ops += 2;
             self.energy.hashes += 1;
-            let mac = self.crypto.data_mac(daddr, &buf, new_major, 0);
+            pending.push((d, daddr, buf));
+        }
+        let msgs: Vec<[u8; 88]> = pending
+            .iter()
+            .map(|(_, daddr, buf)| data_mac_message(*daddr, buf, new_major, 0))
+            .collect();
+        let mut macs = vec![0u64; msgs.len()];
+        self.crypto.mac64_88_many(&msgs, &mut macs);
+        // Phase 2 — persist, in exactly the serial order the crash sweeps
+        // enumerate: [record_1, data_1, record_2, data_2, …]. Hoisting the
+        // records ahead of the data writes would open crash windows where a
+        // record describes counters no durable ciphertext matches, so the
+        // per-line interleaving must never change — batching stops at the
+        // crypto.
+        for ((d, daddr, buf), mac) in pending.iter().zip(macs) {
             self.set_mac_record(
-                d,
+                *d,
                 MacRecord {
                     mac,
                     recovery: MacRecord::pack_recovery(new_major, 0),
                 },
             );
-            t = self.wq.push(t, daddr, &buf, &mut self.nvm);
+            t = self.wq.push(t, *daddr, buf, &mut self.nvm);
         }
         Ok(t)
     }
@@ -953,13 +979,17 @@ impl SecureMemoryController {
             return Ok((ct, t));
         }
         self.energy.hashes += 1;
+        // Decrypt before the MAC verdict lands: the OTP was free (overlapped
+        // with the read), so the XOR overlaps the hash-unit latency and the
+        // plaintext is ready the moment the check passes. On a MAC mismatch
+        // the plaintext is discarded with the error — never returned.
+        let mut out = ct;
+        xor_otp(self.crypto.as_ref(), addr, major, minor, &mut out);
         let mac = self.crypto.data_mac(addr, &ct, major, minor);
         t += self.cfg.hash_latency;
         if mac != rec.mac {
             return Err(IntegrityError::DataMac { addr });
         }
-        let mut out = ct;
-        xor_otp(self.crypto.as_ref(), addr, major, minor, &mut out);
         self.front_free = t;
         self.rlat.record(arrival, t);
         Ok((out, t))
@@ -1103,6 +1133,17 @@ impl SecureNvmSystem {
     /// Builds the system.
     pub fn new(cfg: SystemConfig) -> Self {
         let ctrl = SecureMemoryController::new(cfg.clone());
+        Self::from_controller(cfg, ctrl)
+    }
+
+    /// Builds the system around an injected crypto engine (see
+    /// [`SecureMemoryController::with_engine`]).
+    pub fn with_engine(cfg: SystemConfig, crypto: Box<dyn CryptoEngine>) -> Self {
+        let ctrl = SecureMemoryController::with_engine(cfg.clone(), crypto);
+        Self::from_controller(cfg, ctrl)
+    }
+
+    fn from_controller(cfg: SystemConfig, ctrl: SecureMemoryController) -> Self {
         SecureNvmSystem {
             cpu: CpuModel::new(cfg.cpu),
             hier: CacheHierarchy::new(cfg.hierarchy),

@@ -586,6 +586,15 @@ impl CrashedSystem {
                 }
             })
             .collect();
+        // Slot-assigned installs must all land before any over-full
+        // fallback runs: the evicting install picks its own victim way and
+        // would otherwise fill a way that `occupied` reserved for a later
+        // pinned install (tripping install_at's occupied-slot assert at
+        // small cache sizes). The sort is stable, so top-level-first order
+        // is preserved within each class.
+        let mut ordered: Vec<((u64, SitNode), Option<u64>)> =
+            items.into_iter().zip(assigned).collect();
+        ordered.sort_by_key(|(_, slot)| slot.is_none());
         *out = Some(sys);
         let sys = out.as_mut().expect("just parked");
         sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
@@ -593,8 +602,8 @@ impl CrashedSystem {
             hwm: 0,
             restarts,
         });
-        let total = items.len() as u64;
-        for (i, ((off, node), slot)) in items.into_iter().zip(assigned).enumerate() {
+        let total = ordered.len() as u64;
+        for (i, ((off, node), slot)) in ordered.into_iter().enumerate() {
             let id = geo.node_at_offset(off);
             match slot {
                 Some(s) => sys.ctrl.meta.install_at(s, off, node, true),
@@ -665,15 +674,26 @@ impl CrashedSystem {
         rd.reads += slots.div_ceil(8);
         let mut leaf_macs = vec![0u64; slots as usize];
         let mut slot_lines: Vec<Option<(u64, [u8; 64])>> = vec![None; slots as usize];
+        // Read every occupied shadow slot first, then MAC all of their
+        // leaf strings in one batch — the whole scan is independent reads,
+        // the recovery shape that benefits most from full crypto lanes.
+        let mut occupied: Vec<u64> = Vec::new();
+        let mut msgs: Vec<[u8; 72]> = Vec::new();
         for slot in 0..slots {
             if let Some(&off) = shadow_tags.get(&slot) {
                 let line = rd.line(self.layout.shadow_addr(slot));
                 let mut msg = [0u8; 72];
                 msg[..64].copy_from_slice(&line);
                 msg[64..].copy_from_slice(&slot.to_le_bytes());
-                leaf_macs[slot as usize] = self.crypto.mac64_72(&msg);
+                occupied.push(slot);
+                msgs.push(msg);
                 slot_lines[slot as usize] = Some((off, line));
             }
+        }
+        let mut macs = vec![0u64; msgs.len()];
+        self.crypto.mac64_72_many(&msgs, &mut macs);
+        for (slot, mac) in occupied.iter().zip(macs) {
+            leaf_macs[*slot as usize] = mac;
         }
         let reads_shadow_scan = rd.reads;
         // The seed for the rebuilt system's cache-tree: the tree over the
@@ -943,6 +963,11 @@ impl CrashedSystem {
         };
         let sets = self.cfg.meta_cache.sets();
         let mut leaf_macs = vec![0u64; sets as usize];
+        // Build every occupied set's MAC message, then present the set MACs
+        // to the engine as one batch (messages are variable-length; sets of
+        // equal occupancy still share lanes).
+        let mut occupied_sets: Vec<u64> = Vec::new();
+        let mut set_msgs: Vec<Vec<u8>> = Vec::new();
         for set in 0..sets {
             let mut in_set: Vec<(u64, &SitNode)> = items[..covered]
                 .iter()
@@ -962,7 +987,14 @@ impl CrashedSystem {
                 msg.extend_from_slice(&off.to_le_bytes());
                 msg.extend_from_slice(&m.to_line());
             }
-            leaf_macs[set as usize] = self.crypto.mac64(&msg);
+            occupied_sets.push(set);
+            set_msgs.push(msg);
+        }
+        let refs: Vec<&[u8]> = set_msgs.iter().map(|m| m.as_slice()).collect();
+        let mut macs = vec![0u64; refs.len()];
+        self.crypto.mac64_many(&refs, &mut macs);
+        for (set, mac) in occupied_sets.iter().zip(macs) {
+            leaf_macs[*set as usize] = mac;
         }
         let (rebuilt, _) = CacheTree::rebuild(self.crypto.as_ref(), &leaf_macs);
         if rebuilt != nv_root {
@@ -1088,6 +1120,38 @@ mod tests {
     #[test]
     fn star_crash_recover() {
         crash_recover_check(SchemeKind::Star, CounterMode::General);
+    }
+
+    #[test]
+    fn steins_rebuild_with_overfull_sets() {
+        // Regression for the Fig. 17 small-cache panic: stride one flushed
+        // write across each leaf's coverage so (nearly) every cache slot
+        // holds a recorded dirty node, plus buffer-replay parents that were
+        // never recorded. Some sets then have more recovered nodes than
+        // ways, and the rebuild's evicting fallback must not steal a way
+        // reserved for a later slot-pinned install ("install_at into
+        // occupied slot N").
+        let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+        let coverage = CounterMode::General.leaf_coverage();
+        let writes = cfg.meta_cache.slots() * 3 / 2;
+        assert!(
+            writes * coverage <= cfg.data_lines,
+            "stride fits data region"
+        );
+        let mut sys = SecureNvmSystem::new(cfg);
+        let mut expected = Vec::new();
+        for i in 0..writes {
+            let addr = i * coverage * 64;
+            let mut data = [0u8; 64];
+            data[..8].copy_from_slice(&i.to_le_bytes());
+            sys.write(addr, &data).unwrap();
+            expected.push((addr, data));
+        }
+        let (mut recovered, report) = sys.crash().recover().expect("recovery verifies");
+        assert!(report.nvm_reads > 0);
+        for (addr, data) in expected {
+            assert_eq!(recovered.read(addr).unwrap(), data, "addr {addr:#x}");
+        }
     }
 
     #[test]

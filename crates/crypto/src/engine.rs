@@ -28,6 +28,19 @@ pub enum CryptoKind {
     Fast,
 }
 
+/// Builds the 88-byte data-MAC message of §II-C: `data ‖ addr ‖ major ‖
+/// minor`, all little-endian. Shared by the scalar [`CryptoEngine::data_mac`]
+/// default and the batched data-MAC paths, so both sides of a
+/// batched-vs-serial comparison MAC the exact same bytes.
+pub fn data_mac_message(addr: u64, data: &[u8; 64], major: u64, minor: u64) -> [u8; 88] {
+    let mut msg = [0u8; 64 + 8 + 8 + 8];
+    msg[..64].copy_from_slice(data);
+    msg[64..72].copy_from_slice(&addr.to_le_bytes());
+    msg[72..80].copy_from_slice(&major.to_le_bytes());
+    msg[80..88].copy_from_slice(&minor.to_le_bytes());
+    msg
+}
+
 /// A memory-controller crypto unit: OTP generation and 64-bit MACs.
 pub trait CryptoEngine: Send + Sync {
     /// 64-byte one-time pad for counter-mode encryption of one cache line,
@@ -47,15 +60,47 @@ pub trait CryptoEngine: Send + Sync {
         self.mac64(msg)
     }
 
+    /// 64-bit MAC over a fixed 88-byte message — the data-MAC string built
+    /// by [`data_mac_message`].
+    fn mac64_88(&self, msg: &[u8; 88]) -> u64 {
+        self.mac64(msg)
+    }
+
     /// Convenience: MAC over a 64-byte payload plus address and counter —
     /// the data-block HMAC of §II-C.
     fn data_mac(&self, addr: u64, data: &[u8; 64], major: u64, minor: u64) -> u64 {
-        let mut msg = [0u8; 64 + 8 + 8 + 8];
-        msg[..64].copy_from_slice(data);
-        msg[64..72].copy_from_slice(&addr.to_le_bytes());
-        msg[72..80].copy_from_slice(&major.to_le_bytes());
-        msg[80..88].copy_from_slice(&minor.to_le_bytes());
-        self.mac64(&msg)
+        self.mac64_88(&data_mac_message(addr, data, major, minor))
+    }
+
+    /// How many MAC lanes a batch should aim to fill. `1` means the engine
+    /// has no lane parallelism; batch callers may then skip building message
+    /// buffers and loop scalar calls directly.
+    fn mac_lanes(&self) -> usize {
+        1
+    }
+
+    /// Batched [`Self::mac64`]: `out[i] = mac64(msgs[i])`. Callers *present*
+    /// batches (all sibling MACs of a flush, a recovery level, a scrub
+    /// sweep); engines with lane parallelism fill their lanes, the default
+    /// just loops. Output bytes never depend on batch shape.
+    fn mac64_many(&self, msgs: &[&[u8]], out: &mut [u64]) {
+        for (m, o) in msgs.iter().zip(out.iter_mut()) {
+            *o = self.mac64(m);
+        }
+    }
+
+    /// Batched [`Self::mac64_72`] over the 72-byte hot strings.
+    fn mac64_72_many(&self, msgs: &[[u8; 72]], out: &mut [u64]) {
+        for (m, o) in msgs.iter().zip(out.iter_mut()) {
+            *o = self.mac64_72(m);
+        }
+    }
+
+    /// Batched [`Self::mac64_88`] over the 88-byte data-MAC strings.
+    fn mac64_88_many(&self, msgs: &[[u8; 88]], out: &mut [u64]) {
+        for (m, o) in msgs.iter().zip(out.iter_mut()) {
+            *o = self.mac64_88(m);
+        }
     }
 }
 
@@ -91,16 +136,27 @@ impl CryptoEngine for RealCrypto {
     }
 
     fn mac64_72(&self, msg: &[u8; 72]) -> u64 {
-        self.hmac.mac64_fixed(msg)
+        self.hmac.mac64_72(msg)
     }
 
-    fn data_mac(&self, addr: u64, data: &[u8; 64], major: u64, minor: u64) -> u64 {
-        let mut msg = [0u8; 64 + 8 + 8 + 8];
-        msg[..64].copy_from_slice(data);
-        msg[64..72].copy_from_slice(&addr.to_le_bytes());
-        msg[72..80].copy_from_slice(&major.to_le_bytes());
-        msg[80..88].copy_from_slice(&minor.to_le_bytes());
-        self.hmac.mac64_fixed(&msg)
+    fn mac64_88(&self, msg: &[u8; 88]) -> u64 {
+        self.hmac.mac64_88(msg)
+    }
+
+    fn mac_lanes(&self) -> usize {
+        self.hmac.lane_count()
+    }
+
+    fn mac64_many(&self, msgs: &[&[u8]], out: &mut [u64]) {
+        self.hmac.mac64_many(msgs, out);
+    }
+
+    fn mac64_72_many(&self, msgs: &[[u8; 72]], out: &mut [u64]) {
+        self.hmac.mac64_72_many(msgs, out);
+    }
+
+    fn mac64_88_many(&self, msgs: &[[u8; 88]], out: &mut [u64]) {
+        self.hmac.mac64_88_many(msgs, out);
     }
 }
 
@@ -146,6 +202,36 @@ pub fn make_engine(kind: CryptoKind, key: SecretKey) -> Box<dyn CryptoEngine> {
         CryptoKind::Real => Box::new(RealCrypto::new(key)),
         CryptoKind::Fast => Box::new(FastCrypto::new(key)),
     }
+}
+
+/// Wraps an engine but hides its lane parallelism: scalar operations forward
+/// to the inner engine, while every batch entry point stays on the trait's
+/// serial default loop. Byte-identical to the wrapped engine on every input —
+/// only the batching strategy differs — so driving a whole simulation once
+/// with `E` and once with `SerialPresentation<E>` and comparing the persist
+/// traces proves batch presentation never reorders or alters an observable
+/// event.
+pub struct SerialPresentation<E: CryptoEngine>(pub E);
+
+impl<E: CryptoEngine> CryptoEngine for SerialPresentation<E> {
+    fn otp(&self, addr: u64, major: u64, minor: u64) -> [u8; 64] {
+        self.0.otp(addr, major, minor)
+    }
+
+    fn mac64(&self, msg: &[u8]) -> u64 {
+        self.0.mac64(msg)
+    }
+
+    fn mac64_72(&self, msg: &[u8; 72]) -> u64 {
+        self.0.mac64_72(msg)
+    }
+
+    fn mac64_88(&self, msg: &[u8; 88]) -> u64 {
+        self.0.mac64_88(msg)
+    }
+
+    // `data_mac`, `mac_lanes` (= 1) and the `*_many` loops are deliberately
+    // left on the trait defaults: serial presentation is the point.
 }
 
 #[cfg(test)]
@@ -209,6 +295,91 @@ mod tests {
             }
             assert_eq!(e.mac64_72(&msg), e.mac64(&msg), "{name}");
         }
+    }
+
+    #[test]
+    fn mac64_88_matches_slice_mac64() {
+        for (name, e) in engines() {
+            let mut msg = [0u8; 88];
+            for (i, b) in msg.iter_mut().enumerate() {
+                *b = (i * 53 + 19) as u8;
+            }
+            assert_eq!(e.mac64_88(&msg), e.mac64(&msg), "{name}");
+        }
+    }
+
+    #[test]
+    fn data_mac_routes_through_data_mac_message() {
+        for (name, e) in engines() {
+            let data: [u8; 64] = core::array::from_fn(|i| (i * 3 + 1) as u8);
+            let msg = data_mac_message(0xbeef, &data, 7, 2);
+            assert_eq!(e.data_mac(0xbeef, &data, 7, 2), e.mac64_88(&msg), "{name}");
+        }
+    }
+
+    /// Every batch entry point — on every engine, including the serial
+    /// wrapper — must match a scalar loop for batch sizes straddling the
+    /// lane boundaries.
+    #[test]
+    fn batched_trait_methods_match_scalar_loops() {
+        let key = SecretKey([0x42; 16]);
+        let mut engines: Vec<(&'static str, Box<dyn CryptoEngine>)> = vec![
+            ("real", Box::new(RealCrypto::new(key))),
+            ("fast", Box::new(FastCrypto::new(key))),
+            (
+                "serial(real)",
+                Box::new(SerialPresentation(RealCrypto::new(key))),
+            ),
+        ];
+        for (name, e) in engines.iter_mut() {
+            for n in [0usize, 1, 3, 4, 5, 8, 9, 26] {
+                let m72: Vec<[u8; 72]> = (0..n)
+                    .map(|i| core::array::from_fn(|j| (i * 7 + j) as u8))
+                    .collect();
+                let m88: Vec<[u8; 88]> = (0..n)
+                    .map(|i| core::array::from_fn(|j| (i * 11 + j + 1) as u8))
+                    .collect();
+                let refs: Vec<&[u8]> = m72.iter().map(|m| m.as_slice()).collect();
+
+                let mut got = vec![0u64; n];
+                e.mac64_many(&refs, &mut got);
+                let expect: Vec<u64> = refs.iter().map(|m| e.mac64(m)).collect();
+                assert_eq!(got, expect, "{name}: mac64_many n={n}");
+
+                e.mac64_72_many(&m72, &mut got);
+                let expect: Vec<u64> = m72.iter().map(|m| e.mac64_72(m)).collect();
+                assert_eq!(got, expect, "{name}: mac64_72_many n={n}");
+
+                e.mac64_88_many(&m88, &mut got);
+                let expect: Vec<u64> = m88.iter().map(|m| e.mac64_88(m)).collect();
+                assert_eq!(got, expect, "{name}: mac64_88_many n={n}");
+            }
+        }
+    }
+
+    /// The serial wrapper must be byte-identical to the engine it wraps on
+    /// every operation — it changes presentation, never values.
+    #[test]
+    fn serial_presentation_is_byte_identical() {
+        let key = SecretKey([0x42; 16]);
+        let real = RealCrypto::new(key);
+        let serial = SerialPresentation(RealCrypto::new(key));
+        assert_eq!(serial.mac_lanes(), 1);
+        assert!(real.mac_lanes() >= 4);
+        let data: [u8; 64] = core::array::from_fn(|i| i as u8);
+        assert_eq!(real.otp(0x1000, 5, 3)[..], serial.otp(0x1000, 5, 3)[..]);
+        assert_eq!(
+            real.data_mac(0x40, &data, 2, 1),
+            serial.data_mac(0x40, &data, 2, 1)
+        );
+        let msgs: Vec<[u8; 72]> = (0..13)
+            .map(|i| core::array::from_fn(|j| (i * 72 + j) as u8))
+            .collect();
+        let mut a = vec![0u64; msgs.len()];
+        let mut b = vec![0u64; msgs.len()];
+        real.mac64_72_many(&msgs, &mut a);
+        serial.mac64_72_many(&msgs, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

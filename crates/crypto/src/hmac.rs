@@ -11,8 +11,17 @@
 //! finishes with exactly **one** outer compression: the 32-byte inner digest
 //! plus its padding is a single block. No allocation, no buffer copies, no
 //! intermediate `Sha256` clones.
+//!
+//! On top of the scalar path sit the **batched** entry points
+//! ([`HmacSha256::mac64_many`] and the fixed-length variants): `N`
+//! independent messages are pressed through the multi-lane compression of
+//! [`crate::sha256_multi`], 8 messages per call where AVX2 is available
+//! (runtime-detected, like the AES-NI path) and 4 otherwise, with scalar
+//! mop-up for ragged tails. Lane outputs are bit-identical to the serial
+//! path — batching changes throughput, never bytes.
 
 use crate::sha256::{Sha256, H0};
+use crate::sha256_multi::{compress_lanes, wide_lanes_available, LANES_PORTABLE, LANES_WIDE};
 
 /// Keyed HMAC-SHA-256 instance with precomputed inner/outer midstates.
 #[derive(Clone)]
@@ -21,6 +30,8 @@ pub struct HmacSha256 {
     istate: [u32; 8],
     /// Chaining value after compressing `key ^ opad`.
     ostate: [u32; 8],
+    /// Whether the running CPU's 8-lane (AVX2) compression is usable.
+    wide: bool,
 }
 
 impl HmacSha256 {
@@ -43,7 +54,28 @@ impl HmacSha256 {
         Sha256::compress(&mut istate, &ipad);
         let mut ostate = H0;
         Sha256::compress(&mut ostate, &opad);
-        HmacSha256 { istate, ostate }
+        HmacSha256 {
+            istate,
+            ostate,
+            wide: wide_lanes_available(),
+        }
+    }
+
+    /// Lanes the batched paths fill per multi-lane call on this CPU.
+    pub fn lane_count(&self) -> usize {
+        if self.wide {
+            LANES_WIDE
+        } else {
+            LANES_PORTABLE
+        }
+    }
+
+    /// Caps the instance at the portable 4-lane path even where AVX2 is
+    /// available — differential tests exercise both widths on one machine.
+    #[cfg(any(test, feature = "ref-impls"))]
+    pub fn force_narrow_lanes(mut self) -> Self {
+        self.wide = false;
+        self
     }
 
     /// Inner hash: `SHA-256(ipad-midstate ‖ msg)` with stack-built padding.
@@ -105,12 +137,227 @@ impl HmacSha256 {
         u64::from_le_bytes(first8)
     }
 
-    /// Monomorphized [`Self::mac64`] for fixed-size messages (the 72-byte
-    /// node-MAC and 88-byte data-MAC strings): with `N` known at compile
-    /// time the block loop and tail padding fully unroll.
+    /// Message lengths with a dedicated monomorphized fast path wired into
+    /// the [`crate::engine::RealCrypto`] hot paths: 72 B (node-MAC / ASIT
+    /// slot strings) and 88 B (data-MAC strings). The microbench asserts the
+    /// hot message sizes stay on this list, so a routing regression (like
+    /// the one that sent 88 B messages down the generic slice path) fails
+    /// the bench run instead of only showing up as a slow number.
+    pub const FIXED_FAST_LENS: [usize; 2] = [72, 88];
+
+    /// Monomorphized [`Self::mac64`] for fixed-size messages. Unlike the
+    /// generic slice path, `N` is a compile-time constant here, so the block
+    /// count, tail split, and padding layout all resolve at monomorphization
+    /// time and the copies/loops fully unroll. Output is bit-identical to
+    /// `mac64(msg)`.
     #[inline]
     pub fn mac64_fixed<const N: usize>(&self, msg: &[u8; N]) -> u64 {
-        self.mac64(msg)
+        let mut st = self.istate;
+        let full = N / 64;
+        for b in 0..full {
+            let block: &[u8; 64] = msg[b * 64..b * 64 + 64].try_into().unwrap();
+            Sha256::compress(&mut st, block);
+        }
+        let rem = N % 64;
+        // Total hashed length includes the 64-byte ipad block.
+        let bit_len = ((64 + N) as u64) * 8;
+        let mut block = [0u8; 64];
+        block[..rem].copy_from_slice(&msg[full * 64..]);
+        block[rem] = 0x80;
+        if rem >= 56 {
+            Sha256::compress(&mut st, &block);
+            block = [0u8; 64];
+        }
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        Sha256::compress(&mut st, &block);
+        let st = self.outer_state(st);
+        Self::truncate64(&st)
+    }
+
+    /// Fixed-length fast path for the 72-byte node-MAC string.
+    #[inline]
+    pub fn mac64_72(&self, msg: &[u8; 72]) -> u64 {
+        self.mac64_fixed(msg)
+    }
+
+    /// Fixed-length fast path for the 88-byte data-MAC string.
+    #[inline]
+    pub fn mac64_88(&self, msg: &[u8; 88]) -> u64 {
+        self.mac64_fixed(msg)
+    }
+
+    /// First 8 MAC bytes of an outer state, in the `mac64` wire format.
+    #[inline(always)]
+    fn truncate64(st: &[u32; 8]) -> u64 {
+        let mut first8 = [0u8; 8];
+        first8[..4].copy_from_slice(&st[0].to_be_bytes());
+        first8[4..].copy_from_slice(&st[1].to_be_bytes());
+        u64::from_le_bytes(first8)
+    }
+
+    /// `L` truncated MACs over `L` equal-length messages, lane-parallel: the
+    /// inner block loop, tail padding, and single outer compression all run
+    /// across lanes in lock-step through `compress`. Bit-identical to `L`
+    /// serial [`Self::mac64`] calls for any correct lane compression.
+    #[inline(always)]
+    fn mac64_lanes_with<const L: usize>(
+        &self,
+        msgs: [&[u8]; L],
+        compress: &mut impl FnMut(&mut [[u32; 8]; L], &[[u8; 64]; L]),
+    ) -> [u64; L] {
+        let len = msgs[0].len();
+        debug_assert!(msgs.iter().all(|m| m.len() == len), "lanes need one length");
+        let mut st: [[u32; 8]; L] = [self.istate; L];
+        let mut blocks = [[0u8; 64]; L];
+        for b in 0..len / 64 {
+            for (l, block) in blocks.iter_mut().enumerate() {
+                block.copy_from_slice(&msgs[l][b * 64..b * 64 + 64]);
+            }
+            compress(&mut st, &blocks);
+        }
+        let rem = len % 64;
+        let bit_len = ((64 + len) as u64) * 8;
+        for (l, block) in blocks.iter_mut().enumerate() {
+            *block = [0u8; 64];
+            block[..rem].copy_from_slice(&msgs[l][len - rem..]);
+            block[rem] = 0x80;
+        }
+        if rem >= 56 {
+            compress(&mut st, &blocks);
+            blocks = [[0u8; 64]; L];
+        }
+        for block in blocks.iter_mut() {
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        }
+        compress(&mut st, &blocks);
+        // Outer: 32 digest bytes + padding + length fit in a single block.
+        let mut ost: [[u32; 8]; L] = [self.ostate; L];
+        for (l, block) in blocks.iter_mut().enumerate() {
+            *block = [0u8; 64];
+            for (i, word) in st[l].iter().enumerate() {
+                block[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+            }
+            block[32] = 0x80;
+            block[56..].copy_from_slice(&(96u64 * 8).to_be_bytes());
+        }
+        compress(&mut ost, &blocks);
+        core::array::from_fn(|l| Self::truncate64(&ost[l]))
+    }
+
+    /// Portable lane batch (autovectorized compression).
+    #[inline(always)]
+    fn mac64_lanes<const L: usize>(&self, msgs: [&[u8]; L]) -> [u64; L] {
+        self.mac64_lanes_with(msgs, &mut compress_lanes::<L>)
+    }
+
+    /// The 8-lane batch on the explicit AVX2 compression.
+    ///
+    /// # Safety
+    /// The `avx2` target feature must be available (runtime-detected via
+    /// `self.wide`, which is set only by `is_x86_feature_detected!`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mac64_lanes8_avx2(&self, msgs: [&[u8]; 8]) -> [u64; 8] {
+        // SAFETY: the caller guarantees AVX2; `compress8` requires it.
+        self.mac64_lanes_with::<8>(msgs, &mut |st, blocks| unsafe {
+            crate::sha256_multi::avx2::compress8(st, blocks)
+        })
+    }
+
+    /// Batched [`Self::mac64`]: `out[i] = mac64(msgs[i])` for every `i`.
+    ///
+    /// Runs of [`Self::lane_count`] equal-length messages go through the
+    /// multi-lane compression; mixed-length runs and the ragged tail fall
+    /// back to the scalar path, so output bytes never depend on batch shape.
+    pub fn mac64_many(&self, msgs: &[&[u8]], out: &mut [u64]) {
+        assert_eq!(msgs.len(), out.len(), "one output slot per message");
+        let mut i = 0;
+        #[cfg(target_arch = "x86_64")]
+        if self.wide {
+            while i + LANES_WIDE <= msgs.len() {
+                let chunk: [&[u8]; LANES_WIDE] = msgs[i..i + LANES_WIDE].try_into().unwrap();
+                if chunk.iter().all(|m| m.len() == chunk[0].len()) {
+                    // SAFETY: `wide` is set only when `is_x86_feature_detected!`
+                    // confirmed AVX2 on this CPU.
+                    let macs = unsafe { self.mac64_lanes8_avx2(chunk) };
+                    out[i..i + LANES_WIDE].copy_from_slice(&macs);
+                    i += LANES_WIDE;
+                } else {
+                    out[i] = self.mac64(msgs[i]);
+                    i += 1;
+                }
+            }
+        }
+        while i + LANES_PORTABLE <= msgs.len() {
+            let chunk: [&[u8]; LANES_PORTABLE] = msgs[i..i + LANES_PORTABLE].try_into().unwrap();
+            if chunk.iter().all(|m| m.len() == chunk[0].len()) {
+                let macs = self.mac64_lanes::<LANES_PORTABLE>(chunk);
+                out[i..i + LANES_PORTABLE].copy_from_slice(&macs);
+                i += LANES_PORTABLE;
+            } else {
+                out[i] = self.mac64(msgs[i]);
+                i += 1;
+            }
+        }
+        while i < msgs.len() {
+            out[i] = self.mac64(msgs[i]);
+            i += 1;
+        }
+    }
+
+    /// Batched fixed-length MACs (uniform length by construction, so every
+    /// full chunk takes the multi-lane path; the tail is scalar mop-up).
+    #[inline]
+    pub fn mac64_fixed_many<const N: usize>(&self, msgs: &[[u8; N]], out: &mut [u64]) {
+        assert_eq!(msgs.len(), out.len(), "one output slot per message");
+        let mut i = 0;
+        #[cfg(target_arch = "x86_64")]
+        if self.wide {
+            while i + LANES_WIDE <= msgs.len() {
+                let chunk: [&[u8]; LANES_WIDE] = core::array::from_fn(|l| msgs[i + l].as_slice());
+                // SAFETY: `wide` is set only when `is_x86_feature_detected!`
+                // confirmed AVX2 on this CPU.
+                let macs = unsafe { self.mac64_lanes8_avx2(chunk) };
+                out[i..i + LANES_WIDE].copy_from_slice(&macs);
+                i += LANES_WIDE;
+            }
+        }
+        while i + LANES_PORTABLE <= msgs.len() {
+            let chunk: [&[u8]; LANES_PORTABLE] = core::array::from_fn(|l| msgs[i + l].as_slice());
+            let macs = self.mac64_lanes::<LANES_PORTABLE>(chunk);
+            out[i..i + LANES_PORTABLE].copy_from_slice(&macs);
+            i += LANES_PORTABLE;
+        }
+        while i < msgs.len() {
+            out[i] = self.mac64_fixed(&msgs[i]);
+            i += 1;
+        }
+    }
+
+    /// Batched 72-byte MACs (node-MAC strings of a flush batch).
+    pub fn mac64_72_many(&self, msgs: &[[u8; 72]], out: &mut [u64]) {
+        self.mac64_fixed_many(msgs, out);
+    }
+
+    /// Batched 88-byte MACs (data-MAC strings of a flush batch).
+    pub fn mac64_88_many(&self, msgs: &[[u8; 88]], out: &mut [u64]) {
+        self.mac64_fixed_many(msgs, out);
+    }
+}
+
+/// Scalar reference implementations of the batch entry points, kept for the
+/// differential tests and the `ref-impls` microbenchmark baseline (the
+/// "before" side of the multi-lane speedup, like [`crate::aes::reference`]).
+#[cfg(any(test, feature = "ref-impls"))]
+pub mod reference {
+    use super::HmacSha256;
+
+    /// Per-message scalar `mac64` — the semantics `mac64_many` must match
+    /// byte-for-byte on every batch shape.
+    pub fn mac64_many_ref(h: &HmacSha256, msgs: &[&[u8]], out: &mut [u64]) {
+        for (m, o) in msgs.iter().zip(out.iter_mut()) {
+            *o = h.mac64(m);
+        }
     }
 }
 
@@ -219,5 +466,144 @@ mod tests {
         let a = HmacSha256::new(b"k1").mac64(b"m");
         let b = HmacSha256::new(b"k2").mac64(b"m");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fixed_paths_match_generic_and_are_registered() {
+        let h = HmacSha256::new(b"fixed-key");
+        let mut msg72 = [0u8; 72];
+        let mut msg88 = [0u8; 88];
+        for (i, b) in msg72.iter_mut().enumerate() {
+            *b = (i * 13 + 1) as u8;
+        }
+        for (i, b) in msg88.iter_mut().enumerate() {
+            *b = (i * 29 + 3) as u8;
+        }
+        assert_eq!(h.mac64_72(&msg72), h.mac64(&msg72));
+        assert_eq!(h.mac64_88(&msg88), h.mac64(&msg88));
+        // Both hot message sizes must stay routed off the generic path.
+        assert!(HmacSha256::FIXED_FAST_LENS.contains(&72));
+        assert!(HmacSha256::FIXED_FAST_LENS.contains(&88));
+    }
+
+    /// `mac64_fixed` must agree with the slice path on every tail layout:
+    /// short tail, the 56-byte padding split, and exact block multiples.
+    #[test]
+    fn mac64_fixed_matches_generic_on_boundary_lengths() {
+        let h = HmacSha256::new(b"key");
+        fn check<const N: usize>(h: &HmacSha256) {
+            let msg: [u8; N] = core::array::from_fn(|i| (i * 7 + N) as u8);
+            assert_eq!(h.mac64_fixed(&msg), h.mac64(&msg), "N={N}");
+        }
+        check::<0>(&h);
+        check::<1>(&h);
+        check::<55>(&h);
+        check::<56>(&h);
+        check::<63>(&h);
+        check::<64>(&h);
+        check::<65>(&h);
+        check::<72>(&h);
+        check::<88>(&h);
+        check::<119>(&h);
+        check::<120>(&h);
+        check::<128>(&h);
+        check::<200>(&h);
+    }
+
+    fn lcg(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *x
+    }
+
+    /// The tentpole differential: 10 000 random messages (random lengths,
+    /// random bytes) pressed through the multi-lane batch path in random
+    /// batch shapes must be byte-identical to the scalar reference — at both
+    /// lane widths.
+    #[test]
+    fn multi_lane_matches_scalar_on_10k_random_messages() {
+        let wide = HmacSha256::new(b"multi-lane-key");
+        let narrow = wide.clone().force_narrow_lanes();
+        let mut seed = 0x5eed_1234_u64;
+        let mut msgs: Vec<Vec<u8>> = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            let len = (lcg(&mut seed) % 160) as usize;
+            msgs.push((0..len).map(|_| lcg(&mut seed) as u8).collect());
+        }
+        let mut start = 0;
+        while start < msgs.len() {
+            let batch = 1 + (lcg(&mut seed) % 37) as usize;
+            let end = (start + batch).min(msgs.len());
+            let refs: Vec<&[u8]> = msgs[start..end].iter().map(|m| m.as_slice()).collect();
+            let mut expect = vec![0u64; refs.len()];
+            reference::mac64_many_ref(&wide, &refs, &mut expect);
+            for h in [&wide, &narrow] {
+                let mut got = vec![0u64; refs.len()];
+                h.mac64_many(&refs, &mut got);
+                assert_eq!(got, expect, "batch [{start}, {end})");
+            }
+            start = end;
+        }
+    }
+
+    /// Uniform-length batches (the hot shape): 10 000 random 72 B and 88 B
+    /// messages through the fixed batch paths.
+    #[test]
+    fn fixed_many_matches_scalar_on_10k_random_messages() {
+        let wide = HmacSha256::new(b"fixed-many-key");
+        let narrow = wide.clone().force_narrow_lanes();
+        let mut seed = 0xfeed_5678_u64;
+        fn run<const N: usize>(wide: &HmacSha256, narrow: &HmacSha256, seed: &mut u64) {
+            let msgs: Vec<[u8; N]> = (0..5_000)
+                .map(|_| core::array::from_fn(|_| lcg(seed) as u8))
+                .collect();
+            let expect: Vec<u64> = msgs.iter().map(|m| wide.mac64(m)).collect();
+            for h in [wide, narrow] {
+                let mut got = vec![0u64; msgs.len()];
+                h.mac64_fixed_many(&msgs, &mut got);
+                assert_eq!(got, expect, "N={N}");
+            }
+        }
+        run::<72>(&wide, &narrow, &mut seed);
+        run::<88>(&wide, &narrow, &mut seed);
+    }
+
+    /// Ragged batch sizes around the lane count: 1, L−1, L, L+1, 3L+2 — the
+    /// shapes where a lane/tail split bug would hide.
+    #[test]
+    fn ragged_batch_sizes_match_serial() {
+        for h in [
+            HmacSha256::new(b"ragged-key"),
+            HmacSha256::new(b"ragged-key").force_narrow_lanes(),
+        ] {
+            let lanes = h.lane_count();
+            for n in [1, lanes - 1, lanes, lanes + 1, 3 * lanes + 2] {
+                let msgs: Vec<[u8; 72]> = (0..n)
+                    .map(|i| core::array::from_fn(|j| (i * 72 + j) as u8))
+                    .collect();
+                let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+                let expect: Vec<u64> = msgs.iter().map(|m| h.mac64(m)).collect();
+                let mut got = vec![0u64; n];
+                h.mac64_many(&refs, &mut got);
+                assert_eq!(got, expect, "mac64_many n={n} lanes={lanes}");
+                let mut got_fixed = vec![0u64; n];
+                h.mac64_72_many(&msgs, &mut got_fixed);
+                assert_eq!(got_fixed, expect, "mac64_72_many n={n} lanes={lanes}");
+            }
+        }
+    }
+
+    /// Mixed-length batches must fall back per message, never mixing lanes.
+    #[test]
+    fn mixed_length_batches_match_serial() {
+        let h = HmacSha256::new(b"mixed-key");
+        let msgs: Vec<Vec<u8>> = (0..40).map(|i| vec![i as u8; (i * 11) % 97]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let mut expect = vec![0u64; refs.len()];
+        reference::mac64_many_ref(&h, &refs, &mut expect);
+        let mut got = vec![0u64; refs.len()];
+        h.mac64_many(&refs, &mut got);
+        assert_eq!(got, expect);
     }
 }

@@ -301,12 +301,15 @@ impl NvmDevice {
         // Bounded retry against transient media faults: each failed attempt
         // consumes one pending failure; short transients heal before the
         // error can reach the engine. Retries are functional only — the
-        // simulated timing above already covers the request.
-        let mut retries = 0;
-        while retries < READ_RETRY_ATTEMPTS && self.faults.consume_transient_failure(addr) {
-            retries += 1;
+        // simulated timing above already covers the request. Each attempt
+        // bumps the persistent counter directly so the accounting covers the
+        // exhausted-then-error path too: when the budget runs out and the
+        // read still fails, the attempts that were burned stay counted.
+        let mut attempts = 0;
+        while attempts < READ_RETRY_ATTEMPTS && self.faults.consume_transient_failure(addr) {
+            attempts += 1;
+            self.read_retries += 1;
         }
-        self.read_retries += retries as u64;
 
         (self.faults.observe(addr, self.storage.read(addr)), done)
     }
@@ -726,6 +729,15 @@ mod tests {
         let (got, _) = d.read(0, 0);
         assert_eq!(got, [crate::fault::POISON_BYTE; 64]);
         assert!(!d.is_readable(0));
+        // The exhausted read burned its full budget before erroring — those
+        // attempts must be counted even though the read ultimately failed.
+        let mut reg = MetricRegistry::new();
+        d.export_metrics(&mut reg);
+        assert_eq!(
+            reg.counter("nvm.read.retries"),
+            Some(READ_RETRY_ATTEMPTS as u64 * 2),
+            "failed-final-attempt retries are counted"
+        );
         let (got, _) = d.read(0, 0);
         assert_eq!(got, [4; 64], "residual failures drain on later reads");
         let mut reg = MetricRegistry::new();

@@ -289,6 +289,61 @@ mod tests {
     }
 
     #[test]
+    fn bucket_index_is_monotone_and_total() {
+        // Property sweep over the spots where a group/shift off-by-one
+        // would bite: 0, u64::MAX, every power-of-two boundary (2^k − 1,
+        // 2^k, 2^k + 1), the first/last sub-bucket of each octave, and a
+        // seeded random fill. For every ordered pair the index must be
+        // non-decreasing (monotone), every index in bounds (total), and
+        // every value must sit inside its own bucket's value range:
+        // bucket_high(idx − 1) < v ≤ bucket_high(idx).
+        let mut probes: Vec<u64> = vec![0, 1, u64::MAX, u64::MAX - 1];
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            probes.push(p.wrapping_sub(1));
+            probes.push(p);
+            probes.push(p.saturating_add(1));
+        }
+        // First and last sub-bucket of each octave above the linear range.
+        for group in 1..=(64 - SUB_BITS) {
+            let shift = group - 1;
+            let first = (SUB as u64) << shift; // octave base
+            probes.push(first);
+            probes.push(first + ((1u64 << shift) - 1)); // top of first sub-bucket
+            let last_low = ((2 * SUB as u64) - 1) << shift; // base of last sub-bucket
+            probes.push(last_low);
+            probes.push(last_low.saturating_add((1u64 << shift) - 1));
+        }
+        let mut x = 0x5EED_0B5Eu64;
+        for _ in 0..4096 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Cover all magnitudes: shrink by a pseudo-random shift.
+            probes.push(x >> (x % 64));
+        }
+        probes.sort_unstable();
+        probes.dedup();
+
+        let mut prev_idx = 0usize;
+        for (i, &v) in probes.iter().enumerate() {
+            let idx = index_of(v);
+            assert!(idx < BUCKETS, "index out of bounds for {v}");
+            if i > 0 {
+                assert!(idx >= prev_idx, "index_of not monotone at {v}");
+            }
+            assert!(bucket_high(idx) >= v, "value above its bucket at {v}");
+            if idx > 0 {
+                assert!(
+                    bucket_high(idx - 1) < v,
+                    "value fits an earlier bucket at {v}"
+                );
+            }
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
     fn quantiles_monotone_in_q() {
         let mut h = Histogram::new();
         let mut x = 1u64;
