@@ -23,14 +23,24 @@
 //! and the doubly-crashed machine must recover again, restartably, off the
 //! ADR recovery journal.
 //!
+//! Phase four replays the same protocol through the sharded front-end:
+//! the stream routes across `STEINS_SHARD_SWEEP_SHARDS` controllers and
+//! the crash (whole-line and torn) is armed on one target shard at a
+//! time, with its neighbors required to keep serving and to report
+//! pristine journals afterwards. A nested leg re-crashes each target
+//! shard during its own recovery.
+//!
 //! Env knobs: `STEINS_SWEEP_OPS` (stream length, default 150),
 //! `STEINS_TORN_POINTS` (line-write boundaries torn per combo, default 48),
 //! `STEINS_NESTED_OUTER` (outer boundaries nested per combo, default 12),
 //! `STEINS_NESTED_INNER` (recovery-time points per outer crash, default 6),
+//! `STEINS_SHARD_SWEEP_SHARDS` (shard count of phase four, default 2),
+//! `STEINS_SHARD_POINTS` (points per target shard, default 4),
+//! `STEINS_SHARD_NESTED` (outer × inner nested points per shard, default 2),
 //! `STEINS_THREADS` (worker pool size).
 
 use steins_bench::par;
-use steins_core::{CounterMode, CrashSweep, PointSelection, SchemeKind};
+use steins_core::{CounterMode, CrashSweep, PointSelection, SchemeKind, ShardSweep};
 
 /// Torn-word masks swept at every selected line-write boundary: dropped,
 /// one-word prefix, half-line prefix, sparse even words, sparse odd words.
@@ -42,6 +52,10 @@ const NESTED_OUTER_MASKS: [u8; 2] = [0xFF, 0x0F];
 
 /// Inner masks re-armed against recovery's own writes.
 const NESTED_INNER_MASKS: [u8; 2] = [0xFF, 0x0F];
+
+/// Masks of the sharded phase: whole-line crash plus a half-line tear
+/// (exercising the per-shard scrub leg).
+const SHARD_MASKS: [u8; 2] = [0xFF, 0x0F];
 
 fn main() {
     let ops: usize = std::env::var("STEINS_SWEEP_OPS")
@@ -191,6 +205,67 @@ fn main() {
             println!("{repro}");
         }
     }
+
+    let shard_shards: usize = std::env::var("STEINS_SHARD_SWEEP_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let shard_points: usize = std::env::var("STEINS_SHARD_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let shard_nested: usize = std::env::var("STEINS_SHARD_NESTED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    println!(
+        "\nSharded sweep: {shard_shards} shards, crash+torn ≤{shard_points} points per target \
+         shard (masks {SHARD_MASKS:02x?}), nested ≤{shard_nested}×{shard_nested}"
+    );
+    println!("{:>10}  {:>8}  {:>8}  result", "combo", "tested", "failed");
+    let shard_jobs: Vec<_> = combos
+        .iter()
+        .flat_map(|&(scheme, mode)| [(scheme, mode, false), (scheme, mode, true)])
+        .collect();
+    let shard_reports = par::map(shard_jobs, |(scheme, mode, nested)| {
+        let sweep = ShardSweep::small(scheme, mode, shard_shards, ops);
+        let report = if nested {
+            sweep.run_nested(
+                PointSelection::AtMost(shard_nested),
+                PointSelection::AtMost(shard_nested),
+            )
+        } else {
+            sweep.run(PointSelection::AtMost(shard_points), &SHARD_MASKS)
+        };
+        (scheme, mode, nested, report)
+    });
+    for (scheme, mode, nested, report) in shard_reports {
+        let verdict = if report.clean() {
+            if nested {
+                "all shards re-recovered, neighbors pristine".to_string()
+            } else {
+                "all shards recovered, neighbors kept serving".to_string()
+            }
+        } else {
+            all_clean = false;
+            "SHARDED CONTRACT VIOLATIONS".to_string()
+        };
+        let label = if nested {
+            format!("{}*", scheme.label(mode))
+        } else {
+            scheme.label(mode)
+        };
+        println!(
+            "{:>10}  {:>8}  {:>8}  {verdict}",
+            label,
+            report.tested_points,
+            report.failures.len()
+        );
+        for repro in report.failures.iter().take(3) {
+            println!("{repro}");
+        }
+    }
+    println!("{:>10}  (* = nested crash-during-recovery leg)", "");
 
     if !all_clean {
         std::process::exit(1);

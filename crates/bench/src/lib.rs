@@ -27,6 +27,7 @@ pub mod micro;
 pub mod par;
 pub mod recovery_bench;
 pub mod shape;
+pub mod stress;
 
 /// Writes one figure's normalized rows as CSV under `results/` (one file
 /// per figure), so the series can be plotted without re-running the sweep.

@@ -363,7 +363,7 @@ pub struct CrashSweep {
 /// Silences the panic hook for the intentional [`CrashTripped`] unwinds the
 /// sweep throws (thousands per run); every other panic still reports
 /// through the previously installed hook.
-fn silence_crash_trips() {
+pub(crate) fn silence_crash_trips() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -959,8 +959,9 @@ impl CrashSweep {
     }
 
     /// [`Self::select`] with an explicit selection (nested sweeps bound
-    /// outer and inner point lists independently).
-    fn select_with<T: Copy>(selection: PointSelection, points: Vec<T>) -> Vec<T> {
+    /// outer and inner point lists independently; the sharded sweep reuses
+    /// the same striding so bounded runs compare across harnesses).
+    pub(crate) fn select_with<T: Copy>(selection: PointSelection, points: Vec<T>) -> Vec<T> {
         match selection {
             PointSelection::All => points,
             PointSelection::AtMost(n) if n >= points.len() => points,

@@ -1284,6 +1284,19 @@ impl SecureNvmSystem {
         })
     }
 
+    /// Deterministic simulated-cycle makespan of this machine: the furthest
+    /// any of its clocks has advanced — the CPU core, the controller
+    /// front-end (which ratchets per accepted line even under the direct
+    /// [`Self::write`]/[`Self::read`] API, where the core clock stays put),
+    /// and the write queue's drain horizon. The sharded stress bench scales
+    /// modeled throughput by the max of this value across shards.
+    pub fn sim_cycles(&self) -> u64 {
+        self.cpu
+            .now
+            .max(self.ctrl.front_free)
+            .max(self.ctrl.wq.drain_horizon())
+    }
+
     /// Current run metrics, including the full component-path metric
     /// registry (every layer exports its counters and histograms here).
     pub fn report(&self) -> RunReport {

@@ -40,6 +40,7 @@ pub mod recovery;
 pub mod report;
 pub mod scheme;
 pub mod scrub;
+pub mod shard;
 
 pub use campaign::{CampaignConfig, CampaignOutcome, CampaignReport, FaultCampaign};
 pub use config::{SchemeKind, SystemConfig};
@@ -49,6 +50,7 @@ pub use error::IntegrityError;
 pub use recovery::RecoveryReport;
 pub use report::RunReport;
 pub use scrub::{ScrubReport, Verdict};
+pub use shard::{ShardRepro, ShardSweep, ShardSweepReport, ShardedEngine};
 
 // Re-export the counter mode so downstream users need only this crate.
 pub use steins_metadata::CounterMode;

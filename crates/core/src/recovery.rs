@@ -198,12 +198,19 @@ impl CrashedSystem {
         } else {
             0
         };
-        match self.cfg.scheme {
+        let shard = self.nvm.shard();
+        let mut report = match self.cfg.scheme {
             SchemeKind::WriteBack => unreachable!("handled above"),
             SchemeKind::Steins => self.recover_steins(out, prior, restarts),
             SchemeKind::Asit => self.recover_asit(out, prior, restarts),
             SchemeKind::Star => self.recover_star(out, prior, restarts),
-        }
+        }?;
+        // Which shard's journal line drove this attempt — the sharded
+        // engine recovers each shard independently off its own line.
+        report
+            .metrics
+            .gauge_set("core.recovery.shard", shard as f64);
+        Ok(report)
     }
 
     fn mac_record(&self, data_line: u64) -> MacRecord {

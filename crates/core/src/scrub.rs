@@ -84,6 +84,9 @@ pub struct ScrubReport {
     /// interrupted before this one completed (0 on a first, uninterrupted
     /// run).
     pub restarts: u64,
+    /// Which shard's image was scrubbed (0 for unsharded systems); the
+    /// sharded engine scrubs each shard's own journal line independently.
+    pub shard: u16,
 }
 
 impl ScrubReport {
@@ -103,6 +106,7 @@ impl ScrubReport {
         m.counter_add("core.scrub.anchors.updated", self.anchors_updated);
         m.counter_add("core.scrub.reads", self.nvm_reads);
         m.counter_add("core.scrub.restarts", self.restarts);
+        m.gauge_set("core.scrub.shard", self.shard as f64);
         m
     }
 }
@@ -181,6 +185,7 @@ impl CrashedSystem {
             anchors_updated: 0,
             nvm_reads: 0,
             restarts,
+            shard: self.nvm.shard(),
         };
 
         // —— 1. Data plane: verify every MAC record, rebuild the leaves. ——

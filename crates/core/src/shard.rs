@@ -1,0 +1,1186 @@
+//! The sharded multi-controller front-end and its crash harness.
+//!
+//! [`ShardedEngine`] splits the protected data-line space across N
+//! independent [`SecureNvmSystem`] instances — each with its own SIT,
+//! metadata cache, write queue, NVM device, and ADR recovery-journal line —
+//! and routes every request by address through a pure
+//! [`steins_metadata::ShardMap`]. Shards share nothing: the only
+//! cross-shard structure is the routing function itself, so N shards
+//! accept requests from N threads with no coordination beyond one
+//! per-shard mutex.
+//!
+//! Three properties the harness below enforces:
+//!
+//! * **Independent recovery.** Each shard crashes and recovers off its own
+//!   journal line. The device stamps the journal with its owner
+//!   ([`steins_nvm::NvmDevice::journal_owner`]); recovering a shard off a
+//!   line stamped by another shard is a routing bug and fails loudly.
+//! * **Neighbor liveness.** A crash on one shard never touches another:
+//!   while the target shard recovers, neighbor shards keep accepting the
+//!   rest of the stream mid-write, and every acknowledged line on every
+//!   shard still reads back.
+//! * **Restartable per shard.** A second crash during one shard's recovery
+//!   bumps only that shard's `core.recovery.restarts`; untouched shards
+//!   report a pristine (`IDLE`) journal.
+//!
+//! [`ShardSweep`] is the shard-aware mirror of [`crate::CrashSweep`]: the
+//! same persist-boundary fault-injection protocol (torn-word masks,
+//! in-flight reconciliation, sacrificial torn data lines, nested
+//! crash-during-recovery), replayed through the sharded front-end with the
+//! crash armed on one target shard at a time.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use steins_metadata::{CounterMode, ShardMap, StripeMode};
+use steins_nvm::{CrashTripped, PersistKind};
+use steins_obs::MetricRegistry;
+
+use crate::config::{SchemeKind, SystemConfig};
+use crate::crash::{silence_crash_trips, CrashSweep, CrashedSystem, PointSelection, SweepOp};
+use crate::engine::SecureNvmSystem;
+use crate::error::IntegrityError;
+use crate::recovery::{journal, RecoveryReport};
+use crate::scrub::ScrubReport;
+
+/// N independent secure-memory controllers behind one address space.
+///
+/// Routing: a global byte address maps to `(shard, local address)` via the
+/// [`ShardMap`]; the shard's own [`SecureNvmSystem`] — built over
+/// `data_lines / N` lines with a `1/N` slice of the metadata-cache budget —
+/// serves the request under its own mutex. All methods take `&self`, so
+/// any number of threads may drive disjoint shards concurrently.
+pub struct ShardedEngine {
+    map: ShardMap,
+    shard_cfg: SystemConfig,
+    shards: Vec<Mutex<Option<SecureNvmSystem>>>,
+}
+
+impl ShardedEngine {
+    /// Builds `shards` interleaved (bank-style) shards over `cfg`'s data
+    /// space. A `cfg.data_lines` that does not divide evenly is rounded
+    /// down to the nearest multiple (shards are identical machines; the
+    /// remainder lines are simply not addressable through the front-end).
+    pub fn new(cfg: SystemConfig, shards: usize) -> Self {
+        Self::with_mode(cfg, shards, StripeMode::Interleave)
+    }
+
+    /// [`Self::new`] with an explicit striping mode.
+    pub fn with_mode(mut cfg: SystemConfig, shards: usize, mode: StripeMode) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        cfg.data_lines -= cfg.data_lines % shards as u64;
+        let map = ShardMap::new(mode, shards, cfg.data_lines);
+        let shard_cfg = Self::split_config(&cfg, shards);
+        let insts = (0..shards)
+            .map(|i| {
+                let mut sys = SecureNvmSystem::new(shard_cfg.clone());
+                sys.ctrl.nvm.set_shard(i as u16);
+                Mutex::new(Some(sys))
+            })
+            .collect();
+        ShardedEngine {
+            map,
+            shard_cfg,
+            shards: insts,
+        }
+    }
+
+    /// The per-shard configuration a global `cfg` splits into: `1/N` of the
+    /// data lines and `1/N` of the metadata-cache capacity (floored at one
+    /// set), everything else identical.
+    pub fn split_config(cfg: &SystemConfig, shards: usize) -> SystemConfig {
+        assert!(shards >= 1, "need at least one shard");
+        let mut c = cfg.clone();
+        c.data_lines = cfg.data_lines / shards as u64;
+        c.meta_cache = cfg.meta_cache.split(shards);
+        c
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.map.shards()
+    }
+
+    /// The routing function.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The configuration each shard runs with.
+    pub fn shard_config(&self) -> &SystemConfig {
+        &self.shard_cfg
+    }
+
+    /// Locks shard `s`, recovering the guard if a previous holder panicked
+    /// (the crash harness unwinds [`CrashTripped`] through these locks by
+    /// design; the shard's state is exactly what the power cut left).
+    fn guard(&self, s: usize) -> MutexGuard<'_, Option<SecureNvmSystem>> {
+        self.shards[s]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Securely writes one 64 B line at a global address.
+    pub fn write(&self, addr: u64, data: &[u8; 64]) -> Result<(), IntegrityError> {
+        let (s, local) = self.map.route(addr);
+        self.guard(s)
+            .as_mut()
+            .unwrap_or_else(|| panic!("write routed to crashed/taken shard {s}"))
+            .write(local, data)
+    }
+
+    /// Securely reads one 64 B line at a global address.
+    pub fn read(&self, addr: u64) -> Result<[u8; 64], IntegrityError> {
+        let (s, local) = self.map.route(addr);
+        self.guard(s)
+            .as_mut()
+            .unwrap_or_else(|| panic!("read routed to crashed/taken shard {s}"))
+            .read(local)
+    }
+
+    /// Runs `f` against shard `s`'s live system under its lock.
+    pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&mut SecureNvmSystem) -> R) -> R {
+        f(self
+            .guard(s)
+            .as_mut()
+            .unwrap_or_else(|| panic!("shard {s} is crashed/taken")))
+    }
+
+    /// Removes shard `s`'s system from the engine (its slot stays empty
+    /// until [`Self::put_shard`]; requests routed there panic meanwhile).
+    pub fn take_shard(&self, s: usize) -> SecureNvmSystem {
+        self.guard(s)
+            .take()
+            .unwrap_or_else(|| panic!("shard {s} already crashed/taken"))
+    }
+
+    /// Reinstates a system into shard `s`'s empty slot. The system must
+    /// carry `s`'s own device label — installing a machine built for a
+    /// different shard is a routing bug.
+    pub fn put_shard(&self, s: usize, sys: SecureNvmSystem) {
+        assert_eq!(
+            sys.ctrl.nvm.shard(),
+            s as u16,
+            "installing shard {} machine into slot {s}",
+            sys.ctrl.nvm.shard()
+        );
+        let mut g = self.guard(s);
+        assert!(g.is_none(), "shard {s} slot already occupied");
+        *g = Some(sys);
+    }
+
+    /// Pulls the plug on shard `s` only. Every other shard keeps running.
+    pub fn crash_shard(&self, s: usize) -> CrashedSystem {
+        self.take_shard(s).crash()
+    }
+
+    /// Strictly recovers shard `s` from its crashed image and reinstates
+    /// it. Validates journal ownership first: if the image's ADR journal
+    /// line was ever written, it must have been stamped by shard `s`'s own
+    /// controller. On error the slot stays empty (callers may fall back to
+    /// [`Self::scrub_shard`]).
+    pub fn recover_shard(
+        &self,
+        s: usize,
+        crashed: CrashedSystem,
+    ) -> Result<RecoveryReport, IntegrityError> {
+        Self::check_journal_owner(s, &crashed);
+        let (sys, report) = crashed.recover()?;
+        self.put_shard(s, sys);
+        Ok(report)
+    }
+
+    /// Leniently scrubs shard `s`'s crashed image, reinstating the rebuilt
+    /// system when the scheme supports one (WB yields `None` and the slot
+    /// stays empty).
+    pub fn scrub_shard(&self, s: usize, crashed: CrashedSystem) -> ScrubReport {
+        Self::check_journal_owner(s, &crashed);
+        let (sys, report) = crashed.recover_lenient();
+        if let Some(sys) = sys {
+            self.put_shard(s, sys);
+        }
+        report
+    }
+
+    fn check_journal_owner(s: usize, crashed: &CrashedSystem) {
+        assert_eq!(
+            crashed.nvm().shard(),
+            s as u16,
+            "crashed image labeled shard {} handed to slot {s}",
+            crashed.nvm().shard()
+        );
+        let j = crashed.nvm().recovery_journal();
+        if j.phase != journal::IDLE {
+            assert_eq!(
+                crashed.nvm().journal_owner(),
+                s as u16,
+                "shard {s}'s journal line was stamped by shard {}: cross-shard routing bug",
+                crashed.nvm().journal_owner()
+            );
+        }
+    }
+
+    /// Deterministic simulated-cycle makespan: the furthest any shard's
+    /// clocks have advanced (empty slots contribute 0). With perfect
+    /// balance this is `1/N` of the serial machine's clock — the quantity
+    /// the stress bench's scaling gate is computed from.
+    pub fn sim_cycles(&self) -> u64 {
+        (0..self.shards())
+            .map(|s| self.guard(s).as_ref().map_or(0, |sys| sys.sim_cycles()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merged metric registry: each shard's full registry appears twice —
+    /// once under its own `shard.NN.` prefix (per-shard write-queue
+    /// occupancy/stall histograms, cache hit rates, …) and once folded into
+    /// the unprefixed aggregate (histograms merge bucket-wise; see
+    /// [`MetricRegistry::fold_shard`]).
+    pub fn report(&self) -> MetricRegistry {
+        let mut agg = MetricRegistry::new();
+        for s in 0..self.shards() {
+            if let Some(sys) = self.guard(s).as_ref() {
+                let m = sys.report().metrics;
+                agg.fold_shard(&format!("shard.{s:02}"), &m);
+            }
+        }
+        agg.gauge_set("core.shards", self.shards() as f64);
+        agg.gauge_set("core.engine.sim_cycles", self.sim_cycles() as f64);
+        agg
+    }
+}
+
+/// A minimized failing point from the sharded sweep.
+#[derive(Clone, Debug)]
+pub struct ShardRepro {
+    /// The shard the crash was armed on.
+    pub target: usize,
+    /// The (outer) persist point that tripped.
+    pub crash_point: u64,
+    /// The inner persist point, for nested probes.
+    pub inner_point: Option<u64>,
+    /// Index of the op in flight when the crash tripped.
+    pub op_index: usize,
+    /// What went wrong.
+    pub error: String,
+    /// What diverged.
+    pub divergent: String,
+}
+
+impl std::fmt::Display for ShardRepro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} point {}{}: {} ({})",
+            self.target,
+            self.crash_point,
+            self.inner_point
+                .map(|j| format!(">{j}"))
+                .unwrap_or_default(),
+            self.error,
+            self.divergent
+        )
+    }
+}
+
+/// Outcome of a sharded sweep.
+#[derive(Debug)]
+pub struct ShardSweepReport {
+    /// Scheme/mode label plus shard count.
+    pub label: String,
+    /// Shards in the engine.
+    pub shards: usize,
+    /// Points probed across all target shards.
+    pub tested_points: u64,
+    /// Every failing point (bounded by the sweep's failure cap).
+    pub failures: Vec<ShardRepro>,
+}
+
+impl ShardSweepReport {
+    /// True when every probed point held the contract.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for ShardSweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} points across {} shards, {} failures",
+            self.label,
+            self.tested_points,
+            self.shards,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            write!(f, "\n  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One shard crashed mid-stream, ground truth already reconciled.
+struct ShardTornCrash {
+    /// The engine with the target slot empty; neighbors are live, possibly
+    /// holding CPU-dirty lines and half-drained write queues.
+    engine: ShardedEngine,
+    /// The power-cut target shard.
+    crashed: CrashedSystem,
+    op_index: usize,
+    /// Global address → payload for every line that must read back.
+    expected: HashMap<u64, [u8; 64]>,
+    /// Global address of a torn-sacrificed data line (must fail closed).
+    sacrificed: Option<u64>,
+}
+
+/// The shard-aware persist-boundary fault-injection driver: replays one
+/// global op stream through a [`ShardedEngine`], crashes one target shard
+/// at an armed persist point, recovers only that shard, drives the rest of
+/// the stream across all shards, and verifies the whole address space.
+pub struct ShardSweep {
+    cfg: SystemConfig,
+    shards: usize,
+    mode: StripeMode,
+    ops: Vec<SweepOp>,
+    /// Stop after this many failures (mirrors [`CrashSweep`]).
+    pub max_failures: usize,
+}
+
+impl ShardSweep {
+    /// A sweep of `ops` (global line addresses) against `shards` shards
+    /// of `cfg`, interleave-striped.
+    pub fn new(cfg: SystemConfig, shards: usize, ops: Vec<SweepOp>) -> Self {
+        ShardSweep {
+            cfg,
+            shards,
+            mode: StripeMode::Interleave,
+            ops,
+            max_failures: 5,
+        }
+    }
+
+    /// Convenience: the same standard stream [`CrashSweep::small`] uses,
+    /// on the small test config, split across `shards` shards.
+    pub fn small(scheme: SchemeKind, mode: CounterMode, shards: usize, ops: usize) -> Self {
+        let cfg = SystemConfig::small_for_tests(scheme, mode);
+        let ops = SweepOp::stream(0x5EED ^ ops as u64, 192, ops);
+        ShardSweep::new(cfg, shards, ops)
+    }
+
+    fn engine(&self) -> ShardedEngine {
+        ShardedEngine::with_mode(self.cfg.clone(), self.shards, self.mode)
+    }
+
+    fn apply_op(engine: &ShardedEngine, op: SweepOp) -> Result<(), IntegrityError> {
+        match op {
+            SweepOp::Write { line, tag } => engine.write(line * 64, &SweepOp::payload(line, tag)),
+            SweepOp::Read { line } => engine.read(line * 64).map(|_| ()),
+        }
+    }
+
+    fn fail(
+        &self,
+        target: usize,
+        k: u64,
+        op_index: usize,
+        error: impl Into<String>,
+        divergent: impl Into<String>,
+    ) -> ShardRepro {
+        ShardRepro {
+            target,
+            crash_point: k,
+            inner_point: None,
+            op_index,
+            error: error.into(),
+            divergent: divergent.into(),
+        }
+    }
+
+    /// Runs the stream crash-free, returning each shard's persist-point
+    /// count (the per-shard sweep horizons).
+    pub fn total_points(&self) -> Result<Vec<u64>, IntegrityError> {
+        let engine = self.engine();
+        for &op in &self.ops {
+            Self::apply_op(&engine, op)?;
+        }
+        Ok((0..self.shards)
+            .map(|s| engine.with_shard(s, |sys| sys.ctrl.nvm.persist_seq()))
+            .collect())
+    }
+
+    /// Replays the stream with a (possibly torn) crash armed at persist
+    /// point `k` of shard `target`. `Ok(None)` when `k` lies beyond that
+    /// shard's horizon. Mirrors `CrashSweep::crash_torn`, with addresses
+    /// split between the global space (acked/expected maps, routed through
+    /// the engine) and the target shard's local space (the device's trip
+    /// point and the crashed image's ground truth).
+    fn crash_torn(
+        &self,
+        target: usize,
+        k: u64,
+        word_mask: u8,
+    ) -> Result<Option<ShardTornCrash>, ShardRepro> {
+        silence_crash_trips();
+        let engine = self.engine();
+        engine.with_shard(target, |sys| sys.ctrl.nvm.arm_crash_torn(k, word_mask));
+
+        let mut acked: HashMap<u64, [u8; 64]> = HashMap::new();
+        let mut in_flight: Option<(usize, SweepOp)> = None;
+        for (i, &op) in self.ops.iter().enumerate() {
+            let run = catch_unwind(AssertUnwindSafe(|| Self::apply_op(&engine, op)));
+            match run {
+                Ok(Ok(())) => {
+                    if let SweepOp::Write { line, tag } = op {
+                        acked.insert(line * 64, SweepOp::payload(line, tag));
+                    }
+                }
+                Ok(Err(e)) => {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        i,
+                        format!("integrity error before the crash: {e}"),
+                        "runtime state diverged pre-crash",
+                    ));
+                }
+                Err(payload) => {
+                    if !payload.is::<CrashTripped>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    in_flight = Some((i, op));
+                    break;
+                }
+            }
+        }
+        let Some((op_index, op)) = in_flight else {
+            // Armed beyond the target shard's horizon: nothing to test.
+            return Ok(None);
+        };
+        let trip = engine.with_shard(target, |sys| {
+            let t = sys.ctrl.nvm.tripped_at();
+            sys.ctrl.nvm.disarm_crash();
+            t
+        });
+
+        // Only the target shard loses power; neighbors keep their CPU-dirty
+        // lines and queues. Reconcile the interrupted op exactly like the
+        // unsharded sweep: its store is durable iff the tripping transition
+        // was the data line's own full write. The trip address is local to
+        // the target's device.
+        let mut expected = acked.clone();
+        let mut crashed = engine.crash_shard(target);
+        if let SweepOp::Write { line, tag } = op {
+            let gaddr = line * 64;
+            let (s_op, laddr) = self.map(&engine).route(gaddr);
+            debug_assert_eq!(s_op, target, "crash tripped on an op routed elsewhere");
+            let durable = word_mask == 0xFF
+                && trip
+                    .map(|p| p.kind == PersistKind::LineWrite && p.addr == laddr)
+                    .unwrap_or(false);
+            if durable {
+                let data = SweepOp::payload(line, tag);
+                crashed.truth.insert(laddr, data);
+                expected.insert(gaddr, data);
+            } else {
+                match acked.get(&gaddr) {
+                    Some(v) => {
+                        crashed.truth.insert(laddr, *v);
+                    }
+                    None => {
+                        crashed.truth.remove(&laddr);
+                    }
+                }
+            }
+        }
+
+        // A partial tear of a data line sacrifices that line (in-place
+        // overwrite mixed old and new words): it must fail closed.
+        let mut sacrificed = None;
+        if word_mask != 0xFF {
+            if let Some(p) = trip {
+                if p.kind == PersistKind::LineWrite && crashed.layout.is_data(p.addr) {
+                    let gaddr = self.map(&engine).global_line(target, p.addr / 64) * 64;
+                    sacrificed = Some(gaddr);
+                    expected.remove(&gaddr);
+                    crashed.truth.remove(&p.addr);
+                }
+            }
+        }
+
+        Ok(Some(ShardTornCrash {
+            engine,
+            crashed,
+            op_index,
+            expected,
+            sacrificed,
+        }))
+    }
+
+    fn map<'a>(&self, engine: &'a ShardedEngine) -> &'a ShardMap {
+        engine.map()
+    }
+
+    /// Verifies the whole engine after the target shard was reinstated:
+    /// every acknowledged line on every shard reads back through the
+    /// router, the sacrificed line (if any) fails closed, every shard's
+    /// LInc registers match a recomputation, the target's journal is
+    /// stamped by the target, and untouched neighbors still hold a pristine
+    /// `IDLE` journal.
+    #[allow(clippy::too_many_arguments)]
+    fn verify(
+        &self,
+        engine: &ShardedEngine,
+        target: usize,
+        k: u64,
+        op_index: usize,
+        expected: &HashMap<u64, [u8; 64]>,
+        sacrificed: Option<u64>,
+    ) -> Result<(), ShardRepro> {
+        let mut lines: Vec<u64> = expected.keys().copied().collect();
+        lines.sort_unstable();
+        for gaddr in lines {
+            let want = expected[&gaddr];
+            match engine.read(gaddr) {
+                Ok(got) if got == want => {}
+                Ok(got) => {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("acked write at {gaddr:#x} diverged after recovery"),
+                        format!(
+                            "shard {} local line {}: got {:02x?}…, want {:02x?}…",
+                            self.map(engine).shard_of(gaddr / 64),
+                            self.map(engine).local_line(gaddr / 64),
+                            &got[..8],
+                            &want[..8]
+                        ),
+                    ));
+                }
+                Err(e) => {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("read-back of {gaddr:#x} failed: {e}"),
+                        format!("owned by shard {}", self.map(engine).shard_of(gaddr / 64)),
+                    ));
+                }
+            }
+        }
+
+        if let Some(gaddr) = sacrificed {
+            if engine.read(gaddr).is_ok() {
+                return Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    format!("torn data line {gaddr:#x} read back Ok"),
+                    "a torn line must fail its MAC, never return mixed words",
+                ));
+            }
+        }
+
+        for s in 0..self.shards {
+            let bad = engine.with_shard(s, |sys| {
+                if let (Some(stored), Some(expect)) = (sys.ctrl.lincs(), sys.ctrl.recompute_lincs())
+                {
+                    if stored != expect {
+                        return Some(format!(
+                            "shard {s} lincs stored {stored:?} != recomputed {expect:?}"
+                        ));
+                    }
+                }
+                let owner = sys.ctrl.nvm.journal_owner();
+                let phase = sys.ctrl.nvm.recovery_journal().phase;
+                if s == target {
+                    if owner != s as u16 {
+                        return Some(format!(
+                            "recovered shard {s} journal stamped by shard {owner}"
+                        ));
+                    }
+                } else if phase != journal::IDLE {
+                    return Some(format!(
+                        "untouched shard {s} journal left phase {phase} (owner {owner})"
+                    ));
+                }
+                None
+            });
+            if let Some(divergent) = bad {
+                return Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    "per-shard state inconsistent after recovery",
+                    divergent,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Probes one clean (untorn) crash point on `target`: crash, strict
+    /// per-shard recovery, then the rest of the stream runs across *all*
+    /// shards — the recovered shard keeps working and the neighbors were
+    /// never interrupted — before the whole space is verified.
+    pub fn probe_point(&self, target: usize, k: u64) -> Option<ShardRepro> {
+        self.test_point(target, k).err()
+    }
+
+    fn test_point(&self, target: usize, k: u64) -> Result<(), ShardRepro> {
+        let Some(tc) = self.crash_torn(target, k, 0xFF)? else {
+            return Ok(());
+        };
+        let ShardTornCrash {
+            engine,
+            crashed,
+            op_index,
+            mut expected,
+            sacrificed,
+        } = tc;
+
+        if !crashed.recoverable() {
+            return match crashed.recover() {
+                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
+                other => Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    format!(
+                        "WB must refuse recovery, got {:?}",
+                        other.as_ref().err().map(|e| e.to_string())
+                    ),
+                    "n/a",
+                )),
+            };
+        }
+
+        match engine.recover_shard(target, crashed) {
+            Ok(report) => {
+                let restarts = report
+                    .metrics
+                    .counter("core.recovery.restarts")
+                    .unwrap_or(0);
+                if restarts != 0 {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("first recovery reported {restarts} restarts"),
+                        "a single crash starts from an idle journal",
+                    ));
+                }
+            }
+            Err(e) => {
+                return Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    format!("strict recovery of an untorn crash failed: {e}"),
+                    "whole-line persists must always recover strictly",
+                ));
+            }
+        }
+
+        // Neighbor liveness + recovered-shard liveness: the rest of the
+        // stream (skipping the interrupted op, whose ack never reached the
+        // caller) runs across every shard.
+        for (i, &op) in self.ops.iter().enumerate().skip(op_index + 1) {
+            Self::apply_op(&engine, op).map_err(|e| {
+                self.fail(
+                    target,
+                    k,
+                    i,
+                    format!("post-recovery op failed: {e}"),
+                    "all shards must keep accepting the stream after one shard recovers",
+                )
+            })?;
+            if let SweepOp::Write { line, tag } = op {
+                expected.insert(line * 64, SweepOp::payload(line, tag));
+            }
+        }
+
+        self.verify(&engine, target, k, op_index, &expected, sacrificed)
+    }
+
+    /// Probes one torn crash point on `target`: only `word_mask`'s 8-byte
+    /// words of the tripping line persist. Strict recovery either succeeds
+    /// (verified immediately) or errors cleanly, in which case the lenient
+    /// scrub must salvage everything except the sacrificed line.
+    pub fn probe_point_torn(&self, target: usize, k: u64, word_mask: u8) -> Option<ShardRepro> {
+        self.test_point_torn(target, k, word_mask).err()
+    }
+
+    fn test_point_torn(&self, target: usize, k: u64, word_mask: u8) -> Result<(), ShardRepro> {
+        if word_mask == 0xFF {
+            return self.test_point(target, k);
+        }
+        let Some(tc) = self.crash_torn(target, k, word_mask)? else {
+            return Ok(());
+        };
+        let ShardTornCrash {
+            engine,
+            crashed,
+            op_index,
+            expected,
+            sacrificed,
+        } = tc;
+
+        if !crashed.recoverable() {
+            return match crashed.recover() {
+                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
+                other => Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    format!(
+                        "WB must refuse recovery, got {:?}",
+                        other.as_ref().err().map(|e| e.to_string())
+                    ),
+                    "n/a",
+                )),
+            };
+        }
+
+        match engine.recover_shard(target, crashed) {
+            Ok(_report) => self.verify(&engine, target, k, op_index, &expected, sacrificed),
+            Err(_strict) => {
+                // The torn line legitimately defeated fail-stop recovery.
+                // Reproduce (deterministic replay) and scrub the target;
+                // the engine's slot gets the rebuilt machine back.
+                let Some(tc2) = self.crash_torn(target, k, word_mask)? else {
+                    return Ok(());
+                };
+                let engine2 = tc2.engine;
+                let report = engine2.scrub_shard(target, tc2.crashed);
+                for &gaddr in report.unrecoverable_addrs.iter() {
+                    let g = self.map(&engine2).global_line(target, gaddr / 64) * 64;
+                    if tc2.expected.contains_key(&g) {
+                        return Err(self.fail(
+                            target,
+                            k,
+                            op_index,
+                            format!("scrub lost acked line {g:#x}"),
+                            "the scrub may only lose the sacrificed torn line",
+                        ));
+                    }
+                }
+                self.verify(&engine2, target, k, op_index, &tc2.expected, tc2.sacrificed)
+            }
+        }
+    }
+
+    /// Enumerates the persist points the target shard's *recovery itself*
+    /// fires after a clean crash at `k` (absolute sequence numbers — the
+    /// device's persist clock keeps counting across the crash). Empty when
+    /// `k` is beyond the horizon or the scheme cannot recover.
+    pub fn recovery_points(&self, target: usize, k: u64) -> Result<Vec<u64>, ShardRepro> {
+        let Some(tc) = self.crash_torn(target, k, 0xFF)? else {
+            return Ok(Vec::new());
+        };
+        let mut crashed = tc.crashed;
+        if !crashed.recoverable() {
+            return Ok(Vec::new());
+        }
+        crashed.nvm_mut().trace_pokes(true);
+        crashed.nvm_mut().journal_points(true);
+        let mut slot = None;
+        if crashed.recover_into(&mut slot).is_ok() {
+            let sys = slot.take().expect("recovery parks the rebuilt system");
+            return Ok(sys.ctrl.nvm.point_journal().iter().map(|p| p.seq).collect());
+        }
+        Ok(Vec::new())
+    }
+
+    /// Probes one nested point: a clean crash on `target` at `k`, a second
+    /// crash at absolute persist point `j` *during that shard's recovery*,
+    /// then a second recovery. The contract: the interrupted shard's second
+    /// recovery reports `core.recovery.restarts ≥ 1` (unless the inner
+    /// crash landed after the journal already read `DONE`), and untouched
+    /// shards stay pristine.
+    pub fn probe_point_nested(&self, target: usize, k: u64, j: u64) -> Option<ShardRepro> {
+        self.test_point_nested(target, k, j)
+            .map_err(|mut r| {
+                r.inner_point = Some(j);
+                r
+            })
+            .err()
+    }
+
+    fn test_point_nested(&self, target: usize, k: u64, j: u64) -> Result<(), ShardRepro> {
+        let Some(tc) = self.crash_torn(target, k, 0xFF)? else {
+            return Ok(());
+        };
+        let ShardTornCrash {
+            engine,
+            mut crashed,
+            op_index,
+            expected,
+            sacrificed,
+        } = tc;
+
+        if !crashed.recoverable() {
+            return match crashed.recover() {
+                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
+                _ => Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    "WB must refuse recovery under nested injection",
+                    "n/a",
+                )),
+            };
+        }
+
+        crashed.nvm_mut().trace_pokes(true);
+        crashed.nvm_mut().arm_crash_torn(j, 0xFF);
+        let mut slot = None;
+        let outcome = catch_unwind(AssertUnwindSafe(|| crashed.recover_into(&mut slot)));
+        match outcome {
+            Ok(Ok(_report)) => {
+                // Inner point beyond recovery's horizon: single recovery.
+                let Some(mut sys) = slot.take() else {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        "recovery returned Ok without parking the system",
+                        "recover_into must fill the caller's slot",
+                    ));
+                };
+                sys.ctrl.nvm.disarm_crash();
+                sys.ctrl.nvm.trace_pokes(false);
+                engine.put_shard(target, sys);
+                self.verify(&engine, target, k, op_index, &expected, sacrificed)
+            }
+            Ok(Err(e)) => Err(self.fail(
+                target,
+                k,
+                op_index,
+                format!("clean nested crash {k}>{j} failed strict recovery: {e}"),
+                "untorn nested crashes must recover strictly",
+            )),
+            Err(payload) => {
+                if !payload.is::<CrashTripped>() {
+                    std::panic::resume_unwind(payload);
+                }
+                let Some(mut partial) = slot.take() else {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("inner crash at {j} tripped before recovery parked the system"),
+                        "recovery must park before its first durable write",
+                    ));
+                };
+                partial.ctrl.nvm.disarm_crash();
+                partial.ctrl.nvm.trace_pokes(false);
+                let crashed2 = partial.crash();
+                let finished = !journal::in_progress(crashed2.nvm().recovery_journal().phase);
+                match engine.recover_shard(target, crashed2) {
+                    Ok(report2) => {
+                        let restarts = report2
+                            .metrics
+                            .counter("core.recovery.restarts")
+                            .unwrap_or(0);
+                        if restarts == 0 && !finished {
+                            return Err(self.fail(
+                                target,
+                                k,
+                                op_index,
+                                format!(
+                                    "second recovery after inner crash at {j} reported no restart"
+                                ),
+                                "the shard's own ADR journal must record the interrupted attempt",
+                            ));
+                        }
+                        self.verify(&engine, target, k, op_index, &expected, sacrificed)
+                    }
+                    Err(strict) => Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("clean nested crash {k}>{j} failed second recovery: {strict}"),
+                        "untorn nested crashes must recover strictly",
+                    )),
+                }
+            }
+        }
+    }
+
+    /// The full sweep: for every target shard, every selected persist point
+    /// gets the clean-crash probe; when `word_masks` holds torn masks each
+    /// selected point is additionally probed torn.
+    pub fn run(&self, selection: PointSelection, word_masks: &[u8]) -> ShardSweepReport {
+        let label = format!(
+            "{} x{} sharded",
+            self.cfg.scheme.label(self.cfg.mode),
+            self.shards
+        );
+        let totals = match self.total_points() {
+            Ok(t) => t,
+            Err(e) => {
+                return ShardSweepReport {
+                    label,
+                    shards: self.shards,
+                    tested_points: 0,
+                    failures: vec![ShardRepro {
+                        target: 0,
+                        crash_point: 0,
+                        inner_point: None,
+                        op_index: 0,
+                        error: format!("baseline run failed: {e}"),
+                        divergent: "stream does not complete without a crash".into(),
+                    }],
+                };
+            }
+        };
+        let mut tested = 0u64;
+        let mut failures = Vec::new();
+        'sweep: for (target, &total) in totals.iter().enumerate() {
+            let points = CrashSweep::select_with(selection, (1..=total).collect());
+            for k in points {
+                for &mask in word_masks {
+                    tested += 1;
+                    if let Some(fail) = self.probe_point_torn(target, k, mask) {
+                        failures.push(fail);
+                        if failures.len() >= self.max_failures {
+                            break 'sweep;
+                        }
+                    }
+                }
+            }
+        }
+        ShardSweepReport {
+            label,
+            shards: self.shards,
+            tested_points: tested,
+            failures,
+        }
+    }
+
+    /// The nested sweep: for every target shard and selected outer point,
+    /// the inner points recovery itself fires are probed (bounded by
+    /// `inner_sel`), plus one synthetic beyond-horizon inner point when
+    /// recovery fires none.
+    pub fn run_nested(
+        &self,
+        outer_sel: PointSelection,
+        inner_sel: PointSelection,
+    ) -> ShardSweepReport {
+        let label = format!(
+            "{} x{} sharded nested",
+            self.cfg.scheme.label(self.cfg.mode),
+            self.shards
+        );
+        let totals = match self.total_points() {
+            Ok(t) => t,
+            Err(e) => {
+                return ShardSweepReport {
+                    label,
+                    shards: self.shards,
+                    tested_points: 0,
+                    failures: vec![ShardRepro {
+                        target: 0,
+                        crash_point: 0,
+                        inner_point: None,
+                        op_index: 0,
+                        error: format!("baseline run failed: {e}"),
+                        divergent: "stream does not complete without a crash".into(),
+                    }],
+                };
+            }
+        };
+        let mut tested = 0u64;
+        let mut failures = Vec::new();
+        'sweep: for (target, &total) in totals.iter().enumerate() {
+            let outers = CrashSweep::select_with(outer_sel, (1..=total).collect());
+            for k in outers {
+                let inner = match self.recovery_points(target, k) {
+                    Ok(pts) if pts.is_empty() => vec![k + 1],
+                    Ok(pts) => CrashSweep::select_with(inner_sel, pts),
+                    Err(fail) => {
+                        failures.push(fail);
+                        if failures.len() >= self.max_failures {
+                            break 'sweep;
+                        }
+                        continue;
+                    }
+                };
+                for j in inner {
+                    tested += 1;
+                    if let Some(fail) = self.probe_point_nested(target, k, j) {
+                        failures.push(fail);
+                        if failures.len() >= self.max_failures {
+                            break 'sweep;
+                        }
+                    }
+                }
+            }
+        }
+        ShardSweepReport {
+            label,
+            shards: self.shards,
+            tested_points: tested,
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeKind;
+    use steins_metadata::CounterMode;
+
+    fn small(scheme: SchemeKind) -> SystemConfig {
+        SystemConfig::small_for_tests(scheme, CounterMode::General)
+    }
+
+    #[test]
+    fn routed_writes_read_back_across_shards() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 4);
+        for line in 0..64u64 {
+            let data = SweepOp::payload(line, 7);
+            engine.write(line * 64, &data).unwrap();
+        }
+        for line in 0..64u64 {
+            assert_eq!(engine.read(line * 64).unwrap(), SweepOp::payload(line, 7));
+        }
+        // Every shard saw exactly its stripe.
+        for s in 0..4 {
+            let writes = engine.with_shard(s, |sys| sys.ctrl.nvm.stats().writes);
+            assert!(writes > 0, "shard {s} never touched");
+        }
+    }
+
+    #[test]
+    fn split_config_divides_lines_and_cache() {
+        let cfg = small(SchemeKind::Steins);
+        let per = ShardedEngine::split_config(&cfg, 4);
+        assert_eq!(per.data_lines, cfg.data_lines / 4);
+        assert!(per.meta_cache.capacity_bytes <= cfg.meta_cache.capacity_bytes / 4);
+    }
+
+    #[test]
+    fn crash_one_shard_neighbors_keep_serving() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..32u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 3)).unwrap();
+        }
+        let crashed = engine.crash_shard(0);
+        // Shard 1 still serves reads and writes while shard 0 is down.
+        let m = *engine.map();
+        let line1 = (0..32u64).find(|&l| m.shard_of(l) == 1).unwrap();
+        assert_eq!(engine.read(line1 * 64).unwrap(), SweepOp::payload(line1, 3));
+        engine
+            .write(line1 * 64, &SweepOp::payload(line1, 9))
+            .unwrap();
+        // Recover shard 0 and verify its stripe.
+        engine.recover_shard(0, crashed).unwrap();
+        for line in (0..32u64).filter(|&l| m.shard_of(l) == 0) {
+            assert_eq!(engine.read(line * 64).unwrap(), SweepOp::payload(line, 3));
+        }
+        assert_eq!(engine.read(line1 * 64).unwrap(), SweepOp::payload(line1, 9));
+    }
+
+    #[test]
+    fn recovery_report_carries_shard_gauge() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 1)).unwrap();
+        }
+        let crashed = engine.crash_shard(1);
+        let report = engine.recover_shard(1, crashed).unwrap();
+        assert_eq!(report.metrics.gauge("core.recovery.shard"), Some(1.0));
+        engine.with_shard(1, |sys| {
+            assert_eq!(sys.ctrl.nvm.journal_owner(), 1);
+        });
+        engine.with_shard(0, |sys| {
+            assert_eq!(sys.ctrl.nvm.recovery_journal().phase, journal::IDLE);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "into slot")]
+    fn put_shard_rejects_foreign_machine() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        let sys = engine.take_shard(1);
+        engine.put_shard(0, sys);
+    }
+
+    #[test]
+    fn report_folds_per_shard_prefixes() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 1)).unwrap();
+        }
+        let m = engine.report();
+        let agg = m.counter("nvm.device.writes").unwrap_or(0);
+        let s0 = m.counter("shard.00.nvm.device.writes").unwrap_or(0);
+        let s1 = m.counter("shard.01.nvm.device.writes").unwrap_or(0);
+        assert!(s0 > 0 && s1 > 0);
+        assert_eq!(agg, s0 + s1, "aggregate must be the sum of the shards");
+    }
+
+    #[test]
+    fn sim_cycles_scale_down_with_shards() {
+        let cfg = small(SchemeKind::Steins);
+        let serial = ShardedEngine::new(cfg.clone(), 1);
+        let quad = ShardedEngine::new(cfg, 4);
+        for line in 0..256u64 {
+            let data = SweepOp::payload(line, 5);
+            serial.write(line * 64, &data).unwrap();
+            quad.write(line * 64, &data).unwrap();
+        }
+        let (one, four) = (serial.sim_cycles(), quad.sim_cycles());
+        assert!(one > 0 && four > 0);
+        assert!(
+            (one as f64) / (four as f64) >= 3.0,
+            "4 shards must cut the makespan ≥3x: serial {one}, sharded {four}"
+        );
+    }
+
+    /// The cross-shard smoke contract: crash each shard at sampled persist
+    /// points while its neighbor is mid-write; both shards' recovered
+    /// state verifies. (The full four-scheme sweep lives in the
+    /// integration tests.)
+    #[test]
+    fn cross_shard_crash_smoke() {
+        let cfg = small(SchemeKind::Steins);
+        let ops = SweepOp::stream(11, cfg.data_lines.min(64), 40);
+        let sweep = ShardSweep::new(cfg, 2, ops);
+        let totals = sweep.total_points().unwrap();
+        for (target, &total) in totals.iter().enumerate() {
+            let points = CrashSweep::select_with(PointSelection::AtMost(3), (1..=total).collect());
+            for k in points {
+                assert!(
+                    sweep.probe_point(target, k).is_none(),
+                    "shard {target} point {k} failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wb_refuses_sharded_recovery_at_every_point() {
+        let cfg = small(SchemeKind::WriteBack);
+        let ops = SweepOp::stream(5, cfg.data_lines.min(64), 24);
+        let sweep = ShardSweep::new(cfg, 2, ops);
+        let report = sweep.run(PointSelection::AtMost(2), &[0xFF]);
+        assert!(report.clean(), "{report}");
+        assert!(report.tested_points > 0);
+    }
+
+    #[test]
+    fn nested_crash_restarts_only_the_interrupted_shard() {
+        let cfg = small(SchemeKind::Steins);
+        let ops = SweepOp::stream(23, cfg.data_lines.min(64), 32);
+        let sweep = ShardSweep::new(cfg, 2, ops);
+        let report = sweep.run_nested(PointSelection::AtMost(2), PointSelection::AtMost(2));
+        assert!(report.clean(), "{report}");
+        assert!(report.tested_points > 0);
+    }
+}

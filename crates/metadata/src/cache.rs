@@ -10,8 +10,16 @@
 //! (not a `Vec<Vec<_>>`): every lookup on the simulation hot path walks one
 //! set's ways, and the flat layout makes that a bounds-checked slice scan
 //! with no second pointer chase.
+//!
+//! Slot occupancy lives in per-slot atomic tag/state words
+//! ([`crate::slot_state`]), not `valid`/`dirty` bools: every transition is
+//! a single CAS with acquire/release ordering, reservations are an explicit
+//! `BUSY` state that is never an eviction candidate, and any thread sharing
+//! `&MetadataCache` can [`MetadataCache::probe`] residency lock-free while
+//! the owning shard mutates node payloads under `&mut`.
 
 use crate::node::SitNode;
+use crate::slot_state::{SlotView, SlotWord, CLEAN, DIRTY, EMPTY};
 use steins_crypto as _; // crate-level dependency kept for doc links
 use steins_obs::{Histogram, MetricRegistry};
 
@@ -42,14 +50,23 @@ impl MetaCacheConfig {
     pub fn slots(&self) -> u64 {
         self.capacity_bytes / 64
     }
+
+    /// This cache split across `shards` equal parts (at least one set
+    /// each): the sharded engine divides one cache budget, it does not
+    /// multiply it.
+    pub fn split(&self, shards: usize) -> MetaCacheConfig {
+        assert!(shards >= 1);
+        let min = 64 * self.ways as u64; // one set
+        MetaCacheConfig {
+            capacity_bytes: (self.capacity_bytes / shards as u64).max(min),
+            ways: self.ways,
+        }
+    }
 }
 
-#[derive(Clone, Debug)]
 struct Slot {
-    valid: bool,
-    dirty: bool,
-    /// Node offset within the metadata region (the cache's tag).
-    offset: u64,
+    /// Atomic tag/state word: occupancy + node offset.
+    word: SlotWord,
     node: SitNode,
     lru: u64,
 }
@@ -57,9 +74,7 @@ struct Slot {
 impl Default for Slot {
     fn default() -> Self {
         Slot {
-            valid: false,
-            dirty: false,
-            offset: 0,
+            word: SlotWord::default(),
             node: SitNode::zero_general(),
             lru: 0,
         }
@@ -77,6 +92,15 @@ pub struct EvictedNode {
     pub dirty: bool,
     /// The flat slot index it vacated.
     pub slot: u64,
+}
+
+/// Result of a lock-free [`MetadataCache::probe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotProbe {
+    /// Flat slot index holding the node.
+    pub slot: u64,
+    /// Whether the slot was dirty at the probe instant.
+    pub dirty: bool,
 }
 
 /// Value-holding, true-LRU, set-associative metadata cache keyed by node
@@ -108,7 +132,7 @@ impl MetadataCache {
         let ways = cfg.ways;
         MetadataCache {
             cfg,
-            slots: vec![Slot::default(); sets * ways],
+            slots: (0..sets * ways).map(|_| Slot::default()).collect(),
             sets,
             ways,
             stamp: 0,
@@ -129,17 +153,19 @@ impl MetadataCache {
         (set * self.ways + way) as u64
     }
 
-    /// The ways of `set` as a slice of the slab.
+    /// Acquire-load snapshot of `(set, way)`'s state word.
     #[inline]
-    fn set_slice(&self, set: usize) -> &[Slot] {
-        &self.slots[set * self.ways..(set + 1) * self.ways]
+    fn view_at(&self, set: usize, way: usize) -> SlotView {
+        self.slots[set * self.ways + way].word.view()
     }
 
-    /// The ways of `set` as a mutable slice of the slab.
+    /// The way of `set` holding `offset`, if resident.
     #[inline]
-    fn set_slice_mut(&mut self, set: usize) -> &mut [Slot] {
-        let ways = self.ways;
-        &mut self.slots[set * ways..(set + 1) * ways]
+    fn way_of(&self, set: usize, offset: u64) -> Option<usize> {
+        (0..self.ways).find(|&w| {
+            let v = self.view_at(set, w);
+            v.resident() && v.offset == offset
+        })
     }
 
     /// Looks up the node at `offset`, updating LRU and hit/miss counters.
@@ -147,16 +173,11 @@ impl MetadataCache {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_of(offset);
-        // Slice the slab directly (not via `set_slice_mut`) so the borrow
-        // covers only `slots`, leaving the stat counters free below.
-        let ways = self.ways;
-        let slot = self.slots[set * ways..(set + 1) * ways]
-            .iter_mut()
-            .find(|s| s.valid && s.offset == offset);
-        match slot {
-            Some(s) => {
-                s.lru = stamp;
+        match self.way_of(set, offset) {
+            Some(way) => {
                 self.hits += 1;
+                let s = &mut self.slots[set * self.ways + way];
+                s.lru = stamp;
                 Some(&mut s.node)
             }
             None => {
@@ -176,15 +197,12 @@ impl MetadataCache {
     /// pairs with [`Self::read`]). Returns `false` if the node is absent.
     pub fn write(&mut self, offset: u64, node: SitNode) -> bool {
         let set = self.set_of(offset);
-        if let Some(s) = self
-            .set_slice_mut(set)
-            .iter_mut()
-            .find(|s| s.valid && s.offset == offset)
-        {
-            s.node = node;
-            true
-        } else {
-            false
+        match self.way_of(set, offset) {
+            Some(way) => {
+                self.slots[set * self.ways + way].node = node;
+                true
+            }
+            None => false,
         }
     }
 
@@ -196,10 +214,17 @@ impl MetadataCache {
     /// All resident nodes of one set as `(offset, node, dirty)`, in way
     /// order (STAR sorts these by address before MACing).
     pub fn set_nodes(&self, set: usize) -> Vec<(u64, SitNode, bool)> {
-        self.set_slice(set)
-            .iter()
-            .filter(|s| s.valid)
-            .map(|s| (s.offset, s.node, s.dirty))
+        (0..self.ways)
+            .filter_map(|w| {
+                let v = self.view_at(set, w);
+                v.resident().then(|| {
+                    (
+                        v.offset,
+                        self.slots[set * self.ways + w].node,
+                        v.state == DIRTY,
+                    )
+                })
+            })
             .collect()
     }
 
@@ -209,10 +234,10 @@ impl MetadataCache {
     /// engine reuses one scratch vector across calls.
     pub fn dirty_set_nodes_into(&mut self, set: usize, out: &mut Vec<(u64, SitNode)>) {
         let before = out.len();
-        let ways = self.ways;
-        for s in &self.slots[set * ways..(set + 1) * ways] {
-            if s.valid && s.dirty {
-                out.push((s.offset, s.node));
+        for w in 0..self.ways {
+            let v = self.view_at(set, w);
+            if v.state == DIRTY {
+                out.push((v.offset, self.slots[set * self.ways + w].node));
             }
         }
         self.flush_batch_hist.record((out.len() - before) as u64);
@@ -226,58 +251,59 @@ impl MetadataCache {
     /// Peeks without LRU/stat side effects.
     pub fn peek(&self, offset: u64) -> Option<&SitNode> {
         let set = self.set_of(offset);
-        self.set_slice(set)
-            .iter()
-            .find(|s| s.valid && s.offset == offset)
-            .map(|s| &s.node)
+        self.way_of(set, offset)
+            .map(|w| &self.slots[set * self.ways + w].node)
     }
 
     /// Whether `offset` is resident.
     pub fn contains(&self, offset: u64) -> bool {
-        self.peek(offset).is_some()
+        self.way_of(self.set_of(offset), offset).is_some()
+    }
+
+    /// Lock-free residency probe: one acquire load per way, no LRU or stat
+    /// side effects, callable from any thread sharing `&self` while the
+    /// owning shard mutates payloads under `&mut`. The sharded front-end
+    /// uses this to answer "is this node hot on that shard?" without taking
+    /// the shard lock.
+    pub fn probe(&self, offset: u64) -> Option<SlotProbe> {
+        let set = self.set_of(offset);
+        (0..self.ways).find_map(|w| {
+            let v = self.view_at(set, w);
+            (v.resident() && v.offset == offset).then(|| SlotProbe {
+                slot: self.flat(set, w),
+                dirty: v.state == DIRTY,
+            })
+        })
     }
 
     /// Whether `offset` is resident and dirty.
     pub fn is_dirty(&self, offset: u64) -> bool {
-        let set = self.set_of(offset);
-        self.set_slice(set)
-            .iter()
-            .any(|s| s.valid && s.offset == offset && s.dirty)
+        self.probe(offset).map(|p| p.dirty).unwrap_or(false)
     }
 
-    /// Marks a resident node dirty. Returns `(slot, was_clean)`; panics if
-    /// the node is absent (engine bug).
+    /// Marks a resident node dirty (single `CLEAN → DIRTY` CAS). Returns
+    /// `(slot, was_clean)`; panics if the node is absent (engine bug).
     pub fn mark_dirty(&mut self, offset: u64) -> (u64, bool) {
         let set = self.set_of(offset);
-        for way in 0..self.ways {
-            let s = &mut self.slots[set * self.ways + way];
-            if s.valid && s.offset == offset {
-                let was_clean = !s.dirty;
-                s.dirty = true;
-                if was_clean {
-                    self.dirty_count += 1;
-                    self.dirty_occ_hist.record(self.dirty_count);
-                }
-                return (self.flat(set, way), was_clean);
-            }
+        let way = self
+            .way_of(set, offset)
+            .unwrap_or_else(|| panic!("mark_dirty on non-resident node offset {offset}"));
+        let was_clean = self.slots[set * self.ways + way].word.set_dirty(offset);
+        if was_clean {
+            self.dirty_count += 1;
+            self.dirty_occ_hist.record(self.dirty_count);
         }
-        panic!("mark_dirty on non-resident node offset {offset}");
+        (self.flat(set, way), was_clean)
     }
 
-    /// Clears the dirty bit (after a flush that kept the node resident).
+    /// Clears the dirty bit (after a flush that kept the node resident) —
+    /// a single `DIRTY → CLEAN` CAS.
     pub fn mark_clean(&mut self, offset: u64) {
         let set = self.set_of(offset);
-        let ways = self.ways;
-        let mut was_dirty = false;
-        if let Some(s) = self.slots[set * ways..(set + 1) * ways]
-            .iter_mut()
-            .find(|s| s.valid && s.offset == offset)
-        {
-            was_dirty = s.dirty;
-            s.dirty = false;
-        }
-        if was_dirty {
-            self.dirty_count -= 1;
+        if let Some(way) = self.way_of(set, offset) {
+            if self.slots[set * self.ways + way].word.set_clean(offset) {
+                self.dirty_count -= 1;
+            }
         }
     }
 
@@ -293,19 +319,26 @@ impl MetadataCache {
     /// victims *in place* (still resident, still visible to nested fetches)
     /// before the actual install.
     pub fn probe_victim(&self, offset: u64, pinned: &[u64]) -> Option<(u64, bool)> {
-        let set = self.set_slice(self.set_of(offset));
-        if set.iter().any(|w| !w.valid) {
+        let set = self.set_of(offset);
+        if (0..self.ways).any(|w| self.view_at(set, w).state == EMPTY) {
             return None;
         }
-        set.iter()
-            .filter(|w| !pinned.contains(&w.offset))
-            .min_by_key(|w| w.lru)
-            .map(|w| (w.offset, w.dirty))
+        (0..self.ways)
+            .filter_map(|w| {
+                let v = self.view_at(set, w);
+                (v.resident() && !pinned.contains(&v.offset)).then_some((w, v))
+            })
+            .min_by_key(|&(w, _)| self.slots[set * self.ways + w].lru)
+            .map(|(_, v)| (v.offset, v.state == DIRTY))
     }
 
     /// Like [`Self::install`], but never evicts a way holding one of the
     /// `pinned` offsets. The secure engine pins the ancestor chain it is
     /// operating on so recursive evictions cannot displace in-flight nodes.
+    ///
+    /// The install is a claim/publish cycle on the victim's state word: the
+    /// slot is `BUSY` (unreadable, un-evictable) between the CAS that
+    /// claims it and the release store that publishes the new tag.
     ///
     /// Panics if every way of the set is pinned — with ≥ 8 ways and tree
     /// heights ≤ 9 this needs a pathological set collision the shipped
@@ -324,38 +357,37 @@ impl MetadataCache {
             !self.contains(offset),
             "install over resident node {offset} (duplicate would desync counters)"
         );
-        // Pick an invalid way, else the LRU way among non-pinned ones.
-        let ways = self.set_slice(set);
+        // Pick an empty way, else the LRU way among resident non-pinned
+        // ones. BUSY (reserved) ways are never candidates.
         let way = (0..self.ways)
-            .find(|&w| !ways[w].valid)
+            .find(|&w| self.view_at(set, w).state == EMPTY)
             .or_else(|| {
                 (0..self.ways)
-                    .filter(|&w| !pinned.contains(&ways[w].offset))
-                    .min_by_key(|&w| ways[w].lru)
+                    .filter(|&w| {
+                        let v = self.view_at(set, w);
+                        v.resident() && !pinned.contains(&v.offset)
+                    })
+                    .min_by_key(|&w| self.slots[set * self.ways + w].lru)
             })
             .expect("metadata cache set fully pinned: associativity exhausted");
         let flat = self.flat(set, way);
-        let victim = &mut self.slots[flat as usize];
-        let evicted = if victim.valid {
-            Some(EvictedNode {
-                offset: victim.offset,
-                node: victim.node,
-                dirty: victim.dirty,
-                slot: flat,
-            })
-        } else {
-            None
-        };
-        if victim.valid && victim.dirty {
+        let s = &mut self.slots[flat as usize];
+        let old = s.word.view();
+        s.word
+            .try_claim(old, offset)
+            .expect("exclusive owner's claim cannot be contended");
+        let evicted = old.resident().then_some(EvictedNode {
+            offset: old.offset,
+            node: s.node,
+            dirty: old.state == DIRTY,
+            slot: flat,
+        });
+        if old.state == DIRTY {
             self.dirty_count -= 1;
         }
-        *victim = Slot {
-            valid: true,
-            dirty,
-            offset,
-            node,
-            lru: stamp,
-        };
+        s.node = node;
+        s.lru = stamp;
+        s.word.publish(if dirty { DIRTY } else { CLEAN }, offset);
         if dirty {
             self.dirty_count += 1;
             self.dirty_occ_hist.record(self.dirty_count);
@@ -369,7 +401,7 @@ impl MetadataCache {
     /// per-slot regions are byte-identical to the pre-crash ones and a
     /// re-run of recovery is idempotent.
     ///
-    /// Panics if `slot` is not in `offset`'s set, is already valid, or
+    /// Panics if `slot` is not in `offset`'s set, is already occupied, or
     /// `offset` is already resident elsewhere — recovery installs into a
     /// fresh cache, so any of these is a recovery bug.
     pub fn install_at(&mut self, slot: u64, offset: u64, node: SitNode, dirty: bool) {
@@ -386,14 +418,18 @@ impl MetadataCache {
             "install_at over resident node {offset}"
         );
         let s = &mut self.slots[slot as usize];
-        assert!(!s.valid, "install_at into occupied slot {slot}");
-        *s = Slot {
-            valid: true,
-            dirty,
-            offset,
-            node,
-            lru: stamp,
-        };
+        s.word
+            .try_claim(
+                SlotView {
+                    state: EMPTY,
+                    offset: 0,
+                },
+                offset,
+            )
+            .unwrap_or_else(|v| panic!("install_at into occupied slot {slot} ({v:?})"));
+        s.node = node;
+        s.lru = stamp;
+        s.word.publish(if dirty { DIRTY } else { CLEAN }, offset);
         if dirty {
             self.dirty_count += 1;
             self.dirty_occ_hist.record(self.dirty_count);
@@ -403,10 +439,7 @@ impl MetadataCache {
     /// The flat slot index currently holding `offset`.
     pub fn slot_of(&self, offset: u64) -> Option<u64> {
         let set = self.set_of(offset);
-        self.set_slice(set)
-            .iter()
-            .position(|s| s.valid && s.offset == offset)
-            .map(|w| self.flat(set, w))
+        self.way_of(set, offset).map(|w| self.flat(set, w))
     }
 
     /// All dirty resident nodes as `(slot, offset, node)` — the state a
@@ -415,8 +448,10 @@ impl MetadataCache {
         self.slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.valid && s.dirty)
-            .map(|(flat, s)| (flat as u64, s.offset, s.node))
+            .filter_map(|(flat, s)| {
+                let v = s.word.view();
+                (v.state == DIRTY).then_some((flat as u64, v.offset, s.node))
+            })
             .collect()
     }
 
@@ -425,15 +460,20 @@ impl MetadataCache {
         self.slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.valid)
-            .map(|(flat, s)| (flat as u64, s.offset, s.node, s.dirty))
+            .filter_map(|(flat, s)| {
+                let v = s.word.view();
+                v.resident()
+                    .then_some((flat as u64, v.offset, s.node, v.state == DIRTY))
+            })
             .collect()
     }
 
     /// Crash: every resident line vanishes.
     pub fn clear(&mut self) {
         for s in &mut self.slots {
-            *s = Slot::default();
+            s.word.reset();
+            s.node = SitNode::zero_general();
+            s.lru = 0;
         }
         self.dirty_count = 0;
     }
@@ -499,10 +539,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "install_at into occupied slot")]
+    fn install_at_rejects_occupied_slot() {
+        let mut c = tiny();
+        c.install_at(0, 0, SitNode::zero_general(), false);
+        c.install_at(0, 2, SitNode::zero_general(), false);
+    }
+
+    #[test]
     fn table1_geometry() {
         let c = MetaCacheConfig::table1();
         assert_eq!(c.slots(), 4096);
         assert_eq!(c.sets(), 512);
+    }
+
+    #[test]
+    fn split_divides_capacity_with_one_set_floor() {
+        let c = MetaCacheConfig::table1();
+        assert_eq!(c.split(4).capacity_bytes, 64 << 10);
+        assert_eq!(c.split(4).ways, c.ways);
+        // A tiny cache split many ways still has one full set per shard.
+        let tiny = MetaCacheConfig {
+            capacity_bytes: 16 * 64,
+            ways: 8,
+        };
+        assert_eq!(tiny.split(8).sets(), 1);
     }
 
     #[test]
@@ -611,5 +672,45 @@ mod tests {
         c.dirty_set_nodes_into(1, &mut out);
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].0, 1);
+    }
+
+    #[test]
+    fn probe_agrees_with_contains_and_dirty() {
+        let mut c = tiny();
+        c.install(0, SitNode::zero_general(), true);
+        c.install(2, SitNode::zero_general(), false);
+        let p0 = c.probe(0).expect("resident");
+        assert!(p0.dirty);
+        assert_eq!(Some(p0.slot), c.slot_of(0));
+        let p2 = c.probe(2).expect("resident");
+        assert!(!p2.dirty);
+        assert!(c.probe(4).is_none());
+        // Probes leave LRU and hit/miss stats untouched.
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    /// The cache is Sync: concurrent probes from many threads over `&self`
+    /// observe only published slot states.
+    #[test]
+    fn concurrent_probes_are_consistent() {
+        let mut c = MetadataCache::new(MetaCacheConfig {
+            capacity_bytes: 64 * 64,
+            ways: 4,
+        });
+        for off in 0..32u64 {
+            c.install(off, SitNode::zero_general(), off % 2 == 0);
+        }
+        let c = &c;
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for round in 0..100 {
+                        let off = (t * 7 + round) % 32;
+                        let p = c.probe(off).expect("installed and never evicted");
+                        assert_eq!(p.dirty, off % 2 == 0);
+                    }
+                });
+            }
+        });
     }
 }

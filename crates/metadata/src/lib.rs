@@ -12,7 +12,10 @@
 //! * [`layout`] — the NVM address map (data, MAC, metadata, record,
 //!   shadow-table, bitmap regions),
 //! * [`cache`] — the memory-controller metadata cache, holding live node
-//!   values with dirty bits and true-LRU replacement,
+//!   values with CAS-based per-slot state words and true-LRU replacement,
+//! * [`slot_state`] — the atomic tag/state word those cache slots are
+//!   built on (EMPTY/CLEAN/DIRTY/BUSY with acquire/release transitions),
+//! * [`shard`] — address striping across shard-local coordinate systems,
 //! * [`records`] — Steins' 4-byte-offset record lines (16 offsets / 64 B).
 
 pub mod cache;
@@ -21,8 +24,10 @@ pub mod geometry;
 pub mod layout;
 pub mod node;
 pub mod records;
+pub mod shard;
+pub mod slot_state;
 
-pub use cache::{EvictedNode, MetadataCache};
+pub use cache::{EvictedNode, MetadataCache, SlotProbe};
 pub use counter::{
     CounterBlock, CounterMode, GeneralCounters, SplitCounters, CTR56_MAX, MINOR_MAX,
 };
@@ -30,3 +35,4 @@ pub use geometry::{NodeId, SitGeometry};
 pub use layout::MemoryLayout;
 pub use node::{RootNode, SitNode};
 pub use records::{RecordLine, RECORDS_PER_LINE, RECORD_EMPTY};
+pub use shard::{ShardMap, StripeMode};

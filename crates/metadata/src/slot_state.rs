@@ -1,0 +1,290 @@
+//! CAS-based per-slot state words for the metadata cache.
+//!
+//! Each cache slot owns one atomic word packing its occupancy state and its
+//! tag (the node offset). All state transitions go through compare-exchange
+//! with acquire/release ordering, which buys two properties the old
+//! `valid`/`dirty` bool pair could not give:
+//!
+//! * **Lock-free probes.** Any thread holding `&MetadataCache` can read a
+//!   slot's `(state, offset)` pair in one acquire load — the sharded
+//!   front-end probes residency on a hot shard without taking the shard
+//!   lock, so readers do not serialize behind the writer that owns the
+//!   shard.
+//! * **Explicit reservations.** A slot between "claimed" and "published" is
+//!   `BUSY`, and `BUSY` slots are never eviction candidates. The PR 6 bug
+//!   ("install_at into occupied slot") was exactly an implicit reservation
+//!   the bool discipline could not express; the state machine rules it out
+//!   by construction.
+//!
+//! State machine (every edge is a single CAS):
+//!
+//! ```text
+//!            claim                  publish(CLEAN|DIRTY)
+//!   EMPTY ─────────────▶ BUSY ─────────────────────────▶ CLEAN / DIRTY
+//!     ▲                   ▲  (tag = new offset)             │      │
+//!     │ reset             │ claim (eviction/refill)         │      │
+//!     └───────────────────┴─────────◀───────────────────────┴──────┘
+//!                                     CLEAN ──set_dirty──▶ DIRTY
+//!                                     DIRTY ──set_clean──▶ CLEAN
+//! ```
+//!
+//! The payload (the 64 B node value) still belongs to the slot's exclusive
+//! owner — the shard engine mutates it under `&mut`. The word is the
+//! cross-thread-visible part: a probe that observes `CLEAN`/`DIRTY` with an
+//! acquire load is guaranteed the matching publish (release) happened
+//! before, so the tag it read was never torn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slot holds nothing.
+pub const EMPTY: u8 = 0;
+/// Slot holds a node equal to its NVM copy.
+pub const CLEAN: u8 = 1;
+/// Slot holds a node newer than its NVM copy (lost on crash).
+pub const DIRTY: u8 = 2;
+/// Slot is claimed by an in-flight install/eviction; not readable, not an
+/// eviction candidate.
+pub const BUSY: u8 = 3;
+
+const STATE_BITS: u64 = 2;
+const STATE_MASK: u64 = (1 << STATE_BITS) - 1;
+
+/// One acquire-load snapshot of a slot word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotView {
+    /// [`EMPTY`], [`CLEAN`], [`DIRTY`] or [`BUSY`].
+    pub state: u8,
+    /// The tag (node offset). Meaningful unless `state == EMPTY`; a `BUSY`
+    /// slot carries the offset it is being claimed *for*.
+    pub offset: u64,
+}
+
+impl SlotView {
+    /// Whether the view holds a readable resident node.
+    pub fn resident(&self) -> bool {
+        self.state == CLEAN || self.state == DIRTY
+    }
+}
+
+fn encode(state: u8, offset: u64) -> u64 {
+    debug_assert!(offset < (1 << (64 - STATE_BITS)), "offset overflows tag");
+    (offset << STATE_BITS) | state as u64
+}
+
+fn decode(word: u64) -> SlotView {
+    SlotView {
+        state: (word & STATE_MASK) as u8,
+        offset: word >> STATE_BITS,
+    }
+}
+
+/// The atomic tag/state word of one cache slot.
+#[derive(Debug)]
+pub struct SlotWord(AtomicU64);
+
+impl Default for SlotWord {
+    fn default() -> Self {
+        SlotWord(AtomicU64::new(encode(EMPTY, 0)))
+    }
+}
+
+impl SlotWord {
+    /// Snapshot with acquire ordering: a `resident()` view is ordered after
+    /// the publish that produced it.
+    pub fn view(&self) -> SlotView {
+        decode(self.0.load(Ordering::Acquire))
+    }
+
+    /// Single CAS edge `from → to`. Returns the view actually present on
+    /// failure. Success is `AcqRel`: it orders after the publish that wrote
+    /// `from` and makes this edge visible to later acquires.
+    pub fn transition(&self, from: SlotView, to: SlotView) -> Result<(), SlotView> {
+        self.0
+            .compare_exchange(
+                encode(from.state, from.offset),
+                encode(to.state, to.offset),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(decode)
+    }
+
+    /// Claims the slot for `offset`: CAS `expected → BUSY(offset)`. At most
+    /// one contender wins per published state; losers get the current view.
+    pub fn try_claim(&self, expected: SlotView, offset: u64) -> Result<(), SlotView> {
+        self.transition(
+            expected,
+            SlotView {
+                state: BUSY,
+                offset,
+            },
+        )
+    }
+
+    /// Publishes a claimed slot (release store). Only the claimant may call
+    /// this; the release pairs with every later acquire [`Self::view`].
+    pub fn publish(&self, state: u8, offset: u64) {
+        debug_assert!(
+            self.view().state == BUSY,
+            "publish on a slot that was never claimed"
+        );
+        debug_assert!(state == CLEAN || state == DIRTY || state == EMPTY);
+        self.0.store(encode(state, offset), Ordering::Release);
+    }
+
+    /// Crash/clear: unconditionally back to `EMPTY` (release store).
+    pub fn reset(&self) {
+        self.0.store(encode(EMPTY, 0), Ordering::Release);
+    }
+
+    /// `CLEAN → DIRTY` on a resident slot. Returns whether this call made
+    /// the transition (`false` when the slot was already dirty).
+    pub fn set_dirty(&self, offset: u64) -> bool {
+        let clean = SlotView {
+            state: CLEAN,
+            offset,
+        };
+        let dirty = SlotView {
+            state: DIRTY,
+            offset,
+        };
+        match self.transition(clean, dirty) {
+            Ok(()) => true,
+            Err(v) => {
+                assert!(
+                    v == dirty,
+                    "set_dirty on non-resident slot (saw {v:?}, want {offset} resident)"
+                );
+                false
+            }
+        }
+    }
+
+    /// `DIRTY → CLEAN` on a resident slot. Returns whether this call made
+    /// the transition.
+    pub fn set_clean(&self, offset: u64) -> bool {
+        let dirty = SlotView {
+            state: DIRTY,
+            offset,
+        };
+        let clean = SlotView {
+            state: CLEAN,
+            offset,
+        };
+        self.transition(dirty, clean).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for state in [EMPTY, CLEAN, DIRTY, BUSY] {
+            for offset in [0u64, 1, 4095, (1 << 40) - 1] {
+                assert_eq!(decode(encode(state, offset)), SlotView { state, offset });
+            }
+        }
+    }
+
+    #[test]
+    fn claim_publish_cycle() {
+        let w = SlotWord::default();
+        assert_eq!(w.view().state, EMPTY);
+        w.try_claim(w.view(), 42).unwrap();
+        assert_eq!(
+            w.view(),
+            SlotView {
+                state: BUSY,
+                offset: 42
+            }
+        );
+        w.publish(CLEAN, 42);
+        assert_eq!(
+            w.view(),
+            SlotView {
+                state: CLEAN,
+                offset: 42
+            }
+        );
+        assert!(w.set_dirty(42));
+        assert!(!w.set_dirty(42), "second marking is not a transition");
+        assert!(w.set_clean(42));
+        assert!(!w.set_clean(42));
+    }
+
+    #[test]
+    fn stale_claim_loses() {
+        let w = SlotWord::default();
+        let stale = w.view();
+        w.try_claim(stale, 7).unwrap();
+        w.publish(DIRTY, 7);
+        // A contender still holding the EMPTY view must lose and learn the
+        // current one.
+        let err = w.try_claim(stale, 9).unwrap_err();
+        assert_eq!(
+            err,
+            SlotView {
+                state: DIRTY,
+                offset: 7
+            }
+        );
+    }
+
+    /// N threads race to claim the same word; exactly one wins per round,
+    /// and every observer sees only published (state, offset) pairs — never
+    /// a torn mix of two publishes.
+    #[test]
+    fn concurrent_claims_are_mutually_exclusive() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 200;
+        let w = SlotWord::default();
+        let wins = AtomicUsize::new(0);
+        for round in 0..ROUNDS {
+            let start = SlotView {
+                state: if round == 0 { EMPTY } else { CLEAN },
+                offset: round as u64,
+            };
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let (w, wins) = (&w, &wins);
+                    s.spawn(move || {
+                        // Winner publishes the next round's offset; its
+                        // (state, offset) pair must always be one a
+                        // publisher wrote as a unit.
+                        if w.try_claim(start, t as u64).is_ok() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                            w.publish(CLEAN, start.offset + 1);
+                        }
+                        let v = w.view();
+                        assert!(
+                            v.state == BUSY || v.state == CLEAN,
+                            "unpublished state leaked: {v:?}"
+                        );
+                    });
+                }
+            });
+            assert_eq!(
+                wins.load(Ordering::Relaxed),
+                round + 1,
+                "exactly one claimant may win each round"
+            );
+            assert_eq!(
+                w.view(),
+                SlotView {
+                    state: CLEAN,
+                    offset: round as u64 + 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "set_dirty on non-resident")]
+    fn set_dirty_requires_residency() {
+        SlotWord::default().set_dirty(5);
+    }
+}

@@ -117,6 +117,16 @@ pub struct NvmDevice {
     trace_pokes: bool,
     /// ADR-resident recovery progress record (see [`RecoveryJournal`]).
     recovery_journal: RecoveryJournal,
+    /// Which shard of a sharded engine this device backs (0 for an
+    /// unsharded system). Stamped into the recovery journal so a shard can
+    /// prove it is recovering off its *own* ADR journal line — each shard
+    /// has its own device and therefore its own [`RECOVERY_JOURNAL_ADDR`]
+    /// line, and a routing bug that hands one shard another's image
+    /// surfaces as a journal-owner mismatch instead of silent corruption.
+    shard_label: u16,
+    /// Shard label stamped by the last recovery-journal write (the journal
+    /// line's durable owner byte).
+    journal_owner: u16,
     /// Injected media faults (read-path overlay).
     faults: FaultPlane,
     /// Timed reads that retried a transient media fault this epoch.
@@ -154,6 +164,8 @@ impl NvmDevice {
             point_journal: Vec::new(),
             trace_pokes: false,
             recovery_journal: RecoveryJournal::default(),
+            shard_label: 0,
+            journal_owner: 0,
             faults: FaultPlane::new(),
             read_retries: 0,
             read_hist: Histogram::new(),
@@ -440,10 +452,32 @@ impl NvmDevice {
     /// Updates the recovery journal. The update is itself a durable-state
     /// transition (an in-place ADR word rewrite), so it emits a persist
     /// event — and can therefore trip an armed crash *after* the new journal
-    /// content is in place, exactly like any other ADR update.
+    /// content is in place, exactly like any other ADR update. The device's
+    /// shard label rides with the journal line (see [`Self::set_shard`]).
     pub fn set_recovery_journal(&mut self, journal: RecoveryJournal) {
         self.recovery_journal = journal;
+        self.journal_owner = self.shard_label;
         self.persist_event(PersistKind::AdrUpdate, RECOVERY_JOURNAL_ADDR);
+    }
+
+    /// Labels this device as shard `shard` of a sharded engine. The label
+    /// is stamped into every subsequent recovery-journal write so recovery
+    /// can verify it is resuming off its own shard's journal line.
+    pub fn set_shard(&mut self, shard: u16) {
+        self.shard_label = shard;
+    }
+
+    /// This device's shard label (0 for an unsharded system).
+    pub fn shard(&self) -> u16 {
+        self.shard_label
+    }
+
+    /// The shard label stamped by the last recovery-journal write — the
+    /// owner byte of the durable journal line. A mismatch with
+    /// [`Self::shard`] means a routing bug handed this shard another
+    /// shard's image.
+    pub fn journal_owner(&self) -> u16 {
+        self.journal_owner
     }
 
     /// Immutable view of the backing store.
@@ -512,6 +546,7 @@ impl NvmDevice {
         reg.counter_add("nvm.adr.persists.line_write", self.persist_line_writes);
         reg.counter_add("nvm.adr.persists.in_place", self.persist_adr_updates);
         reg.counter_add("nvm.read.retries", self.read_retries);
+        reg.gauge_set("nvm.shard", self.shard_label as f64);
         reg.insert_hist("nvm.device.read_service_cycles", &self.read_hist);
         reg.insert_hist("nvm.device.write_service_cycles", &self.write_hist);
         for (i, h) in self.bank_hists.iter().enumerate() {
@@ -666,6 +701,23 @@ mod tests {
         std::panic::set_hook(prev);
         assert!(trip.is_err());
         assert_eq!(d.peek(64), [0u8; 64], "mask 0x00 drops the write");
+    }
+
+    #[test]
+    fn journal_owner_stamped_per_shard() {
+        let mut d = dev();
+        assert_eq!(d.shard(), 0);
+        d.set_shard(3);
+        assert_eq!(d.shard(), 3);
+        // The stamp lands with the journal write, not with set_shard.
+        assert_eq!(d.journal_owner(), 0);
+        d.set_recovery_journal(RecoveryJournal {
+            phase: 1,
+            hwm: 7,
+            restarts: 0,
+        });
+        assert_eq!(d.journal_owner(), 3);
+        assert_eq!(d.recovery_journal().hwm, 7);
     }
 
     #[test]

@@ -173,6 +173,19 @@ impl MetricRegistry {
         }
     }
 
+    /// Folds one shard's registry into this run-level one, twice over:
+    /// verbatim under `prefix.` (the per-shard view — per-shard queue
+    /// occupancy/stall histograms live here) and merged into the unprefixed
+    /// aggregate paths (counters add, histograms merge bucket-wise, gauges
+    /// take the last shard's value). Histogram merging is associative and
+    /// commutative, so folding N shards in any grouping or order yields the
+    /// same aggregate — the property the sharded engine's deterministic
+    /// exports rely on when worker threads finish in arbitrary order.
+    pub fn fold_shard(&mut self, prefix: &str, shard: &MetricRegistry) {
+        self.merge(&shard.prefixed(prefix));
+        self.merge(shard);
+    }
+
     /// Full JSON export, including `wall.` metrics.
     pub fn to_json(&self) -> Json {
         self.export(true)
@@ -291,6 +304,77 @@ mod tests {
         assert_eq!(a.hist("h").unwrap().count(), 2);
         assert_eq!(a.hist("h").unwrap().max(), 30);
         assert_eq!(a.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    fn fold_shard_keeps_per_shard_view_and_merges_aggregate() {
+        let mut run = MetricRegistry::new();
+        let mut s0 = MetricRegistry::new();
+        let mut s1 = MetricRegistry::new();
+        s0.counter_add("nvm.writes", 10);
+        s1.counter_add("nvm.writes", 32);
+        s0.record("nvm.write_queue.occupancy", 4);
+        s1.record("nvm.write_queue.occupancy", 60);
+        run.fold_shard("shard.00", &s0);
+        run.fold_shard("shard.01", &s1);
+        // Per-shard views survive verbatim.
+        assert_eq!(run.counter("shard.00.nvm.writes"), Some(10));
+        assert_eq!(run.counter("shard.01.nvm.writes"), Some(32));
+        assert_eq!(
+            run.hist("shard.01.nvm.write_queue.occupancy")
+                .unwrap()
+                .max(),
+            60
+        );
+        // Aggregate paths merge, not overwrite: both shards' histogram
+        // samples are present.
+        assert_eq!(run.counter("nvm.writes"), Some(42));
+        let agg = run.hist("nvm.write_queue.occupancy").unwrap();
+        assert_eq!(agg.count(), 2);
+        assert_eq!(agg.min(), 4);
+        assert_eq!(agg.max(), 60);
+    }
+
+    /// N-way merge associativity: folding the same shard registries in any
+    /// grouping produces byte-identical deterministic JSON — histograms
+    /// included (bucket-wise merge is associative; a last-write-wins
+    /// implementation would fail this on the histogram percentiles).
+    #[test]
+    fn n_way_merge_is_associative() {
+        let shard = |seed: u64| {
+            let mut r = MetricRegistry::new();
+            r.counter_add("ops", seed);
+            for i in 0..50 {
+                r.record("lat", seed * 97 + i * i);
+            }
+            r
+        };
+        let regs: Vec<MetricRegistry> = (1..=4).map(shard).collect();
+
+        // Left fold: ((a ⊔ b) ⊔ c) ⊔ d.
+        let mut left = MetricRegistry::new();
+        for r in &regs {
+            left.merge(r);
+        }
+        // Tree fold: (a ⊔ b) ⊔ (c ⊔ d).
+        let mut ab = regs[0].clone();
+        ab.merge(&regs[1]);
+        let mut cd = regs[2].clone();
+        cd.merge(&regs[3]);
+        let mut tree = MetricRegistry::new();
+        tree.merge(&ab);
+        tree.merge(&cd);
+        // Reversed fold: d ⊔ c ⊔ b ⊔ a.
+        let mut rev = MetricRegistry::new();
+        for r in regs.iter().rev() {
+            rev.merge(r);
+        }
+
+        let want = left.to_json_deterministic().pretty();
+        assert_eq!(tree.to_json_deterministic().pretty(), want);
+        assert_eq!(rev.to_json_deterministic().pretty(), want);
+        assert_eq!(left.counter("ops"), Some(10));
+        assert_eq!(left.hist("lat").unwrap().count(), 200);
     }
 
     #[test]

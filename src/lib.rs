@@ -51,6 +51,8 @@ pub mod prelude {
     pub use steins_core::engine::SecureNvmSystem;
     pub use steins_core::recovery::RecoveryReport;
     pub use steins_core::report::RunReport;
+    pub use steins_core::shard::{ShardSweep, ShardedEngine};
     pub use steins_crypto::CryptoKind;
+    pub use steins_metadata::{ShardMap, StripeMode};
     pub use steins_trace::workload::{Workload, WorkloadKind};
 }
