@@ -22,6 +22,7 @@ use steins_core::{RunReport, SchemeKind, SystemConfig};
 use steins_metadata::CounterMode;
 use steins_trace::{Workload, WorkloadKind};
 
+pub mod ladder;
 pub mod metrics;
 pub mod micro;
 pub mod par;

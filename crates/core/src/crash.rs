@@ -69,6 +69,9 @@ pub struct CrashedSystem {
     pub(crate) truth: FxHashMap<u64, [u8; 64]>,
     /// Lines whose latest stores were lost in the CPU caches.
     pub(crate) lost_lines: Vec<u64>,
+    /// Recovery lane-count override for this image (None: the
+    /// `STEINS_RECOVERY_WORKERS` env default). See [`crate::par`].
+    pub(crate) recovery_lanes: Option<usize>,
 }
 
 impl SecureNvmSystem {
@@ -121,6 +124,7 @@ impl SecureNvmSystem {
             nv,
             truth,
             lost_lines,
+            recovery_lanes: None,
         }
     }
 }
@@ -129,6 +133,17 @@ impl CrashedSystem {
     /// The configuration the machine ran with.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Pins the recovery worker/lane count for this image, overriding the
+    /// `STEINS_RECOVERY_WORKERS` env default (clamped to
+    /// `1..=`[`crate::par::MAX_WORKERS`] at use). Worker count never
+    /// changes what recovery computes — install order, exported metrics and
+    /// the terminal journal are lane-count-invariant — only how the
+    /// in-progress journal partitions its per-lane high-water marks.
+    pub fn with_recovery_lanes(mut self, lanes: usize) -> Self {
+        self.recovery_lanes = Some(lanes);
+        self
     }
 
     /// Whether the scheme can recover at all.
@@ -358,6 +373,11 @@ pub struct CrashSweep {
     /// Stop after this many distinct failing points (keeps a badly broken
     /// scheme from taking forever).
     pub max_failures: usize,
+    /// Lane-mark override for every recovery the nested probes run
+    /// (`None` = the `STEINS_RECOVERY_WORKERS` env default). With > 1 the
+    /// interrupted attempts leave *laned* ADR journals, so the sweep
+    /// exercises resume-from-marks instead of resume-from-prefix.
+    pub recovery_lanes: Option<usize>,
 }
 
 /// Silences the panic hook for the intentional [`CrashTripped`] unwinds the
@@ -385,7 +405,15 @@ impl CrashSweep {
             selection,
             shrink_budget: 2_000,
             max_failures: 3,
+            recovery_lanes: None,
         }
+    }
+
+    /// Builder: run every nested probe's recoveries with `lanes` lane-mark
+    /// slots (see [`CrashedSystem::with_recovery_lanes`]).
+    pub fn with_recovery_lanes(mut self, lanes: usize) -> Self {
+        self.recovery_lanes = Some(lanes);
+        self
     }
 
     /// Convenience: sweep the standard stream on the small test config.
@@ -1118,6 +1146,7 @@ impl CrashSweep {
         outer_mask: u8,
         j: u64,
         inner_mask: u8,
+        lanes: Option<usize>,
     ) -> Result<Option<(NestedRun, NestedCtx)>, PointFailure> {
         let Some(tc) = Self::crash_torn(cfg, ops, k, outer_mask)? else {
             return Ok(None);
@@ -1129,6 +1158,9 @@ impl CrashSweep {
             expected,
             sacrificed,
         } = tc;
+        if let Some(l) = lanes {
+            crashed = crashed.with_recovery_lanes(l);
+        }
         let ctx = NestedCtx {
             op_index,
             trip,
@@ -1195,8 +1227,10 @@ impl CrashSweep {
         outer_mask: u8,
         j: u64,
         inner_mask: u8,
+        lanes: Option<usize>,
     ) -> Result<(), PointFailure> {
-        let Some((run, ctx)) = Self::crash_nested(cfg, ops, k, outer_mask, j, inner_mask)? else {
+        let Some((run, ctx)) = Self::crash_nested(cfg, ops, k, outer_mask, j, inner_mask, lanes)?
+        else {
             return Ok(());
         };
         let NestedCtx {
@@ -1223,6 +1257,10 @@ impl CrashSweep {
                 Self::verify_recovered(cfg, ops, k, &mut sys, &expected, sacrificed, op_index, trip)
             }
             NestedRun::Crashed(crashed2) => {
+                let mut crashed2 = *crashed2;
+                if let Some(l) = lanes {
+                    crashed2 = crashed2.with_recovery_lanes(l);
+                }
                 let finished =
                     !crate::recovery::journal::in_progress(crashed2.nvm.recovery_journal().phase);
                 match crashed2.recover() {
@@ -1258,7 +1296,7 @@ impl CrashSweep {
                             });
                         }
                         Self::nested_scrub_leg(
-                            cfg, ops, k, outer_mask, j, inner_mask, &expected, sacrificed,
+                            cfg, ops, k, outer_mask, j, inner_mask, lanes, &expected, sacrificed,
                             op_index, trip, &strict,
                         )
                     }
@@ -1276,8 +1314,8 @@ impl CrashSweep {
                     });
                 }
                 Self::nested_scrub_leg(
-                    cfg, ops, k, outer_mask, j, inner_mask, &expected, sacrificed, op_index, trip,
-                    &strict,
+                    cfg, ops, k, outer_mask, j, inner_mask, lanes, &expected, sacrificed, op_index,
+                    trip, &strict,
                 )
             }
         }
@@ -1297,13 +1335,15 @@ impl CrashSweep {
         outer_mask: u8,
         j: u64,
         inner_mask: u8,
+        lanes: Option<usize>,
         expected: &HashMap<u64, [u8; 64]>,
         sacrificed: Option<u64>,
         op_index: usize,
         trip: Option<PersistPoint>,
         strict: &IntegrityError,
     ) -> Result<(), PointFailure> {
-        let Some((run, _ctx)) = Self::crash_nested(cfg, ops, k, outer_mask, j, inner_mask)? else {
+        let Some((run, _ctx)) = Self::crash_nested(cfg, ops, k, outer_mask, j, inner_mask, lanes)?
+        else {
             return Err(PointFailure {
                 op_index,
                 point: trip,
@@ -1319,6 +1359,10 @@ impl CrashSweep {
                 divergent: format!("first attempt failed with: {strict}"),
             }),
             NestedRun::Crashed(crashed2) => {
+                let mut crashed2 = *crashed2;
+                if let Some(l) = lanes {
+                    crashed2 = crashed2.with_recovery_lanes(l);
+                }
                 let min_restarts = u64::from(crate::recovery::journal::in_progress(
                     crashed2.nvm.recovery_journal().phase,
                 ));
@@ -1326,7 +1370,7 @@ impl CrashSweep {
                     cfg,
                     ops,
                     k,
-                    *crashed2,
+                    crashed2,
                     expected,
                     sacrificed,
                     op_index,
@@ -1348,6 +1392,9 @@ impl CrashSweep {
                     });
                 };
                 let mut crashed = tc.crashed;
+                if let Some(l) = lanes {
+                    crashed = crashed.with_recovery_lanes(l);
+                }
                 crashed.nvm.trace_pokes(true);
                 crashed.nvm.arm_crash_torn(j, inner_mask);
                 let mut slot = None;
@@ -1383,7 +1430,10 @@ impl CrashSweep {
                         };
                         partial.ctrl.nvm.disarm_crash();
                         partial.ctrl.nvm.trace_pokes(false);
-                        let crashed3 = partial.crash();
+                        let mut crashed3 = partial.crash();
+                        if let Some(l) = lanes {
+                            crashed3 = crashed3.with_recovery_lanes(l);
+                        }
                         // The interrupted scrub must be journaled: strict
                         // recovery is no longer sound on this image. A trip
                         // on the scrub's final write legitimately reads
@@ -1523,7 +1573,15 @@ impl CrashSweep {
         j: u64,
         inner_mask: u8,
     ) -> Option<CrashRepro> {
-        match Self::test_point_nested(&self.cfg, &self.ops, k, outer_mask, j, inner_mask) {
+        match Self::test_point_nested(
+            &self.cfg,
+            &self.ops,
+            k,
+            outer_mask,
+            j,
+            inner_mask,
+            self.recovery_lanes,
+        ) {
             Ok(()) => None,
             Err(fail) => Some(CrashRepro {
                 label: format!(
@@ -1622,7 +1680,9 @@ impl CrashSweep {
         let mut tested = 0u64;
         for &(k, m0, j, m1) in &jobs {
             tested += 1;
-            if let Err(fail) = Self::test_point_nested(&self.cfg, &self.ops, k, m0, j, m1) {
+            if let Err(fail) =
+                Self::test_point_nested(&self.cfg, &self.ops, k, m0, j, m1, self.recovery_lanes)
+            {
                 failures.push(CrashRepro {
                     label: format!("{label} {k}>{j} masks {m0:#04x}>{m1:#04x}"),
                     ops: self.ops[..=fail.op_index].to_vec(),
@@ -1908,6 +1968,21 @@ mod tests {
         nested_sweep(SchemeKind::WriteBack);
     }
 
+    /// The nested contract must survive laned journals: with 4 lane-mark
+    /// slots every interrupted attempt leaves per-lane marks in the ADR
+    /// journal, and the second recovery resumes from the mark union.
+    #[test]
+    fn nested_points_recover_with_laned_journals() {
+        for scheme in [SchemeKind::Steins, SchemeKind::Asit, SchemeKind::Star] {
+            let sweep =
+                CrashSweep::small(scheme, CounterMode::General, 18, PointSelection::AtMost(4))
+                    .with_recovery_lanes(4);
+            let report = sweep.run_nested(&[0xFF, 0x0F], &[0xFF], PointSelection::AtMost(3));
+            assert!(report.tested_points > 0, "no nested points enumerated");
+            assert!(report.clean(), "{report}");
+        }
+    }
+
     #[test]
     fn interrupted_recovery_reports_restart_metrics() {
         let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
@@ -1921,7 +1996,7 @@ mod tests {
         // Trip on recovery's very first durable write (the phase journal
         // update), then recover the doubly-crashed machine.
         let j = inner[0].seq;
-        let (run, _ctx) = CrashSweep::crash_nested(&cfg, &ops, k, 0xFF, j, 0xFF)
+        let (run, _ctx) = CrashSweep::crash_nested(&cfg, &ops, k, 0xFF, j, 0xFF, None)
             .ok()
             .unwrap()
             .unwrap();

@@ -19,6 +19,8 @@
 //!   region-granular verdicts (`Intact`/`Recovered`/`Unrecoverable`).
 //! * [`campaign`] — the seeded randomized fault campaign composing crash
 //!   points × torn-word masks × attacks/media faults.
+//! * [`par`] — the work-stealing region queue and deterministic lane
+//!   folding behind parallel recovery (see [`shard::ParallelRecovery`]).
 //! * [`cme`], [`linc`], [`nvbuffer`], [`cachetree`] — building blocks.
 //! * [`bmt`] — the Bonsai-Merkle-Tree baseline of §II-C, quantifying why
 //!   the paper (and this engine) build on the SIT instead.
@@ -36,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod linc;
 pub mod nvbuffer;
+pub mod par;
 pub mod recovery;
 pub mod report;
 pub mod scheme;
@@ -50,7 +53,7 @@ pub use error::IntegrityError;
 pub use recovery::RecoveryReport;
 pub use report::RunReport;
 pub use scrub::{ScrubReport, Verdict};
-pub use shard::{ShardRepro, ShardSweep, ShardSweepReport, ShardedEngine};
+pub use shard::{ParallelRecovery, ShardRepro, ShardSweep, ShardSweepReport, ShardedEngine};
 
 // Re-export the counter mode so downstream users need only this crate.
 pub use steins_metadata::CounterMode;

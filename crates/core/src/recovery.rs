@@ -15,6 +15,7 @@ use crate::engine::SecureNvmSystem;
 use crate::error::IntegrityError;
 use crate::linc::LincBank;
 use crate::nvbuffer::NvBuffer;
+use crate::par;
 use crate::scheme::{star, AsitState, SchemeState, SteinsState};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use steins_metadata::counter::{CounterBlock, SplitCounters};
@@ -76,6 +77,56 @@ pub mod journal {
     pub fn in_progress(phase: u8) -> bool {
         !matches!(phase, IDLE | DONE)
     }
+}
+
+/// The set of canonical item indices an interrupted rebuild's journal
+/// proves durably completed, as a mask over `0..n`.
+///
+/// A single-threaded-era journal (`lanes == 0`) covers the first `hwm`
+/// items. A laned journal covers, for each lane `l`, the first `marks[l]`
+/// items of lane `l`'s contiguous region ([`par::lane_spans`] over the
+/// *prior* attempt's lane count — the current attempt may run with a
+/// different worker count and still reads the old layout correctly, which
+/// is the whole single↔multi-lane compatibility contract).
+fn journal_cover(prior: &RecoveryJournal, n: usize) -> Vec<bool> {
+    let mut cover = vec![false; n];
+    if prior.lanes == 0 {
+        for c in cover.iter_mut().take((prior.hwm as usize).min(n)) {
+            *c = true;
+        }
+    } else {
+        for (l, (s, e)) in par::lane_spans(n, prior.lanes as usize)
+            .into_iter()
+            .enumerate()
+        {
+            let done = (prior.marks[l] as usize).min(e - s);
+            for c in cover.iter_mut().skip(s).take(done) {
+                *c = true;
+            }
+        }
+    }
+    cover
+}
+
+/// Journals rebuild-loop progress in the layout the lane count selects:
+/// the legacy single-mark form for one lane (byte-identical to the
+/// pre-parallel recoverer), per-lane mark slots otherwise. `done` is the
+/// canonical index count completed so far out of `total`.
+pub(crate) fn progress_journal(
+    phase: u8,
+    restarts: u32,
+    lanes: usize,
+    total: usize,
+    done: usize,
+) -> RecoveryJournal {
+    if lanes <= 1 {
+        return RecoveryJournal::single(phase, done as u64, restarts);
+    }
+    let mut marks = [0u64; steins_nvm::RECOVERY_LANES];
+    for (l, (s, e)) in par::lane_spans(total, lanes).into_iter().enumerate() {
+        marks[l] = (done.min(e) - s.min(done)) as u64;
+    }
+    RecoveryJournal::laned(phase, restarts, lanes as u8, marks)
 }
 
 /// What a recovery run did and how long it would take on hardware.
@@ -199,11 +250,20 @@ impl CrashedSystem {
             0
         };
         let shard = self.nvm.shard();
+        // Lane count for this attempt's journal layout. The override (set by
+        // the harnesses and the sharded recoverer) wins over the
+        // `STEINS_RECOVERY_WORKERS` env default. Lane count shapes only the
+        // in-progress journal's mark partition — never the install order,
+        // the exported metrics, or the terminal journal.
+        let lanes = self
+            .recovery_lanes
+            .unwrap_or_else(par::recovery_workers)
+            .clamp(1, par::MAX_WORKERS);
         let mut report = match self.cfg.scheme {
             SchemeKind::WriteBack => unreachable!("handled above"),
-            SchemeKind::Steins => self.recover_steins(out, prior, restarts),
-            SchemeKind::Asit => self.recover_asit(out, prior, restarts),
-            SchemeKind::Star => self.recover_star(out, prior, restarts),
+            SchemeKind::Steins => self.recover_steins(out, prior, restarts, lanes),
+            SchemeKind::Asit => self.recover_asit(out, prior, restarts, lanes),
+            SchemeKind::Star => self.recover_star(out, prior, restarts, lanes),
         }?;
         // Which shard's journal line drove this attempt — the sharded
         // engine recovers each shard independently off its own line.
@@ -334,6 +394,7 @@ impl CrashedSystem {
         out: &mut Option<SecureNvmSystem>,
         prior: RecoveryJournal,
         restarts: u32,
+        lanes: usize,
     ) -> Result<RecoveryReport, IntegrityError> {
         let geo = self.layout.geometry.clone();
         let (mut lincs, nv_buffer) = match &self.nv {
@@ -513,7 +574,7 @@ impl CrashedSystem {
             restarts,
         );
         let read_ns = self.cfg.recovery_read_ns;
-        self.rebuild_steins(out, recovered, lincs, pinned, restarts)?;
+        self.rebuild_steins(out, recovered, lincs, pinned, restarts, lanes)?;
         let est_seconds = reads as f64 * read_ns * 1e-9;
         Ok(RecoveryReport {
             scheme: "Steins".into(),
@@ -548,6 +609,7 @@ impl CrashedSystem {
         lincs: LincBank,
         pinned: HashMap<u64, u64>,
         restarts: u32,
+        lanes: usize,
     ) -> Result<(), IntegrityError> {
         let cfg = self.cfg.clone();
         let geo = self.layout.geometry.clone();
@@ -604,12 +666,22 @@ impl CrashedSystem {
         ordered.sort_by_key(|(_, slot)| slot.is_none());
         *out = Some(sys);
         let sys = out.as_mut().expect("just parked");
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::STEINS_REBUILD,
-            hwm: 0,
+        // The install loop below journals per-lane high-water marks: items
+        // partition into `lanes` contiguous regions, and completing item
+        // `i` bumps its region's mark slot. Installs are volatile in this
+        // phase (a re-run repeats the whole recovery), so the marks are a
+        // progress record, not a resume point — but they make every torn
+        // mid-rebuild journal a state the multi-lane resume logic accepts,
+        // whichever lane count the *next* attempt runs with.
+        let n = ordered.len();
+        sys.ctrl.nvm.set_recovery_journal(progress_journal(
+            journal::STEINS_REBUILD,
             restarts,
-        });
-        let total = ordered.len() as u64;
+            lanes,
+            n,
+            0,
+        ));
+        let total = n as u64;
         for (i, ((off, node), slot)) in ordered.into_iter().enumerate() {
             let id = geo.node_at_offset(off);
             match slot {
@@ -620,18 +692,20 @@ impl CrashedSystem {
                     sys.ctrl.install_node(0, id, node, true)?;
                 }
             }
-            sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-                phase: journal::STEINS_REBUILD,
-                hwm: i as u64 + 1,
+            sys.ctrl.nvm.set_recovery_journal(progress_journal(
+                journal::STEINS_REBUILD,
                 restarts,
-            });
+                lanes,
+                n,
+                i + 1,
+            ));
         }
         // Rewrite the record region to match the slot assignment.
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::STEINS_RECORDS,
-            hwm: 0,
+        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal::single(
+            journal::STEINS_RECORDS,
+            0,
             restarts,
-        });
+        ));
         let slots = cfg.meta_cache.slots();
         let rec_lines = slots.div_ceil(RECORDS_PER_LINE) as usize;
         let mut lines = vec![RecordLine::default(); rec_lines];
@@ -649,11 +723,9 @@ impl CrashedSystem {
             st.lincs = lincs;
             st.nv_buffer = NvBuffer::new(cfg.nv_buffer_bytes);
         }
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::DONE,
-            hwm: total,
-            restarts,
-        });
+        sys.ctrl
+            .nvm
+            .set_recovery_journal(RecoveryJournal::single(journal::DONE, total, restarts));
         sys.ctrl.nvm.reset_stats();
         Ok(())
     }
@@ -665,6 +737,7 @@ impl CrashedSystem {
         out: &mut Option<SecureNvmSystem>,
         prior: RecoveryJournal,
         restarts: u32,
+        lanes: usize,
     ) -> Result<RecoveryReport, IntegrityError> {
         let (nv_root, shadow_tags, inflight) = match &self.nv {
             NvState::Asit {
@@ -820,37 +893,43 @@ impl CrashedSystem {
         sys.truth = self.truth;
         *out = Some(sys);
         let sys = out.as_mut().expect("just parked");
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::ASIT_REPLAY,
-            hwm: 0,
-            restarts,
-        });
         // Install every shadow copy as dirty (home copies may be stale) in
         // its *original* slot, and replay the slot updates so the shadow
         // table and cache-tree converge on the reconciled content. Each
         // update is the normal runtime sequence (stage pre-image → update
         // registers → push shadow line), so a crash at any point inside it
-        // is recoverable like a runtime crash.
+        // is recoverable like a runtime crash. The journal tracks progress
+        // in per-lane mark slots (lane = the item's contiguous region);
+        // every boundary is runtime-consistent, so the marks are a progress
+        // record for diagnostics, not a resume point.
         let mut items = entries;
         items.sort_by_key(|(_, off, _)| {
             let id = geo.node_at_offset(*off);
             (std::cmp::Reverse(id.level), id.index)
         });
-        let total = items.len() as u64;
+        let n = items.len();
+        sys.ctrl.nvm.set_recovery_journal(progress_journal(
+            journal::ASIT_REPLAY,
+            restarts,
+            lanes,
+            n,
+            0,
+        ));
+        let total = n as u64;
         for (i, (slot, off, node)) in items.into_iter().enumerate() {
             sys.ctrl.meta.install_at(slot, off, node, true);
             sys.ctrl.asit_slot_update(0, off);
-            sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-                phase: journal::ASIT_REPLAY,
-                hwm: i as u64 + 1,
+            sys.ctrl.nvm.set_recovery_journal(progress_journal(
+                journal::ASIT_REPLAY,
                 restarts,
-            });
+                lanes,
+                n,
+                i + 1,
+            ));
         }
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::DONE,
-            hwm: total,
-            restarts,
-        });
+        sys.ctrl
+            .nvm
+            .set_recovery_journal(RecoveryJournal::single(journal::DONE, total, restarts));
         sys.ctrl.nvm.reset_stats();
         let est_seconds = reads as f64 * read_ns * 1e-9;
         Ok(RecoveryReport {
@@ -870,6 +949,7 @@ impl CrashedSystem {
         out: &mut Option<SecureNvmSystem>,
         prior: RecoveryJournal,
         restarts: u32,
+        lanes: usize,
     ) -> Result<RecoveryReport, IntegrityError> {
         let nv_root = match &self.nv {
             NvState::Star { nv_root } => *nv_root,
@@ -959,14 +1039,17 @@ impl CrashedSystem {
         // 3. Verify the cache-tree register (per-set sorted MACs, exactly as
         //    maintained at runtime). A completed run's register covers every
         //    recovered node; an *interrupted rebuild's* register covers
-        //    exactly the canonical prefix its journal high-water mark
-        //    records — the journal write is the only persist boundary in the
-        //    rebuild loop and always follows the register update for the
-        //    same item, so `hwm` items are covered at every trip point.
-        let covered = if prior.phase == journal::STAR_REBUILD {
-            (prior.hwm as usize).min(items.len())
+        //    exactly the items its journal marks record — the journal write
+        //    is the only persist boundary in the rebuild loop and always
+        //    follows the register update for the same item. A legacy
+        //    journal proves a canonical prefix; a laned journal proves the
+        //    union of each lane-region's completed prefix
+        //    ([`journal_cover`]) — the prior attempt's lane count decides
+        //    the partition, whatever this attempt runs with.
+        let cover = if prior.phase == journal::STAR_REBUILD {
+            journal_cover(&prior, items.len())
         } else {
-            items.len()
+            vec![true; items.len()]
         };
         let sets = self.cfg.meta_cache.sets();
         let mut leaf_macs = vec![0u64; sets as usize];
@@ -976,10 +1059,11 @@ impl CrashedSystem {
         let mut occupied_sets: Vec<u64> = Vec::new();
         let mut set_msgs: Vec<Vec<u8>> = Vec::new();
         for set in 0..sets {
-            let mut in_set: Vec<(u64, &SitNode)> = items[..covered]
+            let mut in_set: Vec<(u64, &SitNode)> = items
                 .iter()
-                .filter(|(off, _)| *off % sets == set)
-                .map(|(off, n)| (*off, n))
+                .zip(&cover)
+                .filter(|((off, _), c)| **c && *off % sets == set)
+                .map(|((off, n), _)| (*off, n))
                 .collect();
             if in_set.is_empty() {
                 continue;
@@ -1032,34 +1116,38 @@ impl CrashedSystem {
         sys.truth = self.truth;
         *out = Some(sys);
         let sys = out.as_mut().expect("just parked");
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::STAR_REBUILD,
-            hwm: 0,
+        let n = items.len();
+        sys.ctrl.nvm.set_recovery_journal(progress_journal(
+            journal::STAR_REBUILD,
             restarts,
-        });
+            lanes,
+            n,
+            0,
+        ));
         // Reinstall in canonical order, refreshing the register after every
         // item: the durable bitmap, node lines and data plane are untouched,
         // so a crash here re-derives the same `recovered` set, and the
-        // prefix rule above re-verifies the partially-regrown register.
-        // Every dirty set was fully resident at crash time, so no install
-        // can overflow its set (no evictions, no durable node writes).
-        let total = items.len() as u64;
+        // cover rule above re-verifies the partially-regrown register off
+        // the journal marks. Every dirty set was fully resident at crash
+        // time, so no install can overflow its set (no evictions, no
+        // durable node writes).
+        let total = n as u64;
         for (i, (off, node)) in items.into_iter().enumerate() {
             let id = geo.node_at_offset(off);
             sys.ctrl.install_node(0, id, node, true)?;
             let set = sys.ctrl.meta.set_index(off);
             sys.ctrl.star_tree_update(0, set);
-            sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-                phase: journal::STAR_REBUILD,
-                hwm: i as u64 + 1,
+            sys.ctrl.nvm.set_recovery_journal(progress_journal(
+                journal::STAR_REBUILD,
                 restarts,
-            });
+                lanes,
+                n,
+                i + 1,
+            ));
         }
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal {
-            phase: journal::DONE,
-            hwm: total,
-            restarts,
-        });
+        sys.ctrl
+            .nvm
+            .set_recovery_journal(RecoveryJournal::single(journal::DONE, total, restarts));
         sys.ctrl.nvm.reset_stats();
         let est_seconds = reads as f64 * read_ns * 1e-9;
         Ok(RecoveryReport {
@@ -1225,5 +1313,96 @@ mod tests {
         // Line 0 was last written with value 128 (i = 128 ⇒ 128 % 128 == 0)…
         // writes above go i ∈ [0,200), so line 0 saw i = 0 and i = 128.
         assert_eq!(again.read(0).unwrap(), [128u8; 64]);
+    }
+
+    #[test]
+    fn journal_cover_legacy_is_a_prefix() {
+        let j = RecoveryJournal::single(journal::STAR_REBUILD, 3, 0);
+        assert_eq!(
+            journal_cover(&j, 5),
+            vec![true, true, true, false, false],
+            "legacy hwm covers a canonical prefix"
+        );
+        // Overlong hwm saturates.
+        let j = RecoveryJournal::single(journal::STAR_REBUILD, 99, 0);
+        assert_eq!(journal_cover(&j, 3), vec![true; 3]);
+    }
+
+    #[test]
+    fn journal_cover_laned_is_a_union_of_region_prefixes() {
+        // 10 items, 4 lanes → regions of 3: [0,3) [3,6) [6,9) [9,10).
+        let mut marks = [0u64; steins_nvm::RECOVERY_LANES];
+        marks[0] = 3; // region 0 complete
+        marks[1] = 1; // region 1: first item only
+        marks[3] = 1; // region 3 complete (out-of-order vs region 2 — a
+                      // state only true parallel interleaving reaches)
+        let j = RecoveryJournal::laned(journal::STAR_REBUILD, 0, 4, marks);
+        let cover = journal_cover(&j, 10);
+        let want = [
+            true, true, true, // region 0
+            true, false, false, // region 1 prefix
+            false, false, false, // region 2 untouched
+            true,  // region 3
+        ];
+        assert_eq!(cover, want);
+    }
+
+    #[test]
+    fn progress_journal_layouts_agree_on_totals() {
+        // One lane: byte-identical to the single-threaded-era journal.
+        assert_eq!(
+            progress_journal(journal::STEINS_REBUILD, 2, 1, 10, 7),
+            RecoveryJournal::single(journal::STEINS_REBUILD, 7, 2)
+        );
+        // Multi-lane: marks staircase over the regions, hwm = sum.
+        for lanes in 2..=8usize {
+            for n in [0usize, 1, 5, 10, 64] {
+                for done in 0..=n {
+                    let j = progress_journal(journal::ASIT_REPLAY, 0, lanes, n, done);
+                    assert_eq!(j.lanes as usize, lanes);
+                    assert_eq!(j.hwm, done as u64, "lanes={lanes} n={n} done={done}");
+                    assert_eq!(j.progress(), done as u64);
+                    // The cover of a staircase journal is exactly the
+                    // canonical prefix the sequential loop completed.
+                    let cover = journal_cover(&j, n);
+                    assert_eq!(
+                        cover.iter().filter(|c| **c).count(),
+                        done,
+                        "cover size matches"
+                    );
+                    assert!(cover[..done].iter().all(|c| *c), "cover is the prefix");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_count_does_not_change_recovery_results() {
+        // The workers=1 vs workers=4 determinism contract at unit scale:
+        // same crash image, different lane counts, identical reports
+        // (metrics included) and identical recovered reads.
+        for scheme in [SchemeKind::Steins, SchemeKind::Asit, SchemeKind::Star] {
+            let (sys, expected) = exercise(scheme, CounterMode::General);
+            let crashed1 = sys.crash().with_recovery_lanes(1);
+            let (mut rec1, rep1) = crashed1.recover().expect("lanes=1 recovers");
+            let (sys4, _) = exercise(scheme, CounterMode::General);
+            let crashed4 = sys4.crash().with_recovery_lanes(4);
+            let (mut rec4, rep4) = crashed4.recover().expect("lanes=4 recovers");
+            assert_eq!(rep1.nvm_reads, rep4.nvm_reads, "{scheme:?}");
+            assert_eq!(
+                rep1.metrics.to_json_deterministic().pretty(),
+                rep4.metrics.to_json_deterministic().pretty(),
+                "{scheme:?}: metrics must be lane-count-invariant"
+            );
+            assert_eq!(
+                rec1.ctrl.nvm.recovery_journal(),
+                rec4.ctrl.nvm.recovery_journal(),
+                "{scheme:?}: terminal journal is layout-free"
+            );
+            for (addr, data) in expected {
+                assert_eq!(rec1.read(addr).unwrap(), data);
+                assert_eq!(rec4.read(addr).unwrap(), data);
+            }
+        }
     }
 }

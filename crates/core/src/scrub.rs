@@ -95,6 +95,43 @@ impl ScrubReport {
         self.data_unrecoverable == 0
     }
 
+    /// An all-zero report carrying only identity (label/restarts/shard) —
+    /// the unit of [`Self::merge`].
+    pub fn empty(scheme: String, restarts: u64, shard: u16) -> ScrubReport {
+        ScrubReport {
+            scheme,
+            data_intact: 0,
+            data_untouched: 0,
+            data_unrecoverable: 0,
+            unrecoverable_addrs: Vec::new(),
+            meta_intact: 0,
+            meta_recovered: 0,
+            anchors_updated: 0,
+            nvm_reads: 0,
+            restarts,
+            shard,
+        }
+    }
+
+    /// Folds another region's (or shard's) verdicts into this report:
+    /// counters and read totals add, unrecoverable addresses concatenate,
+    /// `restarts` takes the max. Identity fields (`scheme`, `shard`) keep
+    /// `self`'s values — regions of one scrub share them; for cross-shard
+    /// folds keep the per-shard reports too if per-shard identity matters.
+    /// Merging is associative, so regions fold in any grouping.
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.data_intact += other.data_intact;
+        self.data_untouched += other.data_untouched;
+        self.data_unrecoverable += other.data_unrecoverable;
+        self.unrecoverable_addrs
+            .extend_from_slice(&other.unrecoverable_addrs);
+        self.meta_intact += other.meta_intact;
+        self.meta_recovered += other.meta_recovered;
+        self.anchors_updated += other.anchors_updated;
+        self.nvm_reads += other.nvm_reads;
+        self.restarts = self.restarts.max(other.restarts);
+    }
+
     /// Exports the verdict counters under `core.scrub.`.
     pub fn metrics(&self) -> MetricRegistry {
         let mut m = MetricRegistry::new();
@@ -173,39 +210,53 @@ impl CrashedSystem {
         } else {
             0
         };
+        // Region structure: the leaf scan splits into `lanes` contiguous
+        // leaf ranges, each classified into its own partial report, merged
+        // afterwards ([`ScrubReport::merge`] — verdict counters add,
+        // unrecoverable addresses concatenate). The verdicts of one region
+        // depend only on that region's data plane, so the merged report is
+        // lane-count-invariant and the regions are safe to farm out (the
+        // sharded engine's parallel scrub runs one whole-shard region per
+        // worker; see `crate::shard`).
+        let lanes = self
+            .recovery_lanes
+            .unwrap_or_else(crate::par::recovery_workers)
+            .clamp(1, crate::par::MAX_WORKERS);
         let mut reads = 0u64;
-        let mut report = ScrubReport {
-            scheme: self.cfg.scheme.label(self.cfg.mode),
-            data_intact: 0,
-            data_untouched: 0,
-            data_unrecoverable: 0,
-            unrecoverable_addrs: Vec::new(),
-            meta_intact: 0,
-            meta_recovered: 0,
-            anchors_updated: 0,
-            nvm_reads: 0,
+        let mut report = ScrubReport::empty(
+            self.cfg.scheme.label(self.cfg.mode),
             restarts,
-            shard: self.nvm.shard(),
-        };
+            self.nvm.shard(),
+        );
 
-        // —— 1. Data plane: verify every MAC record, rebuild the leaves. ——
+        // —— 1. Data plane: verify every MAC record, rebuild the leaves,
+        //       one lane region of leaves at a time. ——
         let total = geo.total_nodes() as usize;
+        let leaves = geo.nodes_at(0) as usize;
         let mut nodes: Vec<SitNode> = vec![SitNode::general_from_line(&[0u8; 64]); total];
-        for li in 0..geo.nodes_at(0) {
-            let id = NodeId {
-                level: 0,
-                index: li,
-            };
-            let off = geo.offset_of(id);
-            reads += 1;
-            let stale = parse_node(
-                self.cfg.mode,
-                id,
-                &self.nvm.peek(self.layout.node_addr(off)),
-            );
-            let leaf = self.scrub_leaf(&mut reads, id, &stale, &mut report);
-            nodes[off as usize] = leaf;
+        for (start, end) in crate::par::lane_spans(leaves, lanes) {
+            let mut region = ScrubReport::empty(report.scheme.clone(), restarts, report.shard);
+            let mut region_reads = 0u64;
+            for li in start as u64..end as u64 {
+                let id = NodeId {
+                    level: 0,
+                    index: li,
+                };
+                let off = geo.offset_of(id);
+                region_reads += 1;
+                let stale = parse_node(
+                    self.cfg.mode,
+                    id,
+                    &self.nvm.peek(self.layout.node_addr(off)),
+                );
+                let leaf = self.scrub_leaf(&mut region_reads, id, &stale, &mut region);
+                nodes[off as usize] = leaf;
+            }
+            region.nvm_reads = region_reads;
+            report.merge(&region);
         }
+        reads += report.nvm_reads;
+        report.nvm_reads = 0;
 
         if !self.recoverable() {
             report.nvm_reads = reads;
@@ -314,22 +365,41 @@ impl CrashedSystem {
         sys.truth = self.truth;
         *out = Some(sys);
         let sys = out.as_mut().expect("just parked");
+        let restarts32 = restarts.min(u64::from(u32::MAX)) as u32;
+        let n_rewrites = rewrites.len();
         sys.ctrl
             .nvm
-            .set_recovery_journal(steins_nvm::RecoveryJournal {
-                phase: crate::recovery::journal::SCRUB,
-                hwm: 0,
-                restarts: restarts.min(u64::from(u32::MAX)) as u32,
-            });
+            .set_recovery_journal(crate::recovery::progress_journal(
+                crate::recovery::journal::SCRUB,
+                restarts32,
+                lanes,
+                n_rewrites,
+                0,
+            ));
 
         // —— 6. Rewrite: planned node homes, then the derived regions reset
         //       to empty (all nodes come back clean, so records/shadow/
         //       bitmap must say so). Every write is idempotent — a crash
         //       anywhere in here re-runs the scrub, which re-plans the same
-        //       rewrites from the untouched data plane.
-        let rewritten = rewrites.len() as u64;
-        for (addr, line) in rewrites {
+        //       rewrites from the untouched data plane. Under a multi-lane
+        //       scrub the journal additionally tracks per-lane rewrite
+        //       marks (same layout as strict recovery's rebuild phases);
+        //       one lane keeps the single-threaded-era journal byte-for-
+        //       byte, marks untouched.
+        let rewritten = n_rewrites as u64;
+        for (i, (addr, line)) in rewrites.into_iter().enumerate() {
             sys.ctrl.nvm.poke(addr, &line);
+            if lanes > 1 {
+                sys.ctrl
+                    .nvm
+                    .set_recovery_journal(crate::recovery::progress_journal(
+                        crate::recovery::journal::SCRUB,
+                        restarts32,
+                        lanes,
+                        n_rewrites,
+                        i + 1,
+                    ));
+            }
         }
         let slots = self.cfg.meta_cache.slots();
         let empty_record = RecordLine::default().to_line();
@@ -351,11 +421,11 @@ impl CrashedSystem {
         }
         sys.ctrl
             .nvm
-            .set_recovery_journal(steins_nvm::RecoveryJournal {
-                phase: crate::recovery::journal::DONE,
-                hwm: rewritten,
-                restarts: restarts.min(u64::from(u32::MAX)) as u32,
-            });
+            .set_recovery_journal(steins_nvm::RecoveryJournal::single(
+                crate::recovery::journal::DONE,
+                rewritten,
+                restarts32,
+            ));
         sys.ctrl.nvm.disarm_crash();
         sys.ctrl.nvm.reset_stats();
         report
@@ -540,6 +610,73 @@ mod tests {
         let mut sys = sys.unwrap();
         for i in 0..8u64 {
             assert_eq!(sys.read(i * 64).unwrap(), [5; 64]);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_with_empty_unit() {
+        let mut a = ScrubReport::empty("Steins-GC".into(), 0, 0);
+        a.data_intact = 3;
+        a.unrecoverable_addrs = vec![64, 128];
+        a.data_unrecoverable = 2;
+        a.nvm_reads = 10;
+        let mut b = ScrubReport::empty("Steins-GC".into(), 1, 0);
+        b.data_intact = 5;
+        b.meta_recovered = 7;
+        b.nvm_reads = 4;
+        let mut c = ScrubReport::empty("Steins-GC".into(), 0, 0);
+        c.data_untouched = 11;
+        c.unrecoverable_addrs = vec![512];
+        c.data_unrecoverable = 1;
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.data_intact, 8);
+        assert_eq!(left.data_unrecoverable, 3);
+        assert_eq!(left.unrecoverable_addrs, vec![64, 128, 512]);
+        assert_eq!(left.nvm_reads, 14);
+        assert_eq!(left.restarts, 1, "restarts take the max");
+
+        // Empty is the unit.
+        let mut unit = a.clone();
+        unit.merge(&ScrubReport::empty("Steins-GC".into(), 0, 0));
+        assert_eq!(unit, a);
+    }
+
+    #[test]
+    fn scrub_verdicts_are_lane_count_invariant() {
+        for lanes in [1usize, 2, 4, 8] {
+            let cfg = SystemConfig::small_for_tests(SchemeKind::Steins, CounterMode::General);
+            let mut sys = SecureNvmSystem::new(cfg);
+            for i in 0..24u64 {
+                sys.write(i * 64, &[i as u8 + 1; 64]).unwrap();
+            }
+            let mut crashed = sys.crash().with_recovery_lanes(lanes);
+            crashed.tamper_data_at(5, 9, 0x40);
+            let (sys, report) = crashed.recover_lenient();
+            assert_eq!(report.data_intact, 23, "lanes={lanes}: {report}");
+            assert_eq!(report.data_unrecoverable, 1, "lanes={lanes}");
+            assert_eq!(report.unrecoverable_addrs, vec![5 * 64], "lanes={lanes}");
+            let mut sys = sys.unwrap();
+            assert_eq!(
+                sys.ctrl.nvm.recovery_journal(),
+                steins_nvm::RecoveryJournal::single(
+                    crate::recovery::journal::DONE,
+                    report.meta_recovered,
+                    0
+                ),
+                "lanes={lanes}: terminal journal is layout-free"
+            );
+            for i in [0u64, 1, 2, 3, 4, 6, 7] {
+                assert_eq!(sys.read(i * 64).unwrap(), [i as u8 + 1; 64]);
+            }
         }
     }
 

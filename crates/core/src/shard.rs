@@ -41,6 +41,7 @@ use crate::config::{SchemeKind, SystemConfig};
 use crate::crash::{silence_crash_trips, CrashSweep, CrashedSystem, PointSelection, SweepOp};
 use crate::engine::SecureNvmSystem;
 use crate::error::IntegrityError;
+use crate::par;
 use crate::recovery::{journal, RecoveryReport};
 use crate::scrub::ScrubReport;
 
@@ -248,6 +249,150 @@ impl ShardedEngine {
         agg.gauge_set("core.shards", self.shards() as f64);
         agg.gauge_set("core.engine.sim_cycles", self.sim_cycles() as f64);
         agg
+    }
+
+    /// Pulls the plug on the whole engine: every shard loses power at its
+    /// current persist boundary (no op is in flight on any of them), and
+    /// every slot is left empty until recovery reinstates it. Images come
+    /// back in shard order.
+    pub fn crash_all(&self) -> Vec<CrashedSystem> {
+        (0..self.shards()).map(|s| self.crash_shard(s)).collect()
+    }
+
+    /// Recovers the whole engine in parallel: the per-shard crashed images
+    /// are independent region jobs on a work-stealing queue served by
+    /// `workers` threads (clamped to [`par::MAX_WORKERS`]). Each region
+    /// recovers off its own ADR journal line with `workers` lane-mark slots
+    /// and reinstates itself into its slot as soon as it finishes.
+    ///
+    /// Determinism: every number in the returned [`ParallelRecovery`]
+    /// except `steals` is computed from the per-shard reports and the
+    /// *modeled* lane fold ([`par::fold_lanes`]) — byte-identical no matter
+    /// how the host actually schedules the worker threads. `steals` is the
+    /// wall-side steal count and is deliberately kept out of `metrics`.
+    ///
+    /// On the first per-shard error the whole call errors; regions that
+    /// already recovered stay installed and the failing slot stays empty
+    /// (callers may fall back to [`Self::scrub_all`] on a replay).
+    pub fn recover_all(
+        &self,
+        crashed: Vec<CrashedSystem>,
+        workers: usize,
+    ) -> Result<ParallelRecovery, IntegrityError> {
+        assert_eq!(crashed.len(), self.shards(), "one crashed image per shard");
+        let workers = workers.clamp(1, par::MAX_WORKERS);
+        let images: Vec<Mutex<Option<CrashedSystem>>> =
+            crashed.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let (results, steals) = par::run_regions(workers, images.len(), |s, _w| {
+            let img = images[s]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each region runs exactly once")
+                .with_recovery_lanes(workers);
+            self.recover_shard(s, img)
+        });
+        let mut reports = Vec::with_capacity(results.len());
+        for r in results {
+            reports.push(r?);
+        }
+
+        let costs: Vec<u64> = reports.iter().map(|r| r.nvm_reads).collect();
+        let loads = par::fold_lanes(&costs, workers);
+        let makespan_reads = loads.iter().copied().max().unwrap_or(0);
+        let total_reads: u64 = costs.iter().sum();
+        let mut metrics = MetricRegistry::new();
+        for (s, r) in reports.iter().enumerate() {
+            metrics.fold_shard(&format!("shard.{s:02}"), &r.metrics);
+        }
+        metrics.gauge_set("core.par.workers", workers as f64);
+        metrics.counter_add("core.par.makespan_reads", makespan_reads);
+        metrics.counter_add("core.par.total_reads", total_reads);
+        for (l, &load) in loads.iter().enumerate() {
+            metrics.counter_add(&format!("par.lane.{l:02}.reads"), load);
+        }
+        Ok(ParallelRecovery {
+            reports,
+            workers,
+            total_reads,
+            makespan_reads,
+            steals,
+            metrics,
+        })
+    }
+
+    /// The lenient mirror of [`Self::recover_all`]: scrubs every region in
+    /// parallel and merges the per-region verdicts ([`ScrubReport::merge`])
+    /// into one whole-engine report whose `unrecoverable_addrs` are
+    /// translated back into global byte addresses. Shards whose scheme
+    /// yields a rebuilt system are reinstated; WB slots stay empty.
+    pub fn scrub_all(
+        &self,
+        crashed: Vec<CrashedSystem>,
+        workers: usize,
+    ) -> (Vec<ScrubReport>, ScrubReport) {
+        assert_eq!(crashed.len(), self.shards(), "one crashed image per shard");
+        let workers = workers.clamp(1, par::MAX_WORKERS);
+        let images: Vec<Mutex<Option<CrashedSystem>>> =
+            crashed.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let (reports, _steals) = par::run_regions(workers, images.len(), |s, _w| {
+            let img = images[s]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each region runs exactly once")
+                .with_recovery_lanes(workers);
+            self.scrub_shard(s, img)
+        });
+        let mut merged = ScrubReport::empty(reports[0].scheme.clone(), 0, 0);
+        for (s, r) in reports.iter().enumerate() {
+            let mut global = r.clone();
+            global.unrecoverable_addrs = r
+                .unrecoverable_addrs
+                .iter()
+                .map(|&a| self.map.global_line(s, a / 64) * 64)
+                .collect();
+            merged.merge(&global);
+        }
+        (reports, merged)
+    }
+}
+
+/// Outcome of a whole-engine parallel recovery ([`ShardedEngine::recover_all`]).
+///
+/// Everything here except `steals` is a pure function of the per-shard
+/// recovery reports and the requested worker count — the quantities the
+/// recovery ladder's scaling gate and its byte-identical JSON artifact are
+/// built from. `steals` reflects the host's actual thread interleaving and
+/// must never be exported.
+pub struct ParallelRecovery {
+    /// Per-shard recovery reports, in shard order.
+    pub reports: Vec<RecoveryReport>,
+    /// Worker/lane count the recovery (and its modeled fold) ran with.
+    pub workers: usize,
+    /// Sum of every region's recovery reads.
+    pub total_reads: u64,
+    /// Modeled makespan: the busiest lane's reads after the deterministic
+    /// LPT fold of per-region costs onto `workers` lanes.
+    pub makespan_reads: u64,
+    /// Work-stealing events observed on the wall-side queue. Varies with
+    /// host scheduling; excluded from `metrics` by design.
+    pub steals: u64,
+    /// Folded registry: per-region `shard.NN.` prefixes, the unprefixed
+    /// aggregate, `core.par.*` fold results, and per-lane `par.lane.NN.reads`.
+    pub metrics: MetricRegistry,
+}
+
+impl ParallelRecovery {
+    /// Modeled wall seconds for the fold: `makespan_reads` sequential NVM
+    /// reads at `read_ns` nanoseconds each.
+    pub fn est_seconds(&self, read_ns: f64) -> f64 {
+        self.makespan_reads as f64 * read_ns * 1e-9
+    }
+
+    /// Modeled speedup of this fold over a baseline fold of the same work.
+    pub fn speedup_over(&self, baseline: &ParallelRecovery) -> f64 {
+        baseline.makespan_reads as f64 / self.makespan_reads.max(1) as f64
     }
 }
 
@@ -525,9 +670,11 @@ impl ShardSweep {
     /// Verifies the whole engine after the target shard was reinstated:
     /// every acknowledged line on every shard reads back through the
     /// router, the sacrificed line (if any) fails closed, every shard's
-    /// LInc registers match a recomputation, the target's journal is
-    /// stamped by the target, and untouched neighbors still hold a pristine
-    /// `IDLE` journal.
+    /// LInc registers match a recomputation, and the target's journal is
+    /// stamped by the target. With `neighbors_idle` the non-target shards
+    /// must still hold a pristine `IDLE` journal (single-shard outage);
+    /// without it (whole-engine parallel recovery) they must instead hold a
+    /// finished journal stamped by themselves.
     #[allow(clippy::too_many_arguments)]
     fn verify(
         &self,
@@ -537,6 +684,7 @@ impl ShardSweep {
         op_index: usize,
         expected: &HashMap<u64, [u8; 64]>,
         sacrificed: Option<u64>,
+        neighbors_idle: bool,
     ) -> Result<(), ShardRepro> {
         let mut lines: Vec<u64> = expected.keys().copied().collect();
         lines.sort_unstable();
@@ -601,9 +749,15 @@ impl ShardSweep {
                             "recovered shard {s} journal stamped by shard {owner}"
                         ));
                     }
-                } else if phase != journal::IDLE {
+                } else if neighbors_idle {
+                    if phase != journal::IDLE {
+                        return Some(format!(
+                            "untouched shard {s} journal left phase {phase} (owner {owner})"
+                        ));
+                    }
+                } else if journal::in_progress(phase) || owner != s as u16 {
                     return Some(format!(
-                        "untouched shard {s} journal left phase {phase} (owner {owner})"
+                        "co-recovered shard {s} journal left phase {phase} (owner {owner})"
                     ));
                 }
                 None
@@ -702,7 +856,7 @@ impl ShardSweep {
             }
         }
 
-        self.verify(&engine, target, k, op_index, &expected, sacrificed)
+        self.verify(&engine, target, k, op_index, &expected, sacrificed, true)
     }
 
     /// Probes one torn crash point on `target`: only `word_mask`'s 8-byte
@@ -745,7 +899,7 @@ impl ShardSweep {
         }
 
         match engine.recover_shard(target, crashed) {
-            Ok(_report) => self.verify(&engine, target, k, op_index, &expected, sacrificed),
+            Ok(_report) => self.verify(&engine, target, k, op_index, &expected, sacrificed, true),
             Err(_strict) => {
                 // The torn line legitimately defeated fail-stop recovery.
                 // Reproduce (deterministic replay) and scrub the target;
@@ -767,7 +921,15 @@ impl ShardSweep {
                         ));
                     }
                 }
-                self.verify(&engine2, target, k, op_index, &tc2.expected, tc2.sacrificed)
+                self.verify(
+                    &engine2,
+                    target,
+                    k,
+                    op_index,
+                    &tc2.expected,
+                    tc2.sacrificed,
+                    true,
+                )
             }
         }
     }
@@ -853,7 +1015,7 @@ impl ShardSweep {
                 sys.ctrl.nvm.disarm_crash();
                 sys.ctrl.nvm.trace_pokes(false);
                 engine.put_shard(target, sys);
-                self.verify(&engine, target, k, op_index, &expected, sacrificed)
+                self.verify(&engine, target, k, op_index, &expected, sacrificed, true)
             }
             Ok(Err(e)) => Err(self.fail(
                 target,
@@ -896,7 +1058,7 @@ impl ShardSweep {
                                 "the shard's own ADR journal must record the interrupted attempt",
                             ));
                         }
-                        self.verify(&engine, target, k, op_index, &expected, sacrificed)
+                        self.verify(&engine, target, k, op_index, &expected, sacrificed, true)
                     }
                     Err(strict) => Err(self.fail(
                         target,
@@ -907,6 +1069,294 @@ impl ShardSweep {
                     )),
                 }
             }
+        }
+    }
+
+    /// Probes one *worker* crash: a clean crash on `target` at `k`, then a
+    /// whole-engine outage (neighbors power-cut at their own op
+    /// boundaries), then a parallel [`ShardedEngine::recover_all`]-style
+    /// rebuild by `workers` threads with a second crash armed at absolute
+    /// persist point `j` on the target's device. The worker driving the
+    /// target's region trips mid-rebuild and is caught in its region job;
+    /// every other worker's region must finish untouched. The target is
+    /// then crashed again and strictly re-recovered; its ADR journal (now
+    /// carrying per-lane marks) must report `core.recovery.restarts ≥ 1`
+    /// unless the inner crash landed after `DONE`.
+    pub fn probe_point_worker_crash(
+        &self,
+        target: usize,
+        k: u64,
+        j: u64,
+        workers: usize,
+    ) -> Option<ShardRepro> {
+        self.test_point_worker_crash(target, k, j, workers)
+            .map_err(|mut r| {
+                r.inner_point = Some(j);
+                r
+            })
+            .err()
+    }
+
+    fn test_point_worker_crash(
+        &self,
+        target: usize,
+        k: u64,
+        j: u64,
+        workers: usize,
+    ) -> Result<(), ShardRepro> {
+        enum Region {
+            Done(u64),
+            Tripped,
+            Failed(String),
+        }
+
+        let Some(tc) = self.crash_torn(target, k, 0xFF)? else {
+            return Ok(());
+        };
+        let ShardTornCrash {
+            engine,
+            mut crashed,
+            op_index,
+            mut expected,
+            sacrificed,
+        } = tc;
+
+        if !crashed.recoverable() {
+            return match crashed.recover() {
+                Err(IntegrityError::RecoveryUnsupported) => Ok(()),
+                _ => Err(self.fail(
+                    target,
+                    k,
+                    op_index,
+                    "WB must refuse recovery under worker-crash injection",
+                    "n/a",
+                )),
+            };
+        }
+
+        // Whole-engine outage: the target crashed mid-op (already
+        // reconciled); every neighbor loses power at its own op boundary.
+        // The inner crash is armed on the target's device only.
+        crashed.nvm_mut().arm_crash_torn(j, 0xFF);
+        let mut target_img = Some(crashed);
+        let images: Vec<Mutex<Option<CrashedSystem>>> = (0..self.shards)
+            .map(|s| {
+                Mutex::new(Some(if s == target {
+                    target_img.take().expect("one target image")
+                } else {
+                    engine.crash_shard(s)
+                }))
+            })
+            .collect();
+
+        let workers = workers.clamp(1, par::MAX_WORKERS);
+        let partials: Vec<Mutex<Option<SecureNvmSystem>>> =
+            (0..self.shards).map(|_| Mutex::new(None)).collect();
+        let (outcomes, _steals) = par::run_regions(workers, self.shards, |s, _w| {
+            let img = images[s]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each region runs exactly once")
+                .with_recovery_lanes(workers);
+            let mut slot = None;
+            match catch_unwind(AssertUnwindSafe(|| img.recover_into(&mut slot))) {
+                Ok(Ok(report)) => {
+                    let Some(mut sys) = slot.take() else {
+                        return Region::Failed("recovery returned Ok without parking".into());
+                    };
+                    sys.ctrl.nvm.disarm_crash();
+                    engine.put_shard(s, sys);
+                    Region::Done(
+                        report
+                            .metrics
+                            .counter("core.recovery.restarts")
+                            .unwrap_or(0),
+                    )
+                }
+                Ok(Err(e)) => Region::Failed(format!("strict recovery failed: {e}")),
+                Err(payload) => {
+                    if !payload.is::<CrashTripped>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    match slot.take() {
+                        Some(mut partial) => {
+                            partial.ctrl.nvm.disarm_crash();
+                            *partials[s].lock().unwrap() = Some(partial);
+                            Region::Tripped
+                        }
+                        None => Region::Failed(
+                            "inner crash tripped before recovery parked the system".into(),
+                        ),
+                    }
+                }
+            }
+        });
+
+        let mut target_finished = true;
+        for (s, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                Region::Done(restarts) => {
+                    if *restarts != 0 {
+                        return Err(self.fail(
+                            target,
+                            k,
+                            op_index,
+                            format!("uninterrupted region {s} reported {restarts} restarts"),
+                            "only the crashed worker's region may restart",
+                        ));
+                    }
+                }
+                Region::Tripped => {
+                    if s != target {
+                        return Err(self.fail(
+                            target,
+                            k,
+                            op_index,
+                            format!("inner crash armed on shard {target} tripped region {s}"),
+                            "regions recover off their own devices",
+                        ));
+                    }
+                    target_finished = false;
+                }
+                Region::Failed(e) => {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("region {s}: {e}"),
+                        "untorn parallel regions must recover strictly",
+                    ));
+                }
+            }
+        }
+
+        if !target_finished {
+            // Re-crash the interrupted worker's region and recover it
+            // strictly; its journal must carry the interrupted attempt.
+            let partial = partials[target]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("tripped region parks its partial");
+            let crashed2 = partial.crash();
+            let finished = !journal::in_progress(crashed2.nvm().recovery_journal().phase);
+            match engine.recover_shard(target, crashed2) {
+                Ok(report2) => {
+                    let restarts = report2
+                        .metrics
+                        .counter("core.recovery.restarts")
+                        .unwrap_or(0);
+                    if restarts == 0 && !finished {
+                        return Err(self.fail(
+                            target,
+                            k,
+                            op_index,
+                            format!(
+                                "second recovery after worker crash at {j} reported no restart"
+                            ),
+                            "the worker's lane marks must survive in the shard's ADR journal",
+                        ));
+                    }
+                }
+                Err(e) => {
+                    return Err(self.fail(
+                        target,
+                        k,
+                        op_index,
+                        format!("worker crash {k}>{j} failed second recovery: {e}"),
+                        "untorn nested crashes must recover strictly",
+                    ));
+                }
+            }
+        }
+
+        // Liveness: every shard keeps serving the rest of the stream after
+        // the parallel recovery, then the whole space verifies. Neighbors
+        // were co-recovered, so their journals read DONE, not IDLE.
+        for (i, &op) in self.ops.iter().enumerate().skip(op_index + 1) {
+            Self::apply_op(&engine, op).map_err(|e| {
+                self.fail(
+                    target,
+                    k,
+                    i,
+                    format!("post-recovery op failed: {e}"),
+                    "all shards must keep serving after a parallel recovery",
+                )
+            })?;
+            if let SweepOp::Write { line, tag } = op {
+                expected.insert(line * 64, SweepOp::payload(line, tag));
+            }
+        }
+        self.verify(&engine, target, k, op_index, &expected, sacrificed, false)
+    }
+
+    /// The worker-crash sweep: for every target shard and selected outer
+    /// point, the inner points recovery itself fires are probed as worker
+    /// crashes under a `workers`-thread parallel rebuild (bounded by
+    /// `inner_sel`), plus one synthetic beyond-horizon inner point when
+    /// recovery fires none.
+    pub fn run_worker_crashes(
+        &self,
+        outer_sel: PointSelection,
+        inner_sel: PointSelection,
+        workers: usize,
+    ) -> ShardSweepReport {
+        let label = format!(
+            "{} x{} sharded worker-crash w{workers}",
+            self.cfg.scheme.label(self.cfg.mode),
+            self.shards
+        );
+        let totals = match self.total_points() {
+            Ok(t) => t,
+            Err(e) => {
+                return ShardSweepReport {
+                    label,
+                    shards: self.shards,
+                    tested_points: 0,
+                    failures: vec![ShardRepro {
+                        target: 0,
+                        crash_point: 0,
+                        inner_point: None,
+                        op_index: 0,
+                        error: format!("baseline run failed: {e}"),
+                        divergent: "stream does not complete without a crash".into(),
+                    }],
+                };
+            }
+        };
+        let mut tested = 0u64;
+        let mut failures = Vec::new();
+        'sweep: for (target, &total) in totals.iter().enumerate() {
+            let outers = CrashSweep::select_with(outer_sel, (1..=total).collect());
+            for k in outers {
+                let inner = match self.recovery_points(target, k) {
+                    Ok(pts) if pts.is_empty() => vec![k + 1],
+                    Ok(pts) => CrashSweep::select_with(inner_sel, pts),
+                    Err(fail) => {
+                        failures.push(fail);
+                        if failures.len() >= self.max_failures {
+                            break 'sweep;
+                        }
+                        continue;
+                    }
+                };
+                for j in inner {
+                    tested += 1;
+                    if let Some(fail) = self.probe_point_worker_crash(target, k, j, workers) {
+                        failures.push(fail);
+                        if failures.len() >= self.max_failures {
+                            break 'sweep;
+                        }
+                    }
+                }
+            }
+        }
+        ShardSweepReport {
+            label,
+            shards: self.shards,
+            tested_points: tested,
+            failures,
         }
     }
 
@@ -1180,6 +1630,97 @@ mod tests {
         let ops = SweepOp::stream(23, cfg.data_lines.min(64), 32);
         let sweep = ShardSweep::new(cfg, 2, ops);
         let report = sweep.run_nested(PointSelection::AtMost(2), PointSelection::AtMost(2));
+        assert!(report.clean(), "{report}");
+        assert!(report.tested_points > 0);
+    }
+
+    fn dirtied(shards: usize, lines: u64) -> ShardedEngine {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), shards);
+        for line in 0..lines {
+            engine.write(line * 64, &SweepOp::payload(line, 6)).unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn parallel_recover_all_restores_every_shard() {
+        let engine = dirtied(4, 64);
+        let images = engine.crash_all();
+        let pr = engine.recover_all(images, 4).unwrap();
+        assert_eq!(pr.reports.len(), 4);
+        assert_eq!(pr.workers, 4);
+        assert_eq!(
+            pr.total_reads,
+            pr.reports.iter().map(|r| r.nvm_reads).sum::<u64>()
+        );
+        assert!(pr.makespan_reads <= pr.total_reads);
+        assert!(pr.makespan_reads >= pr.total_reads.div_ceil(4));
+        assert_eq!(
+            pr.metrics.counter("core.par.makespan_reads"),
+            Some(pr.makespan_reads)
+        );
+        for line in 0..64u64 {
+            assert_eq!(engine.read(line * 64).unwrap(), SweepOp::payload(line, 6));
+        }
+        for s in 0..4 {
+            engine.with_shard(s, |sys| {
+                assert_eq!(sys.ctrl.nvm.journal_owner(), s as u16);
+                assert_eq!(sys.ctrl.nvm.recovery_journal().phase, journal::DONE);
+            });
+        }
+    }
+
+    #[test]
+    fn worker_count_changes_makespan_but_not_shard_reports() {
+        let run = |workers: usize| {
+            let engine = dirtied(4, 96);
+            let images = engine.crash_all();
+            engine.recover_all(images, workers).unwrap()
+        };
+        let serial = run(1);
+        let quad = run(4);
+        assert_eq!(serial.makespan_reads, serial.total_reads);
+        assert_eq!(serial.total_reads, quad.total_reads);
+        assert!(
+            quad.speedup_over(&serial) >= 3.0,
+            "4 balanced regions must fold ≥3x: serial {} quad {}",
+            serial.makespan_reads,
+            quad.makespan_reads
+        );
+        // The per-shard reports — journals, verification work, exported
+        // metrics — are identical whichever worker count rebuilt them.
+        for (a, b) in serial.reports.iter().zip(&quad.reports) {
+            assert_eq!(a.nvm_reads, b.nvm_reads);
+            assert_eq!(
+                a.metrics.to_json_deterministic().pretty(),
+                b.metrics.to_json_deterministic().pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scrub_all_merges_region_verdicts() {
+        let engine = dirtied(4, 64);
+        let images = engine.crash_all();
+        let (reports, merged) = engine.scrub_all(images, 4);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(
+            merged.data_intact,
+            reports.iter().map(|r| r.data_intact).sum::<u64>()
+        );
+        assert_eq!(merged.data_unrecoverable, 0, "{merged}");
+        for line in 0..64u64 {
+            assert_eq!(engine.read(line * 64).unwrap(), SweepOp::payload(line, 6));
+        }
+    }
+
+    #[test]
+    fn worker_crash_mid_parallel_rebuild_restarts_only_that_region() {
+        let cfg = small(SchemeKind::Steins);
+        let ops = SweepOp::stream(29, cfg.data_lines.min(64), 32);
+        let sweep = ShardSweep::new(cfg, 2, ops);
+        let report =
+            sweep.run_worker_crashes(PointSelection::AtMost(2), PointSelection::AtMost(2), 4);
         assert!(report.clean(), "{report}");
         assert!(report.tested_points > 0);
     }

@@ -29,20 +29,74 @@ pub const READ_RETRY_ATTEMPTS: u32 = 3;
 /// journal's persist events never collide with a real line.
 pub const RECOVERY_JOURNAL_ADDR: u64 = !63;
 
+/// Per-lane high-water-mark slots in the [`RecoveryJournal`]. Parallel
+/// recovery splits a rebuild into at most this many contiguous regions and
+/// journals each region's progress in its own slot (one 8 B word per slot —
+/// together with the phase/restart words the journal still fits one ADR
+/// line).
+pub const RECOVERY_LANES: usize = 8;
+
 /// The ADR-resident recovery journal: a phase tag plus high-water mark that
 /// recovery updates as it replays durable state, making a second crash
 /// *during* recovery survivable. `phase` values are assigned by the
 /// controller crate (the device only persists them); `hwm` counts completed
 /// re-entrant steps within the phase; `restarts` counts recovery attempts
 /// that were interrupted before reaching their terminal phase.
+///
+/// **Lane marks.** A parallel recoverer additionally records per-region
+/// progress in `marks[..lanes]` (`lanes = 0` is the single-threaded-era
+/// layout: `hwm` alone carries progress and `marks` is all-zero). Writers
+/// keep `hwm` equal to the sum of the lane marks at every boundary, so a
+/// single-threaded recoverer resuming a multi-lane journal — or the
+/// reverse — sees a consistent total either way.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryJournal {
     /// Controller-defined phase tag (0 = idle / never recovered).
     pub phase: u8,
     /// Completed steps within the phase (re-entry resumes past these).
+    /// Always the sum of the lane marks when `lanes > 0`.
     pub hwm: u64,
     /// Recovery attempts interrupted before completion.
     pub restarts: u32,
+    /// Lane-mark slots in use (0 = legacy single-mark layout).
+    pub lanes: u8,
+    /// Per-lane completed-step counts within each lane's region.
+    pub marks: [u64; RECOVERY_LANES],
+}
+
+impl RecoveryJournal {
+    /// The single-threaded-era journal layout: one global high-water mark,
+    /// no lane slots.
+    pub fn single(phase: u8, hwm: u64, restarts: u32) -> Self {
+        RecoveryJournal {
+            phase,
+            hwm,
+            restarts,
+            lanes: 0,
+            marks: [0; RECOVERY_LANES],
+        }
+    }
+
+    /// The multi-lane layout: per-region marks, `hwm` derived as their sum.
+    pub fn laned(phase: u8, restarts: u32, lanes: u8, marks: [u64; RECOVERY_LANES]) -> Self {
+        debug_assert!(lanes as usize <= RECOVERY_LANES);
+        RecoveryJournal {
+            phase,
+            hwm: marks.iter().sum(),
+            restarts,
+            lanes,
+            marks,
+        }
+    }
+
+    /// Total completed steps, whichever layout wrote the journal.
+    pub fn progress(&self) -> u64 {
+        if self.lanes == 0 {
+            self.hwm
+        } else {
+            self.marks[..self.lanes as usize].iter().sum()
+        }
+    }
 }
 
 #[derive(Clone, Copy, Default)]
@@ -711,11 +765,7 @@ mod tests {
         assert_eq!(d.shard(), 3);
         // The stamp lands with the journal write, not with set_shard.
         assert_eq!(d.journal_owner(), 0);
-        d.set_recovery_journal(RecoveryJournal {
-            phase: 1,
-            hwm: 7,
-            restarts: 0,
-        });
+        d.set_recovery_journal(RecoveryJournal::single(1, 7, 0));
         assert_eq!(d.journal_owner(), 3);
         assert_eq!(d.recovery_journal().hwm, 7);
     }
@@ -834,11 +884,7 @@ mod tests {
     #[test]
     fn recovery_journal_is_a_persist_point_and_survives_reset() {
         let mut d = dev();
-        let j = RecoveryJournal {
-            phase: 3,
-            hwm: 17,
-            restarts: 1,
-        };
+        let j = RecoveryJournal::single(3, 17, 1);
         d.set_recovery_journal(j);
         assert_eq!(d.persist_seq(), 1, "journal update is an ADR persist");
         assert_eq!(d.recovery_journal(), j);
@@ -849,16 +895,31 @@ mod tests {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            d.set_recovery_journal(RecoveryJournal {
-                phase: 4,
-                hwm: 0,
-                restarts: 0,
-            });
+            d.set_recovery_journal(RecoveryJournal::single(4, 0, 0));
         }));
         std::panic::set_hook(prev);
         assert!(trip.expect_err("must trip").is::<CrashTripped>());
         assert_eq!(d.recovery_journal().phase, 4);
         assert_eq!(d.tripped_at().map(|p| p.addr), Some(RECOVERY_JOURNAL_ADDR));
+    }
+
+    #[test]
+    fn laned_journal_progress_matches_hwm() {
+        let mut marks = [0u64; RECOVERY_LANES];
+        marks[0] = 5;
+        marks[2] = 3;
+        let j = RecoveryJournal::laned(1, 0, 4, marks);
+        assert_eq!(j.hwm, 8, "hwm derives as the mark sum");
+        assert_eq!(j.progress(), 8);
+        // Legacy layout: hwm alone carries progress.
+        let legacy = RecoveryJournal::single(1, 11, 2);
+        assert_eq!(legacy.lanes, 0);
+        assert_eq!(legacy.progress(), 11);
+        // Round-trips through the device like any journal.
+        let mut d = dev();
+        d.set_recovery_journal(j);
+        assert_eq!(d.recovery_journal().marks[2], 3);
+        assert_eq!(d.recovery_journal().progress(), 8);
     }
 
     #[test]
