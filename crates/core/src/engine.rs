@@ -21,6 +21,7 @@ use crate::cme::{xor_otp, MacRecord};
 use crate::config::{LeafRecovery, SchemeKind, SystemConfig};
 use crate::error::IntegrityError;
 use crate::nvbuffer::NvBufferEntry;
+use crate::online::{OnlinePolicy, OnlineService};
 use crate::report::{LatencyStats, RunReport};
 use crate::scheme::{star, AsitState, SchemeState, StarState, SteinsState};
 use steins_cache::{CacheHierarchy, CpuModel, MemEvent};
@@ -758,6 +759,11 @@ impl SecureMemoryController {
 
     /// Re-encrypts every persisted block a split leaf covers after a minor
     /// overflow (§II-B), except the block currently being written.
+    ///
+    /// Every covered line is MAC-verified under its old counter pair before
+    /// being re-encrypted; corrupt or unreadable lines are skipped so their
+    /// stale `(ciphertext, record)` keeps failing closed instead of being
+    /// laundered under a fresh MAC.
     #[allow(clippy::too_many_arguments)]
     fn reencrypt_leaf(
         &mut self,
@@ -768,10 +774,16 @@ impl SecureMemoryController {
         new_major: u64,
         skip_line: u64,
     ) -> Result<Cycle, IntegrityError> {
-        // Phase 1 — compute: read and re-encrypt every covered line, then
-        // MAC all of them in one batch so the engine's lanes fill. Only the
-        // crypto is batched; no durable state changes in this phase.
-        let mut pending: Vec<(u64, u64, [u8; 64])> = Vec::new();
+        // Phase 1 — verify, then compute. Each covered line's ciphertext is
+        // read through the fault overlay, so it must be authenticated under
+        // the *old* pair before being touched: re-encrypting a flipped or
+        // stuck line and stamping it with a fresh MAC would launder the
+        // corruption into an authenticated block. A line that fails the
+        // check (or is unreadable outright) is left exactly as it was — old
+        // ciphertext, old record — so it keeps failing closed on reads until
+        // the scrub quarantines it. Only the crypto is batched; no durable
+        // state changes in this phase.
+        let mut candidates: Vec<(u64, u64, [u8; 64], u64)> = Vec::new();
         for d in self.layout.geometry.data_of_leaf(leaf) {
             if d == skip_line {
                 continue;
@@ -780,18 +792,29 @@ impl SecureMemoryController {
             if !self.nvm.storage().contains(daddr) {
                 continue; // never written: nothing to re-encrypt
             }
+            if !self.nvm.is_readable(daddr) {
+                continue; // fails closed already; the scrub will alarm it
+            }
             let slot = (d % self.cfg.mode.leaf_coverage()) as usize;
             let (ct, t2) = self.nvm.read(t, daddr);
             t = t2;
+            candidates.push((d, daddr, ct, u64::from(old_minors[slot])));
+        }
+        let verify_msgs: Vec<[u8; 88]> = candidates
+            .iter()
+            .map(|(_, daddr, ct, minor)| data_mac_message(*daddr, ct, old_major, *minor))
+            .collect();
+        let mut verify_macs = vec![0u64; verify_msgs.len()];
+        self.crypto.mac64_88_many(&verify_msgs, &mut verify_macs);
+        let mut pending: Vec<(u64, u64, [u8; 64])> = Vec::new();
+        for ((d, daddr, ct, minor), vmac) in candidates.into_iter().zip(verify_macs) {
+            self.energy.hashes += 1;
+            if self.get_mac_record(d).mac != vmac {
+                continue; // corrupt under the old pair: skip, never launder
+            }
             let mut buf = ct;
             // Decrypt under the old pair, re-encrypt under (new major, 0).
-            xor_otp(
-                self.crypto.as_ref(),
-                daddr,
-                old_major,
-                u64::from(old_minors[slot]),
-                &mut buf,
-            );
+            xor_otp(self.crypto.as_ref(), daddr, old_major, minor, &mut buf);
             xor_otp(self.crypto.as_ref(), daddr, new_major, 0, &mut buf);
             self.energy.aes_ops += 2;
             self.energy.hashes += 1;
@@ -820,6 +843,56 @@ impl SecureMemoryController {
             t = self.wq.push(t, *daddr, buf, &mut self.nvm);
         }
         Ok(t)
+    }
+
+    /// Epoch re-encryption sweep step, driven by the online integrity
+    /// service (`crate::online`): advances a split leaf's major counter
+    /// past its current epoch and re-encrypts every persisted block it
+    /// covers under the fresh `(major′, 0)` pairs — the same
+    /// [`Self::reencrypt_leaf`] machinery the natural minor-overflow path
+    /// uses, triggered by policy instead of by overflow. Returns `false`
+    /// (no-op) for general-counter leaves, which have no epoch.
+    ///
+    /// The major bump absorbs the minors being reset (`Δ = ⌈Σminors/64⌉`,
+    /// floored at 1), so the generated parent value (Eq. 2) stays
+    /// monotone and the L0Inc accounting mirrors the overflow path
+    /// exactly. Runs in the background: device and queue occupancy are
+    /// charged, the controller front-end is not ratcheted.
+    ///
+    /// The caller should verify every covered line first; as defense in
+    /// depth [`Self::reencrypt_leaf`] additionally re-checks each line's
+    /// MAC under its old pair and skips any that fail, so a poisoned or
+    /// stuck line is never laundered under a fresh MAC.
+    pub(crate) fn epoch_reencrypt(&mut self, leaf_id: NodeId) -> Result<bool, IntegrityError> {
+        let t = self.front_free;
+        let t = self.ensure_cached(t, leaf_id)?;
+        let loff = self.layout.geometry.offset_of(leaf_id);
+        let pre = *self.meta.peek(loff).expect("leaf just ensured");
+        let mut leaf = pre;
+        let CounterBlock::Split(s) = &mut leaf.counters else {
+            return Ok(false);
+        };
+        let old_major = s.major;
+        let old_minors = s.minors;
+        let minor_sum: u64 = s.minors.iter().map(|&m| u64::from(m)).sum();
+        let delta = minor_sum.div_ceil(64).max(1);
+        s.major += delta;
+        s.minors = [0; 64];
+        let pv_delta = leaf.counters.parent_value() - pre.counters.parent_value();
+        self.meta.write(loff, leaf);
+        let t = self.on_node_modified(t, loff, &pre)?;
+        self.reencrypt_leaf(
+            t,
+            leaf_id,
+            old_major,
+            &old_minors,
+            old_major + delta,
+            u64::MAX,
+        )?;
+        if self.is_steins() {
+            self.scheme.steins().lincs.add(0, pv_delta);
+        }
+        Ok(true)
     }
 
     /// Eager update (§II-C, ablation): advance every ancestor's counter for
@@ -1000,6 +1073,12 @@ impl SecureMemoryController {
         &self.nvm
     }
 
+    /// Mutable NVM device access — fault injection in tests and chaos
+    /// harnesses (mirrors [`crate::crash::CrashedSystem::nvm_mut`]).
+    pub fn nvm_mut(&mut self) -> &mut NvmDevice {
+        &mut self.nvm
+    }
+
     /// Peeks a cached node (diagnostics).
     pub fn meta_peek(&self, offset: u64) -> Option<&SitNode> {
         self.meta.peek(offset)
@@ -1127,6 +1206,9 @@ pub struct SecureNvmSystem {
     /// FxHash-keyed: consulted on every simulated read and write.
     pub(crate) truth: FxHashMap<u64, [u8; 64]>,
     write_seq: u64,
+    /// The online integrity service ([`crate::online`]), when enabled.
+    /// `None` by default: existing single-system workloads pay nothing.
+    online: Option<OnlineService>,
 }
 
 impl SecureNvmSystem {
@@ -1151,6 +1233,7 @@ impl SecureNvmSystem {
             ctrl,
             truth: FxHashMap::default(),
             write_seq: 0,
+            online: None,
         }
     }
 
@@ -1245,13 +1328,25 @@ impl SecureNvmSystem {
     /// Direct API: securely writes one line and persists it (store + clwb).
     pub fn write(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), IntegrityError> {
         let addr = addr & !63;
+        self.check_quarantine(addr)?;
         let acc = self.hier.access(addr, true);
         self.service_events(&acc.events)?;
-        self.truth.insert(addr, *data);
-        if let Some(MemEvent::WriteBack { addr }) = self.hier.flush_line(addr) {
-            let data = self.truth_line(addr);
-            self.ctrl.write_data(self.cpu.now, addr, &data)?;
+        let prev = self.truth.insert(addr, *data);
+        if let Some(MemEvent::WriteBack { addr: wb }) = self.hier.flush_line(addr) {
+            let line = self.truth_line(wb);
+            if let Err(e) = self.ctrl.write_data(self.cpu.now, wb, &line) {
+                // The store never became durable (e.g. its metadata path is
+                // damaged): the ack is an error, so ground truth must keep
+                // the previous value — the device still holds it with a
+                // valid MAC, and a later fill must not count as divergence.
+                match prev {
+                    Some(p) => self.truth.insert(addr, p),
+                    None => self.truth.remove(&addr),
+                };
+                return Err(e);
+            }
         }
+        self.maybe_online_step();
         Ok(())
     }
 
@@ -1259,6 +1354,7 @@ impl SecureNvmSystem {
     /// returns the cached truth, a miss decrypts and verifies from NVM).
     pub fn read(&mut self, addr: u64) -> Result<[u8; 64], IntegrityError> {
         let addr = addr & !63;
+        self.check_quarantine(addr)?;
         let acc = self.hier.access(addr, false);
         let mut from_mem = None;
         for ev in &acc.events {
@@ -1278,10 +1374,86 @@ impl SecureNvmSystem {
                 }
             }
         }
+        self.maybe_online_step();
         Ok(match from_mem {
             Some(data) => data,
             None => self.truth.get(&addr).copied().unwrap_or([0u8; 64]),
         })
+    }
+
+    /// Fails typed when the online integrity service has quarantined
+    /// `addr`'s region — the request must never be silently mis-acked
+    /// against content the scrub proved untrustworthy.
+    fn check_quarantine(&self, addr: u64) -> Result<(), IntegrityError> {
+        match &self.online {
+            Some(o) if o.is_quarantined(addr) => Err(IntegrityError::Quarantined { addr }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Runs a scrub step if the service is enabled and the period elapsed.
+    /// The service is taken out of `self` for the step so it can drive the
+    /// controller through `&mut self` without aliasing.
+    fn maybe_online_step(&mut self) {
+        if let Some(mut svc) = self.online.take() {
+            if svc.note_op() {
+                svc.step(self);
+            }
+            self.online = Some(svc);
+        }
+    }
+
+    /// Enables the online integrity service under `policy`, replacing any
+    /// prior service (cursor, quarantine, and telemetry reset).
+    pub fn enable_online(&mut self, policy: OnlinePolicy) {
+        self.online = Some(OnlineService::new(policy));
+    }
+
+    /// The online integrity service, when enabled.
+    pub fn online(&self) -> Option<&OnlineService> {
+        self.online.as_ref()
+    }
+
+    /// The online integrity service, mutably (policy retuning, cursor
+    /// resume from a crashed image's journal marks).
+    pub fn online_mut(&mut self) -> Option<&mut OnlineService> {
+        self.online.as_mut()
+    }
+
+    /// Forces one scrub step now, regardless of the period (the throttle
+    /// still applies). No-op when the service is disabled.
+    pub fn online_step(&mut self) {
+        if let Some(mut svc) = self.online.take() {
+            svc.step(self);
+            self.online = Some(svc);
+        }
+    }
+
+    /// Forces one full scrub pass over every data line, ignoring both the
+    /// period and the throttle — the operator's "finish the scrub now"
+    /// lever. No-op when the service is disabled.
+    pub fn online_scrub_pass(&mut self) {
+        if let Some(mut svc) = self.online.take() {
+            svc.full_pass(self);
+            self.online = Some(svc);
+        }
+    }
+
+    /// Drains the online service's alarm events (empty when disabled).
+    pub fn drain_alarms(&mut self) -> Vec<steins_obs::Alarm> {
+        match &mut self.online {
+            Some(o) => o.alarms.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Operator override: releases `addr`'s line from quarantine. Returns
+    /// whether it was quarantined.
+    pub fn clear_quarantine(&mut self, addr: u64) -> bool {
+        match &mut self.online {
+            Some(o) => o.clear_quarantine(addr),
+            None => false,
+        }
     }
 
     /// Deterministic simulated-cycle makespan of this machine: the furthest
@@ -1319,6 +1491,9 @@ impl SecureNvmSystem {
         metrics.counter_add("core.cpu.write_stall_cycles", self.cpu.write_stall_cycles);
         metrics.insert_hist("core.read.latency_cycles", &self.ctrl.rlat.hist);
         metrics.insert_hist("core.write.latency_cycles", &self.ctrl.wlat.hist);
+        if let Some(o) = &self.online {
+            o.export_metrics(&mut metrics);
+        }
         RunReport {
             label: self.cfg.scheme.label(self.cfg.mode),
             cycles: self.cpu.now,

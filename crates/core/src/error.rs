@@ -57,6 +57,22 @@ pub enum IntegrityError {
     /// shadow table, bitmap), so once one has started, strict recovery is
     /// no longer sound — the caller must re-run the scrub instead.
     ScrubInterrupted,
+    /// The request routed to a shard that has been parked `Degraded`
+    /// (poisoned lock, crash mid-operation, or an unrecoverable scrub
+    /// verdict). The shard fails typed instead of propagating a panic to
+    /// its neighbors; the rest of the engine keeps serving.
+    ShardDegraded {
+        /// The degraded shard.
+        shard: u16,
+    },
+    /// The line belongs to a region the online integrity service has
+    /// quarantined (MAC mismatch, unreadable media, exhausted read
+    /// retries). Reads and writes fail typed until an operator clears the
+    /// quarantine; the ack is never silently wrong.
+    Quarantined {
+        /// Line address of the quarantined region.
+        addr: u64,
+    },
 }
 
 impl std::fmt::Display for IntegrityError {
@@ -103,6 +119,15 @@ impl std::fmt::Display for IntegrityError {
                     "recovery journal records an interrupted scrub: re-run the scrub"
                 )
             }
+            IntegrityError::ShardDegraded { shard } => {
+                write!(f, "shard {shard} is degraded and not serving requests")
+            }
+            IntegrityError::Quarantined { addr } => {
+                write!(
+                    f,
+                    "address {addr:#x} is quarantined by the online integrity service"
+                )
+            }
         }
     }
 }
@@ -127,5 +152,10 @@ mod tests {
             node: NodeId { level: 1, index: 5 },
         };
         assert!(e.to_string().contains("level 1"));
+        let e = IntegrityError::ShardDegraded { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        let e = IntegrityError::Quarantined { addr: 0xC0 };
+        assert!(e.to_string().contains("0xc0"));
+        assert!(e.to_string().contains("quarantine"));
     }
 }

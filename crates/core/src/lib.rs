@@ -18,7 +18,10 @@
 //! * [`scrub`] — lenient recovery: the non-panicking integrity scrub with
 //!   region-granular verdicts (`Intact`/`Recovered`/`Unrecoverable`).
 //! * [`campaign`] — the seeded randomized fault campaign composing crash
-//!   points × torn-word masks × attacks/media faults.
+//!   points × torn-word masks × attacks/media faults, plus the chaos mode
+//!   that injects them under live multi-shard serving traffic.
+//! * [`online`] — the online integrity service: incremental background
+//!   scrub, epoch re-encryption, wear rotation, quarantine, and alarms.
 //! * [`par`] — the work-stealing region queue and deterministic lane
 //!   folding behind parallel recovery (see [`shard::ParallelRecovery`]).
 //! * [`cme`], [`linc`], [`nvbuffer`], [`cachetree`] — building blocks.
@@ -38,6 +41,7 @@ pub mod engine;
 pub mod error;
 pub mod linc;
 pub mod nvbuffer;
+pub mod online;
 pub mod par;
 pub mod recovery;
 pub mod report;
@@ -45,11 +49,15 @@ pub mod scheme;
 pub mod scrub;
 pub mod shard;
 
-pub use campaign::{CampaignConfig, CampaignOutcome, CampaignReport, FaultCampaign};
+pub use campaign::{
+    run_chaos, CampaignConfig, CampaignOutcome, CampaignReport, ChaosConfig, ChaosReport,
+    FaultCampaign,
+};
 pub use config::{SchemeKind, SystemConfig};
 pub use crash::{CrashRepro, CrashSweep, CrashedSystem, PointSelection, SweepOp, SweepReport};
 pub use engine::SecureNvmSystem;
 pub use error::IntegrityError;
+pub use online::{OnlinePolicy, OnlineService};
 pub use recovery::RecoveryReport;
 pub use report::RunReport;
 pub use scrub::{ScrubReport, Verdict};

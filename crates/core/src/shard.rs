@@ -31,16 +31,18 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use steins_metadata::{CounterMode, ShardMap, StripeMode};
 use steins_nvm::{CrashTripped, PersistKind};
-use steins_obs::MetricRegistry;
+use steins_obs::{Alarm, AlarmKind, AlarmLog, MetricRegistry};
 
 use crate::config::{SchemeKind, SystemConfig};
 use crate::crash::{silence_crash_trips, CrashSweep, CrashedSystem, PointSelection, SweepOp};
 use crate::engine::SecureNvmSystem;
 use crate::error::IntegrityError;
+use crate::online::OnlinePolicy;
 use crate::par;
 use crate::recovery::{journal, RecoveryReport};
 use crate::scrub::ScrubReport;
@@ -56,6 +58,28 @@ pub struct ShardedEngine {
     map: ShardMap,
     shard_cfg: SystemConfig,
     shards: Vec<Mutex<Option<SecureNvmSystem>>>,
+    /// Per-shard degraded flags. A degraded shard fails requests with
+    /// [`IntegrityError::ShardDegraded`] instead of serving (or panicking);
+    /// [`Self::put_shard`] clears the flag when a recovered system is
+    /// reinstated. Set on: a torn shard operation (a holder panicked
+    /// mid-operation, so the in-memory state is suspect), an explicit
+    /// [`Self::park_degraded`], or a scrub that could not rebuild a system.
+    degraded: Vec<AtomicBool>,
+    /// Per-shard "operation in flight" markers — the engine's own poison
+    /// flag. Set under the shard lock before calling into the system and
+    /// cleared after it returns; a panic unwinding through the call leaves
+    /// it set, and the next [`Self::guard`] parks the shard `Degraded`.
+    /// Unlike `std`'s sticky mutex poison (whose `clear_poison` needs Rust
+    /// 1.77, above this crate's MSRV), this flag is resettable: a
+    /// recovered system reinstated via [`Self::put_shard`] serves again.
+    mid_op: Vec<AtomicBool>,
+    /// Engine-level lifecycle alarms: `ShardDegraded` transitions raised
+    /// by the engine itself, plus harness-observed events recorded via
+    /// [`Self::raise_alarm`] (e.g. torn writes in the chaos campaign).
+    /// Per-shard *service* alarms live inside each shard's
+    /// [`crate::online::OnlineService`]; [`Self::drain_alarms`] merges
+    /// both in deterministic order.
+    alarms: Mutex<AlarmLog>,
 }
 
 impl ShardedEngine {
@@ -80,10 +104,15 @@ impl ShardedEngine {
                 Mutex::new(Some(sys))
             })
             .collect();
+        let degraded = (0..shards).map(|_| AtomicBool::new(false)).collect();
+        let mid_op = (0..shards).map(|_| AtomicBool::new(false)).collect();
         ShardedEngine {
             map,
             shard_cfg,
             shards: insts,
+            degraded,
+            mid_op,
+            alarms: Mutex::new(AlarmLog::new()),
         }
     }
 
@@ -116,36 +145,116 @@ impl ShardedEngine {
     /// Locks shard `s`, recovering the guard if a previous holder panicked
     /// (the crash harness unwinds [`CrashTripped`] through these locks by
     /// design; the shard's state is exactly what the power cut left).
+    /// If the previous holder died mid-operation (its [`Self::mid_op`]
+    /// marker is still set), the shard is parked `Degraded`: until a
+    /// recovered system is reinstated ([`Self::put_shard`]) it must fail
+    /// typed rather than serve suspect state — and must never panic a
+    /// *neighbor's* request.
     fn guard(&self, s: usize) -> MutexGuard<'_, Option<SecureNvmSystem>> {
-        self.shards[s]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        let g = match self.shards[s].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Checked under the lock, so a set marker can only mean a previous
+        // holder unwound mid-call — not a concurrent op in progress.
+        if self.mid_op[s].load(Ordering::Acquire) {
+            self.mark_degraded(s);
+        }
+        g
     }
 
-    /// Securely writes one 64 B line at a global address.
+    /// Parks shard `s` `Degraded`, raising a `ShardDegraded` alarm on the
+    /// false→true transition only. Lifecycle alarms carry cycle stamp 0:
+    /// the engine has no global clock, and a constant stamp keeps the
+    /// merged alarm log byte-identical across host thread schedules.
+    fn mark_degraded(&self, s: usize) {
+        if self.degraded[s]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.raise_alarm(Alarm {
+                kind: AlarmKind::ShardDegraded,
+                shard: s as u16,
+                addr: None,
+                cycle: 0,
+            });
+        }
+    }
+
+    /// Records an engine-level lifecycle alarm (see the `alarms` field).
+    pub fn raise_alarm(&self, alarm: Alarm) {
+        self.alarms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .raise(alarm);
+    }
+
+    /// Runs `f` with the mid-op marker raised: a panic unwinding out of
+    /// `f` leaves the marker set, which parks the shard `Degraded` at the
+    /// next lock acquisition. Call only while holding shard `s`'s guard.
+    fn marked<R>(&self, s: usize, f: impl FnOnce() -> R) -> R {
+        self.mid_op[s].store(true, Ordering::Release);
+        let r = f();
+        self.mid_op[s].store(false, Ordering::Release);
+        r
+    }
+
+    /// Whether shard `s` is parked `Degraded` (poisoned lock, explicit
+    /// park, or an unrecoverable scrub).
+    pub fn is_degraded(&self, s: usize) -> bool {
+        self.degraded[s].load(Ordering::Acquire)
+    }
+
+    /// Shards currently parked `Degraded`, in shard order.
+    pub fn degraded_shards(&self) -> Vec<u16> {
+        (0..self.shards())
+            .filter(|&s| self.is_degraded(s))
+            .map(|s| s as u16)
+            .collect()
+    }
+
+    /// Parks shard `s` `Degraded`, returning its system (if the slot still
+    /// held one) so the caller can crash/scrub it offline. Requests routed
+    /// to the shard fail with [`IntegrityError::ShardDegraded`] until
+    /// [`Self::put_shard`] reinstates a recovered system.
+    pub fn park_degraded(&self, s: usize) -> Option<SecureNvmSystem> {
+        let mut g = self.guard(s);
+        self.mark_degraded(s);
+        g.take()
+    }
+
+    /// Securely writes one 64 B line at a global address. A request routed
+    /// to a degraded or crashed/taken shard fails typed — a fault on one
+    /// shard never panics traffic on the engine.
     pub fn write(&self, addr: u64, data: &[u8; 64]) -> Result<(), IntegrityError> {
         let (s, local) = self.map.route(addr);
-        self.guard(s)
-            .as_mut()
-            .unwrap_or_else(|| panic!("write routed to crashed/taken shard {s}"))
-            .write(local, data)
+        let mut g = self.guard(s);
+        match g.as_mut() {
+            Some(sys) if !self.is_degraded(s) => self.marked(s, || sys.write(local, data)),
+            _ => Err(IntegrityError::ShardDegraded { shard: s as u16 }),
+        }
     }
 
-    /// Securely reads one 64 B line at a global address.
+    /// Securely reads one 64 B line at a global address. Degraded and
+    /// crashed/taken shards fail typed, like [`Self::write`].
     pub fn read(&self, addr: u64) -> Result<[u8; 64], IntegrityError> {
         let (s, local) = self.map.route(addr);
-        self.guard(s)
-            .as_mut()
-            .unwrap_or_else(|| panic!("read routed to crashed/taken shard {s}"))
-            .read(local)
+        let mut g = self.guard(s);
+        match g.as_mut() {
+            Some(sys) if !self.is_degraded(s) => self.marked(s, || sys.read(local)),
+            _ => Err(IntegrityError::ShardDegraded { shard: s as u16 }),
+        }
     }
 
-    /// Runs `f` against shard `s`'s live system under its lock.
+    /// Runs `f` against shard `s`'s live system under its lock. A panic
+    /// unwinding out of `f` parks the shard `Degraded` (it died
+    /// mid-operation), like [`Self::write`]/[`Self::read`].
     pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&mut SecureNvmSystem) -> R) -> R {
-        f(self
-            .guard(s)
+        let mut g = self.guard(s);
+        let sys = g
             .as_mut()
-            .unwrap_or_else(|| panic!("shard {s} is crashed/taken")))
+            .unwrap_or_else(|| panic!("shard {s} is crashed/taken"));
+        self.marked(s, || f(sys))
     }
 
     /// Removes shard `s`'s system from the engine (its slot stays empty
@@ -169,6 +278,10 @@ impl ShardedEngine {
         let mut g = self.guard(s);
         assert!(g.is_none(), "shard {s} slot already occupied");
         *g = Some(sys);
+        // A freshly recovered/rebuilt system un-parks the shard; the
+        // mid-op marker the dying holder left behind is spent with it.
+        self.mid_op[s].store(false, Ordering::Release);
+        self.degraded[s].store(false, Ordering::Release);
     }
 
     /// Pulls the plug on shard `s` only. Every other shard keeps running.
@@ -193,13 +306,16 @@ impl ShardedEngine {
     }
 
     /// Leniently scrubs shard `s`'s crashed image, reinstating the rebuilt
-    /// system when the scheme supports one (WB yields `None` and the slot
-    /// stays empty).
+    /// system when the scheme supports one. A scrub that cannot rebuild a
+    /// system (WB has no metadata redundancy) leaves the slot empty and
+    /// parks the shard `Degraded` — its verdict is unrecoverable at the
+    /// shard level, so routing fails typed instead of panicking.
     pub fn scrub_shard(&self, s: usize, crashed: CrashedSystem) -> ScrubReport {
         Self::check_journal_owner(s, &crashed);
         let (sys, report) = crashed.recover_lenient();
-        if let Some(sys) = sys {
-            self.put_shard(s, sys);
+        match sys {
+            Some(sys) => self.put_shard(s, sys),
+            None => self.mark_degraded(s),
         }
         report
     }
@@ -247,8 +363,67 @@ impl ShardedEngine {
             }
         }
         agg.gauge_set("core.shards", self.shards() as f64);
+        agg.gauge_set("core.shards.degraded", self.degraded_shards().len() as f64);
         agg.gauge_set("core.engine.sim_cycles", self.sim_cycles() as f64);
+        let lifecycle = self
+            .alarms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .metrics();
+        agg.merge(&lifecycle);
         agg
+    }
+
+    /// Enables the online integrity service on every live shard under one
+    /// shared `policy` (see [`crate::online::OnlinePolicy`]). Shards whose
+    /// slot is empty or degraded are skipped; a system reinstated later via
+    /// [`Self::put_shard`] must be re-enabled by the caller.
+    pub fn enable_online(&self, policy: OnlinePolicy) {
+        for s in 0..self.shards() {
+            if let Some(sys) = self.guard(s).as_mut() {
+                sys.enable_online(policy);
+            }
+        }
+    }
+
+    /// Runs one scrub step on every live, non-degraded shard (the
+    /// per-shard period is bypassed; the occupancy throttle still
+    /// applies). The engine-level analogue of
+    /// [`SecureNvmSystem::online_step`].
+    pub fn online_tick(&self) {
+        for s in 0..self.shards() {
+            let mut g = self.guard(s);
+            if let Some(sys) = g.as_mut() {
+                if !self.is_degraded(s) {
+                    self.marked(s, || sys.online_step());
+                }
+            }
+        }
+    }
+
+    /// Drains every pending alarm in deterministic order: the engine's
+    /// lifecycle log first, then each shard's service log in shard order.
+    /// Callers wanting a schedule-independent export sort the result with
+    /// [`AlarmLog::canonical`].
+    pub fn drain_alarms(&self) -> AlarmLog {
+        let mut out = AlarmLog::new();
+        for a in self
+            .alarms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain()
+        {
+            out.raise(a);
+        }
+        for s in 0..self.shards() {
+            let mut g = self.guard(s);
+            if let Some(sys) = g.as_mut() {
+                for a in sys.drain_alarms() {
+                    out.raise(a);
+                }
+            }
+        }
+        out
     }
 
     /// Pulls the plug on the whole engine: every shard loses power at its
@@ -1712,6 +1887,87 @@ mod tests {
         for line in 0..64u64 {
             assert_eq!(engine.read(line * 64).unwrap(), SweepOp::payload(line, 6));
         }
+    }
+
+    #[test]
+    fn requests_to_taken_shard_fail_typed_not_panicking() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 2)).unwrap();
+        }
+        let m = *engine.map();
+        let _img = engine.crash_shard(0);
+        let line0 = (0..16u64).find(|&l| m.shard_of(l) == 0).unwrap();
+        let line1 = (0..16u64).find(|&l| m.shard_of(l) == 1).unwrap();
+        assert_eq!(
+            engine.write(line0 * 64, &[0; 64]),
+            Err(IntegrityError::ShardDegraded { shard: 0 })
+        );
+        assert_eq!(
+            engine.read(line0 * 64),
+            Err(IntegrityError::ShardDegraded { shard: 0 })
+        );
+        // The neighbor is untouched by the typed failure.
+        assert_eq!(engine.read(line1 * 64).unwrap(), SweepOp::payload(line1, 2));
+    }
+
+    #[test]
+    fn poisoned_shard_parks_degraded_and_recovers_via_scrub() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 4)).unwrap();
+        }
+        let m = *engine.map();
+        let line0 = (0..16u64).find(|&l| m.shard_of(l) == 0).unwrap();
+        let line1 = (0..16u64).find(|&l| m.shard_of(l) == 1).unwrap();
+        // Poison shard 0's mutex: a holder panics mid-operation.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            engine.with_shard(0, |_| panic!("holder dies mid-op"));
+        }));
+        std::panic::set_hook(prev);
+        assert!(unwound.is_err());
+        // The next request parks the shard Degraded and fails typed — it
+        // must not propagate the panic, and neighbors keep serving.
+        assert_eq!(
+            engine.read(line0 * 64),
+            Err(IntegrityError::ShardDegraded { shard: 0 })
+        );
+        assert!(engine.is_degraded(0));
+        assert_eq!(engine.degraded_shards(), vec![0]);
+        assert_eq!(engine.read(line1 * 64).unwrap(), SweepOp::payload(line1, 4));
+        assert_eq!(engine.report().gauge("core.shards.degraded"), Some(1.0));
+        // Operator path: park (taking the suspect system), scrub offline,
+        // reinstate. put_shard clears the flag.
+        let suspect = engine.park_degraded(0).expect("system still in slot");
+        let report = engine.scrub_shard(0, suspect.crash());
+        assert!(report.clean(), "{report}");
+        assert!(!engine.is_degraded(0));
+        assert_eq!(engine.read(line0 * 64).unwrap(), SweepOp::payload(line0, 4));
+    }
+
+    #[test]
+    fn unrebuildable_scrub_parks_shard_degraded() {
+        let engine = ShardedEngine::new(small(SchemeKind::WriteBack), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 8)).unwrap();
+        }
+        let m = *engine.map();
+        let crashed = engine.crash_shard(1);
+        // WB has no metadata redundancy: the scrub classifies but cannot
+        // rebuild, so the shard parks Degraded instead of panicking.
+        let report = engine.scrub_shard(1, crashed);
+        assert!(report.data_intact > 0);
+        assert!(engine.is_degraded(1));
+        let line1 = (0..16u64).find(|&l| m.shard_of(l) == 1).unwrap();
+        assert_eq!(
+            engine.read(line1 * 64),
+            Err(IntegrityError::ShardDegraded { shard: 1 })
+        );
+        // Shard 0 never noticed.
+        let line0 = (0..16u64).find(|&l| m.shard_of(l) == 0).unwrap();
+        assert_eq!(engine.read(line0 * 64).unwrap(), SweepOp::payload(line0, 8));
     }
 
     #[test]

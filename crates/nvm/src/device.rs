@@ -21,8 +21,18 @@ use steins_obs::{Histogram, MetricRegistry};
 pub const WORDS_PER_LINE: usize = 8;
 
 /// Bounded re-read attempts the timed read path makes against a transient
-/// media fault before the uncorrectable error reaches the engine.
+/// media fault before the uncorrectable error reaches the engine. A
+/// transient that is still failing after the last attempt is promoted to a
+/// *permanent* unreadable fault (see [`NvmDevice::take_retry_exhausted`]).
 pub const READ_RETRY_ATTEMPTS: u32 = 3;
+
+/// Modeled-cycle delay before the *first* re-read of a transiently
+/// failing line. Attempt `k` (1-based) waits `2^(k-1)` times this before
+/// re-reading — a deterministic bounded exponential-backoff schedule:
+/// marginal cells get geometrically more settle time, the worst case
+/// stays bounded at `(2^READ_RETRY_ATTEMPTS - 1) ×` this, and no wall
+/// clock is involved anywhere.
+pub const READ_RETRY_BASE_CYCLES: Cycle = 32;
 
 /// Reserved line address of the ADR-resident recovery journal. Far outside
 /// any data/metadata region (the sparse store never allocates it), so the
@@ -185,6 +195,13 @@ pub struct NvmDevice {
     faults: FaultPlane,
     /// Timed reads that retried a transient media fault this epoch.
     read_retries: u64,
+    /// Transients promoted to permanent faults after exhausting the
+    /// backoff schedule this epoch.
+    retry_exhausted: u64,
+    /// `(line addr, completion cycle)` of each promotion since the last
+    /// [`Self::take_retry_exhausted`] — the online service drains these
+    /// into typed alarms.
+    exhausted_log: Vec<(u64, Cycle)>,
     /// Arrival→completion service-cycle distribution of reads.
     read_hist: Histogram,
     /// Arrival→completion service-cycle distribution of writes.
@@ -222,6 +239,8 @@ impl NvmDevice {
             journal_owner: 0,
             faults: FaultPlane::new(),
             read_retries: 0,
+            retry_exhausted: 0,
+            exhausted_log: Vec::new(),
             read_hist: Histogram::new(),
             write_hist: Histogram::new(),
             bank_hists,
@@ -349,9 +368,28 @@ impl NvmDevice {
             self.next_activate = start + self.cfg.timings.faw_spacing_cycles();
         }
         let service = self.cfg.timings.read_cycles(row_hit);
-        let done = start + service;
-        bank.next_free = done;
+        let mut done = start + service;
         bank.open_row = Some(row);
+
+        // Bounded exponential-backoff re-reads against transient media
+        // faults: attempt k waits 2^(k-1) × READ_RETRY_BASE_CYCLES modeled
+        // cycles, then re-reads — each failed attempt consumes one pending
+        // failure and bumps the persistent retry counter, so the accounting
+        // covers the exhausted-then-error path too. Short transients heal
+        // before the error can reach the engine; a transient that outlives
+        // the budget is promoted to a permanent unreadable fault and logged
+        // for the online service to alarm on.
+        let mut attempts = 0;
+        while attempts < READ_RETRY_ATTEMPTS && self.faults.consume_transient_failure(addr) {
+            done += READ_RETRY_BASE_CYCLES << attempts;
+            attempts += 1;
+            self.read_retries += 1;
+        }
+        if attempts == READ_RETRY_ATTEMPTS && self.faults.promote_transient(addr) {
+            self.retry_exhausted += 1;
+            self.exhausted_log.push((addr & !63, done));
+        }
+        self.banks[bank_idx].next_free = done;
 
         self.stats.reads += 1;
         if row_hit {
@@ -363,19 +401,6 @@ impl NvmDevice {
         self.stats.contention_cycles += start - now;
         self.read_hist.record(done - now);
         self.bank_hists[bank_idx].record(done - now);
-
-        // Bounded retry against transient media faults: each failed attempt
-        // consumes one pending failure; short transients heal before the
-        // error can reach the engine. Retries are functional only — the
-        // simulated timing above already covers the request. Each attempt
-        // bumps the persistent counter directly so the accounting covers the
-        // exhausted-then-error path too: when the budget runs out and the
-        // read still fails, the attempts that were burned stay counted.
-        let mut attempts = 0;
-        while attempts < READ_RETRY_ATTEMPTS && self.faults.consume_transient_failure(addr) {
-            attempts += 1;
-            self.read_retries += 1;
-        }
 
         (self.faults.observe(addr, self.storage.read(addr)), done)
     }
@@ -458,10 +483,26 @@ impl NvmDevice {
 
     /// Marks `addr`'s line transiently unreadable: the next `failures` read
     /// attempts fail, then the line heals. Transients within
-    /// [`READ_RETRY_ATTEMPTS`] are absorbed by the timed read path's retry
-    /// loop and never reach the engine.
+    /// [`READ_RETRY_ATTEMPTS`] are absorbed by the timed read path's
+    /// exponential-backoff re-read schedule and never reach the engine;
+    /// longer transients are promoted to permanent unreadable faults on
+    /// the first timed read that exhausts the budget.
     pub fn inject_transient_unreadable(&mut self, addr: u64, failures: u32) {
         self.faults.mark_transient_unreadable(addr, failures);
+    }
+
+    /// Transients promoted to permanent faults after exhausting the
+    /// backoff schedule this measurement epoch.
+    pub fn retry_exhausted(&self) -> u64 {
+        self.retry_exhausted
+    }
+
+    /// Drains the `(line addr, completion cycle)` log of backoff-schedule
+    /// exhaustions since the last drain. The online integrity service
+    /// turns each entry into a typed `RetryExhausted` alarm and
+    /// quarantines the region.
+    pub fn take_retry_exhausted(&mut self) -> Vec<(u64, Cycle)> {
+        std::mem::take(&mut self.exhausted_log)
     }
 
     /// Clears every injected stuck/unreadable fault (bit flips already
@@ -575,6 +616,8 @@ impl NvmDevice {
         self.persist_line_writes = 0;
         self.persist_adr_updates = 0;
         self.read_retries = 0;
+        self.retry_exhausted = 0;
+        self.exhausted_log.clear();
     }
 
     /// Service-cycle distribution of reads (arrival → data ready).
@@ -600,6 +643,7 @@ impl NvmDevice {
         reg.counter_add("nvm.adr.persists.line_write", self.persist_line_writes);
         reg.counter_add("nvm.adr.persists.in_place", self.persist_adr_updates);
         reg.counter_add("nvm.read.retries", self.read_retries);
+        reg.counter_add("nvm.read.retry_exhausted", self.retry_exhausted);
         reg.gauge_set("nvm.shard", self.shard_label as f64);
         reg.insert_hist("nvm.device.read_service_cycles", &self.read_hist);
         reg.insert_hist("nvm.device.write_service_cycles", &self.write_hist);
@@ -816,19 +860,30 @@ mod tests {
     }
 
     #[test]
-    fn transient_fault_retries_then_heals_or_errors() {
+    fn transient_fault_retries_then_heals_or_promotes() {
         let mut d = dev();
         d.write(0, 0, &[4; 64]);
-        // Within the retry budget: the engine-visible read succeeds.
+        // Fault-free baseline completion on the (open-row) line.
+        let (_, t_plain) = d.read(10_000, 0);
+        // Within the retry budget: the engine-visible read succeeds, paying
+        // exactly the deterministic backoff schedule in modeled cycles.
         d.inject_transient_unreadable(0, READ_RETRY_ATTEMPTS);
         assert!(!d.is_readable(0), "pending transient reads as a fault");
-        let (got, _) = d.read(0, 0);
-        assert_eq!(got, [4; 64], "retries absorb a short transient");
+        let (got, t_retried) = d.read(20_000, 0);
+        assert_eq!(got, [4; 64], "backoff re-reads absorb a short transient");
         assert!(d.is_readable(0));
-        // Beyond the budget: the read fails like a permanent error, but a
-        // later read (after the residual failures age out) succeeds.
+        let backoff: Cycle = (0..READ_RETRY_ATTEMPTS)
+            .map(|k| READ_RETRY_BASE_CYCLES << k)
+            .sum();
+        assert_eq!(
+            t_retried - 20_000,
+            (t_plain - 10_000) + backoff,
+            "each attempt doubles the previous wait"
+        );
+        // Beyond the budget: the schedule exhausts and the transient is
+        // promoted to a permanent unreadable fault — it does NOT heal.
         d.inject_transient_unreadable(0, READ_RETRY_ATTEMPTS + 2);
-        let (got, _) = d.read(0, 0);
+        let (got, _) = d.read(30_000, 0);
         assert_eq!(got, [crate::fault::POISON_BYTE; 64]);
         assert!(!d.is_readable(0));
         // The exhausted read burned its full budget before erroring — those
@@ -840,15 +895,30 @@ mod tests {
             Some(READ_RETRY_ATTEMPTS as u64 * 2),
             "failed-final-attempt retries are counted"
         );
-        let (got, _) = d.read(0, 0);
-        assert_eq!(got, [4; 64], "residual failures drain on later reads");
+        assert_eq!(reg.counter("nvm.read.retry_exhausted"), Some(1));
+        let exhausted = d.take_retry_exhausted();
+        assert_eq!(exhausted.len(), 1);
+        assert_eq!(exhausted[0].0, 0, "promotion pinned to the line addr");
+        assert!(d.take_retry_exhausted().is_empty(), "drain empties the log");
+        // The fault is now permanent: later reads poison without retrying.
+        let (got, _) = d.read(40_000, 0);
+        assert_eq!(got, [crate::fault::POISON_BYTE; 64]);
         let mut reg = MetricRegistry::new();
         d.export_metrics(&mut reg);
-        assert_eq!(reg.counter("nvm.read.retries"), Some(3 + 2 + 3));
+        assert_eq!(
+            reg.counter("nvm.read.retries"),
+            Some(READ_RETRY_ATTEMPTS as u64 * 2),
+            "permanent faults are not retried"
+        );
+        // Operator intervention (clear) restores the stored content.
+        d.clear_faults();
+        let (got, _) = d.read(50_000, 0);
+        assert_eq!(got, [4; 64]);
         d.reset_stats();
         let mut reg = MetricRegistry::new();
         d.export_metrics(&mut reg);
         assert_eq!(reg.counter("nvm.read.retries"), Some(0));
+        assert_eq!(reg.counter("nvm.read.retry_exhausted"), Some(0));
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //!   scrub classify the region instead of trusting the poison bytes.
 //! * **transient unreadable lines** — a soft media error that fails the
 //!   next *n* read attempts and then heals (marginal cells, disturbed
-//!   rows). The device's timed read path retries a bounded number of
-//!   times before surfacing the error, so short transients never reach
-//!   the engine.
+//!   rows). The device's timed read path re-reads on a bounded
+//!   exponential-backoff schedule (modeled cycles, no wall clock), so
+//!   short transients never reach the engine; a transient that outlives
+//!   the budget is promoted to a permanent unreadable fault
+//!   ([`FaultPlane::promote_transient`]).
 //!
 //! The plane is an overlay on [`crate::device::NvmDevice`]'s read path, so
 //! timing, wear, and persist-point enumeration are unaffected by injected
@@ -85,6 +87,21 @@ impl FaultPlane {
     /// Remaining failed attempts on a transiently-unreadable line.
     pub fn transient_remaining(&self, addr: u64) -> u32 {
         self.transient.get(&(addr & !63)).copied().unwrap_or(0)
+    }
+
+    /// Promotes a still-pending transient fault on `addr`'s line to a
+    /// permanent unreadable fault (the device calls this when the bounded
+    /// re-read schedule exhausts its budget). Returns `true` when a
+    /// transient was actually promoted, `false` when the line had none
+    /// left — an already-healed line is never re-poisoned.
+    pub fn promote_transient(&mut self, addr: u64) -> bool {
+        let key = addr & !63;
+        if self.transient.remove(&key).is_some() {
+            self.unreadable.insert(key);
+            true
+        } else {
+            false
+        }
     }
 
     /// Clears every injected fault.
@@ -173,6 +190,24 @@ mod tests {
         assert!(p.is_readable(320));
         assert_eq!(p.observe(320, [5; 64]), [5; 64]);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn promote_transient_makes_fault_permanent() {
+        let mut p = FaultPlane::new();
+        p.mark_transient_unreadable(64, 2);
+        assert!(p.promote_transient(64 + 9), "sub-line addr maps");
+        assert!(!p.is_readable(64));
+        assert_eq!(p.transient_remaining(64), 0, "transient entry consumed");
+        assert!(!p.consume_transient_failure(64), "no transient left");
+        assert_eq!(p.observe(64, [3; 64]), [POISON_BYTE; 64]);
+        assert!(
+            !p.promote_transient(64),
+            "healed/absent lines never promote"
+        );
+        assert!(!p.promote_transient(128));
+        p.clear();
+        assert!(p.is_readable(64));
     }
 
     #[test]

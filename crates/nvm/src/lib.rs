@@ -35,7 +35,7 @@ pub use command::{CommandNvmDevice, DdrCommand};
 pub use config::NvmConfig;
 pub use device::{
     CrashTripped, NvmDevice, PersistKind, PersistPoint, RecoveryJournal, READ_RETRY_ATTEMPTS,
-    RECOVERY_JOURNAL_ADDR, RECOVERY_LANES, WORDS_PER_LINE,
+    READ_RETRY_BASE_CYCLES, RECOVERY_JOURNAL_ADDR, RECOVERY_LANES, WORDS_PER_LINE,
 };
 pub use energy::{EnergyCounters, EnergyModel};
 pub use fault::{FaultPlane, POISON_BYTE};

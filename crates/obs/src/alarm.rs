@@ -1,0 +1,288 @@
+//! Typed attack-detection alarm channel.
+//!
+//! The online integrity service (core::online) detects conditions —
+//! MAC mismatches, replayed records, unreadable regions, torn writes,
+//! exhausted read retries, degraded shards — that an operator must see as
+//! *events*, not as counters smeared into a histogram. [`AlarmLog`] is the
+//! channel: an append-only log of typed [`Alarm`] events with a canonical
+//! ordering, a deterministic JSON export (the CI alarm-shape gate diffs
+//! it byte-for-byte), and a metric projection under `obs.alarms.*`.
+//!
+//! Determinism contract: alarms carry *modeled* cycles, never wall time.
+//! Per-shard logs are appended in shard order and [`AlarmLog::canonical`]
+//! sorts by `(shard, cycle, addr, kind)`, so the export is independent of
+//! host thread count and scheduling.
+
+use crate::json::Json;
+use crate::registry::MetricRegistry;
+
+/// What tripped. Ordered so the canonical sort is total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlarmKind {
+    /// A data line's stored MAC record no longer verifies: tampering,
+    /// media corruption, or a torn data write.
+    MacMismatch,
+    /// A MAC record or counter verified against *stale* state — the
+    /// signature of a rollback/replay of persisted bytes.
+    Replay,
+    /// A region of NVM returns device-level read failures (permanently
+    /// unreadable, or transient failures that outlived the retry budget).
+    UnreadableRegion,
+    /// A torn (partially persisted) line was detected.
+    TornWrite,
+    /// The bounded exponential-backoff re-read schedule exhausted its
+    /// budget; the transient fault was promoted to a permanent one.
+    RetryExhausted,
+    /// A whole shard was parked `Degraded` (poisoned lock, crash, or an
+    /// unrecoverable scrub verdict); its reads/writes fail typed.
+    ShardDegraded,
+}
+
+impl AlarmKind {
+    /// Every kind, in canonical order (the metric/export enumeration).
+    pub const ALL: [AlarmKind; 6] = [
+        AlarmKind::MacMismatch,
+        AlarmKind::Replay,
+        AlarmKind::UnreadableRegion,
+        AlarmKind::TornWrite,
+        AlarmKind::RetryExhausted,
+        AlarmKind::ShardDegraded,
+    ];
+
+    /// Stable snake_case label used in metric paths and JSON export.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlarmKind::MacMismatch => "mac_mismatch",
+            AlarmKind::Replay => "replay",
+            AlarmKind::UnreadableRegion => "unreadable_region",
+            AlarmKind::TornWrite => "torn_write",
+            AlarmKind::RetryExhausted => "retry_exhausted",
+            AlarmKind::ShardDegraded => "shard_degraded",
+        }
+    }
+}
+
+impl std::fmt::Display for AlarmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One typed alarm event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Alarm {
+    /// What tripped.
+    pub kind: AlarmKind,
+    /// Which shard raised it (0 for unsharded systems).
+    pub shard: u16,
+    /// The affected line address, when the alarm is region-scoped
+    /// (`None` for shard-scoped alarms such as [`AlarmKind::ShardDegraded`]).
+    pub addr: Option<u64>,
+    /// Modeled cycle at which the condition was detected (never wall time).
+    pub cycle: u64,
+}
+
+impl Alarm {
+    fn sort_key(&self) -> (u16, u64, u64, AlarmKind) {
+        (
+            self.shard,
+            self.cycle,
+            self.addr.map_or(u64::MAX, |a| a),
+            self.kind,
+        )
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("kind".to_string(), Json::Str(self.kind.label().to_string())),
+            ("shard".to_string(), Json::Num(self.shard as f64)),
+            (
+                "addr".to_string(),
+                match self.addr {
+                    Some(a) => Json::Num(a as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("cycle".to_string(), Json::Num(self.cycle as f64)),
+        ])
+    }
+}
+
+impl std::fmt::Display for Alarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.addr {
+            Some(a) => write!(
+                f,
+                "[{}] shard {} addr {:#x} @ cycle {}",
+                self.kind, self.shard, a, self.cycle
+            ),
+            None => write!(
+                f,
+                "[{}] shard {} @ cycle {}",
+                self.kind, self.shard, self.cycle
+            ),
+        }
+    }
+}
+
+/// Append-only log of typed alarms: the obs alarm channel.
+///
+/// Producers [`raise`](Self::raise) into a per-shard log; the engine
+/// [`merge`](Self::merge)s shard logs in shard order and exports through
+/// [`canonical`](Self::canonical) + [`to_json`](Self::to_json), which is
+/// byte-stable for a fixed seed regardless of host parallelism.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AlarmLog {
+    events: Vec<Alarm>,
+}
+
+impl AlarmLog {
+    /// An empty log.
+    pub fn new() -> AlarmLog {
+        AlarmLog::default()
+    }
+
+    /// Appends one alarm event.
+    pub fn raise(&mut self, alarm: Alarm) {
+        self.events.push(alarm);
+    }
+
+    /// The raw events in arrival order.
+    pub fn events(&self) -> &[Alarm] {
+        &self.events
+    }
+
+    /// Number of events raised.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been raised.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events of `kind` have been raised.
+    pub fn count(&self, kind: AlarmKind) -> u64 {
+        self.events.iter().filter(|a| a.kind == kind).count() as u64
+    }
+
+    /// Appends another log's events (callers merge shard logs in shard
+    /// order so the result is deterministic).
+    pub fn merge(&mut self, other: &AlarmLog) {
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// Drains all events, leaving the log empty.
+    pub fn drain(&mut self) -> Vec<Alarm> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The events in canonical `(shard, cycle, addr, kind)` order — the
+    /// order every export uses. Stable for equal keys, so duplicate alarms
+    /// survive with multiplicity.
+    pub fn canonical(&self) -> Vec<Alarm> {
+        let mut v = self.events.clone();
+        v.sort_by_key(|a| a.sort_key());
+        v
+    }
+
+    /// Projects the log onto counters: `obs.alarms.total` plus one
+    /// `obs.alarms.<label>` counter per kind that fired.
+    pub fn metrics(&self) -> MetricRegistry {
+        let mut m = MetricRegistry::new();
+        m.counter_add("obs.alarms.total", self.events.len() as u64);
+        for kind in AlarmKind::ALL {
+            let n = self.count(kind);
+            if n > 0 {
+                m.counter_add(&format!("obs.alarms.{}", kind.label()), n);
+            }
+        }
+        m
+    }
+
+    /// Canonically ordered JSON array — the byte-stable export the CI
+    /// alarm-shape gate compares.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.canonical().into_iter().map(Alarm::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alarm(kind: AlarmKind, shard: u16, addr: Option<u64>, cycle: u64) -> Alarm {
+        Alarm {
+            kind,
+            shard,
+            addr,
+            cycle,
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_arrival_independent() {
+        let a = alarm(AlarmKind::MacMismatch, 1, Some(0x40), 10);
+        let b = alarm(AlarmKind::ShardDegraded, 0, None, 99);
+        let c = alarm(AlarmKind::Replay, 1, Some(0x40), 5);
+        let mut fwd = AlarmLog::new();
+        for e in [a, b, c] {
+            fwd.raise(e);
+        }
+        let mut rev = AlarmLog::new();
+        for e in [c, b, a] {
+            rev.raise(e);
+        }
+        assert_eq!(fwd.canonical(), rev.canonical());
+        assert_eq!(fwd.to_json().pretty(), rev.to_json().pretty());
+        // Shard-major, then cycle.
+        assert_eq!(fwd.canonical()[0].kind, AlarmKind::ShardDegraded);
+        assert_eq!(fwd.canonical()[1].kind, AlarmKind::Replay);
+    }
+
+    #[test]
+    fn merge_counts_and_metrics() {
+        let mut s0 = AlarmLog::new();
+        s0.raise(alarm(AlarmKind::UnreadableRegion, 0, Some(64), 3));
+        s0.raise(alarm(AlarmKind::UnreadableRegion, 0, Some(128), 4));
+        let mut s1 = AlarmLog::new();
+        s1.raise(alarm(AlarmKind::RetryExhausted, 1, Some(256), 9));
+        let mut all = AlarmLog::new();
+        all.merge(&s0);
+        all.merge(&s1);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all.count(AlarmKind::UnreadableRegion), 2);
+        let m = all.metrics();
+        assert_eq!(m.counter("obs.alarms.total"), Some(3));
+        assert_eq!(m.counter("obs.alarms.unreadable_region"), Some(2));
+        assert_eq!(m.counter("obs.alarms.retry_exhausted"), Some(1));
+        assert_eq!(
+            m.counter("obs.alarms.mac_mismatch"),
+            None,
+            "silent kinds omitted"
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut log = AlarmLog::new();
+        log.raise(alarm(AlarmKind::MacMismatch, 2, Some(0xC0), 17));
+        log.raise(alarm(AlarmKind::ShardDegraded, 1, None, 8));
+        let json = log.to_json().pretty();
+        assert!(json.contains("\"mac_mismatch\""), "{json}");
+        assert!(json.contains("\"shard_degraded\""), "{json}");
+        assert!(json.contains("\"addr\": null"), "{json}");
+        let reparsed = crate::json::parse(json.trim_end()).unwrap();
+        assert_eq!(reparsed.as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let mut log = AlarmLog::new();
+        log.raise(alarm(AlarmKind::TornWrite, 0, Some(0), 1));
+        let drained = log.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(log.is_empty());
+    }
+}

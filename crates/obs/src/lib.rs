@@ -14,16 +14,20 @@
 //!   bench harness (wall metrics live under the `wall.` prefix so the
 //!   deterministic export can exclude them),
 //! * [`json::Json`] — a minimal JSON value with a byte-stable serializer
-//!   and a parser, used for `results/METRICS_*.json` and the CI perf gate.
+//!   and a parser, used for `results/METRICS_*.json` and the CI perf gate,
+//! * [`alarm::AlarmLog`] — the typed attack-detection alarm channel for
+//!   the online integrity service (canonical ordering, byte-stable export).
 //!
 //! Everything here is deterministic given deterministic inputs: metric
 //! paths sort in a `BTreeMap`, floats serialize via Rust's shortest
 //! round-trip formatting, and histograms record exact integer cycles.
 
+pub mod alarm;
 pub mod hist;
 pub mod json;
 pub mod registry;
 
+pub use alarm::{Alarm, AlarmKind, AlarmLog};
 pub use hist::Histogram;
 pub use json::Json;
 pub use registry::{Metric, MetricRegistry, PhaseTimer};
