@@ -16,10 +16,18 @@
 //!   *default* policy may cost at most 10% modeled makespan versus serving
 //!   with the service off.
 //!
+//! With `STEINS_CHAOS_REPAIR=1`, tripped shards come back through the
+//! bounded self-healing repair loop (quarantine capture → laned rebuild →
+//! full re-verification → audited replay) and the gate additionally
+//! requires [`steins_core::ChaosReport::repair_clean`]: after the soak
+//! every shard is `Serving` again or permanently parked behind its alarm
+//! trail.
+//!
 //! Fully deterministic for a fixed seed regardless of `STEINS_CHAOS_THREADS`.
 //! Env knobs: `STEINS_CHAOS_SHARDS` (default 4), `STEINS_CHAOS_THREADS`
 //! (default 4), `STEINS_CHAOS_OPS` (ops per shard, default 192),
-//! `STEINS_CHAOS_FAULTS` (faults per shard, default 5), `STEINS_CHAOS_SEED`.
+//! `STEINS_CHAOS_FAULTS` (faults per shard, default 5), `STEINS_CHAOS_SEED`,
+//! `STEINS_CHAOS_REPAIR` (any value enables the repair loop).
 //! Writes `results/METRICS_chaos.json`; exits non-zero on any gate failure.
 
 use steins_bench::metrics::write_metrics;
@@ -43,22 +51,37 @@ const OVERHEAD_LIMIT: f64 = 1.10;
 
 fn main() {
     let defaults = ChaosConfig::default();
+    let repair = std::env::var("STEINS_CHAOS_REPAIR").is_ok();
     let cfg = ChaosConfig {
         seed: env_u64("STEINS_CHAOS_SEED", defaults.seed),
         shards: env_u64("STEINS_CHAOS_SHARDS", 4) as usize,
         threads: env_u64("STEINS_CHAOS_THREADS", 4) as usize,
         ops_per_shard: env_u64("STEINS_CHAOS_OPS", 192) as usize,
         faults_per_shard: env_u64("STEINS_CHAOS_FAULTS", 5) as usize,
+        repair,
         ..defaults
     };
     println!(
-        "Chaos: seed {:#x}, {} shards x {} ops ({} faults/shard), {} workers, scrub on",
-        cfg.seed, cfg.shards, cfg.ops_per_shard, cfg.faults_per_shard, cfg.threads
+        "Chaos: seed {:#x}, {} shards x {} ops ({} faults/shard), {} workers, scrub on, repair {}",
+        cfg.seed,
+        cfg.shards,
+        cfg.ops_per_shard,
+        cfg.faults_per_shard,
+        cfg.threads,
+        if repair { "on" } else { "off" },
     );
 
     let r = run_chaos(&cfg);
     println!("{r}");
-    if !r.clean() || std::env::var("STEINS_CHAOS_VERBOSE").is_ok() {
+    let repair_ok = !repair || r.repair_clean();
+    if !repair_ok {
+        println!(
+            "repair gate FAIL: degraded {:?} vs parked {:?} — a shard was \
+             abandoned without a repair verdict",
+            r.degraded_shards, r.parked_shards
+        );
+    }
+    if !r.clean() || !repair_ok || std::env::var("STEINS_CHAOS_VERBOSE").is_ok() {
         for e in &r.events {
             println!("  {e}");
         }
@@ -117,28 +140,35 @@ fn main() {
             let _ = f.write_all(
                 format!(
                     "### Chaos under load\n\n\
-                     | ops | ok | typed | unwinds | silent-wrong | crashes | faults | healed | quarantined | alarms | scrub overhead | result |\n\
-                     |---|---|---|---|---|---|---|---|---|---|---|---|\n\
-                     | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}x | {} |\n",
+                     | ops | ok | typed | unwinds | silent-wrong | crashes | repairs | restored | parked | faults | healed | quarantined | alarms | scrub overhead | result |\n\
+                     |---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n\
+                     | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}x | {} |\n",
                     r.ops_attempted,
                     r.served_ok,
                     r.typed_errors,
                     r.unwinds,
                     r.silent_wrong,
                     r.crashes_recovered,
+                    r.repairs_attempted,
+                    r.shards_restored,
+                    r.shards_parked,
                     r.faults_injected,
                     r.faults_healed,
                     r.faults_quarantined,
                     r.alarms.len(),
                     overhead,
-                    if r.clean() && overhead_ok { "pass" } else { "FAIL" }
+                    if r.clean() && repair_ok && overhead_ok {
+                        "pass"
+                    } else {
+                        "FAIL"
+                    }
                 )
                 .as_bytes(),
             );
         }
     }
 
-    if !r.clean() || !overhead_ok {
+    if !r.clean() || !repair_ok || !overhead_ok {
         std::process::exit(1);
     }
 }

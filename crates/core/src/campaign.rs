@@ -39,7 +39,7 @@ use crate::engine::synth_data;
 use crate::online::{OnlinePolicy, OnlineService};
 use crate::par;
 use crate::scrub::ScrubReport;
-use crate::shard::ShardedEngine;
+use crate::shard::{RepairOutcome, RepairPolicy, ShardedEngine};
 
 /// The six supported (scheme, counter-mode) combinations: ASIT and STAR are
 /// general-counter designs (split-counter variants are out of scope by
@@ -673,6 +673,13 @@ pub struct ChaosConfig {
     pub faults_per_shard: usize,
     /// Whether the online integrity service runs during the chaos.
     pub scrub: bool,
+    /// Whether a tripped shard comes back through the bounded self-healing
+    /// repair loop ([`ShardedEngine::repair_shard_from`]) instead of the
+    /// plain lenient scrub: the volatile quarantine set is captured before
+    /// the plug is pulled and replayed (audited) against the rebuilt,
+    /// re-verified tree, and a shard whose repair budget runs dry is
+    /// parked permanently rather than retried forever.
+    pub repair: bool,
     /// Policy for the online service (when `scrub`).
     pub policy: OnlinePolicy,
     /// Counter mode (the scheme is always Steins — chaos exercises the
@@ -689,6 +696,7 @@ impl Default for ChaosConfig {
             ops_per_shard: 96,
             faults_per_shard: 3,
             scrub: true,
+            repair: false,
             policy: OnlinePolicy {
                 scrub_period_ops: 16,
                 scrub_batch_lines: 4,
@@ -804,6 +812,16 @@ pub struct ChaosReport {
     pub makespan_cycles: u64,
     /// Shards still parked degraded at the end of the run.
     pub degraded_shards: Vec<u16>,
+    /// Shards permanently parked by the repair loop (attempt budget spent).
+    pub parked_shards: Vec<u16>,
+    /// Repair-loop attempts run against tripped shards (with
+    /// [`ChaosConfig::repair`]).
+    pub repairs_attempted: u64,
+    /// Tripped shards the repair loop rebuilt, re-verified, and returned
+    /// to `Serving` mid-run.
+    pub shards_restored: u64,
+    /// Tripped shards the repair loop parked permanently mid-run.
+    pub shards_parked: u64,
 }
 
 impl ChaosReport {
@@ -816,6 +834,16 @@ impl ChaosReport {
             && self.silent_wrong == 0
             && self.alarm_shape_violations.is_empty()
             && self.unaccounted_faults.is_empty()
+    }
+
+    /// The self-healing contract on top of [`Self::clean`]: after the
+    /// soak, every shard is either `Serving` again or permanently parked
+    /// behind its alarm trail — a shard left `Degraded` but un-parked
+    /// means the repair loop abandoned it without a verdict.
+    pub fn repair_clean(&self) -> bool {
+        self.degraded_shards
+            .iter()
+            .all(|s| self.parked_shards.contains(s))
     }
 
     /// Exports the chaos counters under `core.chaos.` plus the alarm
@@ -843,11 +871,15 @@ impl ChaosReport {
             "core.chaos.alarm_shape_violations",
             self.alarm_shape_violations.len() as u64,
         );
+        m.counter_add("core.chaos.repairs.attempted", self.repairs_attempted);
+        m.counter_add("core.chaos.repairs.restored", self.shards_restored);
+        m.counter_add("core.chaos.repairs.parked", self.shards_parked);
         m.gauge_set("core.chaos.makespan_cycles", self.makespan_cycles as f64);
         m.gauge_set(
             "core.chaos.shards.degraded",
             self.degraded_shards.len() as f64,
         );
+        m.gauge_set("core.chaos.shards.parked", self.parked_shards.len() as f64);
         m.merge(&self.alarms.metrics());
         m
     }
@@ -879,6 +911,17 @@ impl std::fmt::Display for ChaosReport {
             self.unaccounted_faults.len(),
             self.alarms.len(),
         )?;
+        if self.repairs_attempted > 0 {
+            writeln!(
+                f,
+                "  repair: {} attempts -> {} restored, {} parked permanently \
+                 ({} shards parked at end)",
+                self.repairs_attempted,
+                self.shards_restored,
+                self.shards_parked,
+                self.parked_shards.len(),
+            )?;
+        }
         if self.clean() {
             write!(f, "  PASS: graceful degradation held")?;
         } else {
@@ -916,6 +959,9 @@ struct ShardOutcome {
     healed: u64,
     quarantined: u64,
     unaccounted: Vec<String>,
+    repairs_attempted: u64,
+    shards_restored: u64,
+    shards_parked: u64,
 }
 
 fn draw_chaos_fault(rng: &mut SmallRng, lines: u64) -> ChaosFault {
@@ -1058,6 +1104,51 @@ fn recover_tripped_shard(
     }
     sys.ctrl.nvm.disarm_crash();
     let lines = engine.shard_config().data_lines;
+    if cfg.repair {
+        // Self-healing path: capture the volatile quarantine set before
+        // the plug is pulled, then drive the bounded repair loop to a
+        // verdict. `now = u64::MAX` forces past the backoff gate — the
+        // chaos worker must never read another shard's clock, and a
+        // host-time backoff would make the report schedule-dependent.
+        let quarantine: Vec<u64> = sys
+            .online()
+            .map(|o| o.quarantined().collect())
+            .unwrap_or_default();
+        let trip_seq = trip.map(|p| p.seq);
+        let mut crashed = Some(sys.crash());
+        loop {
+            out.repairs_attempted += 1;
+            let outcome = match crashed.take() {
+                Some(c) => engine.repair_shard_from(s, c, &quarantine, u64::MAX),
+                None => engine.repair_shard(s, u64::MAX),
+            };
+            match outcome {
+                RepairOutcome::Restored(scrub) => {
+                    out.shards_restored += 1;
+                    out.events.push(format!(
+                        "s{s} op{i}: crash tripped at {trip_seq:?}, repaired online \
+                         (data unrec {}, {} quarantined replayed)",
+                        scrub.data_unrecoverable,
+                        quarantine.len(),
+                    ));
+                    break;
+                }
+                RepairOutcome::Parked => {
+                    out.shards_parked += 1;
+                    out.events.push(format!(
+                        "s{s} op{i}: crash tripped at {trip_seq:?}, repair budget \
+                         spent, shard parked permanently"
+                    ));
+                    break;
+                }
+                RepairOutcome::Failed { .. } => continue,
+                // Unreachable with a forced `now`; never spin on them.
+                RepairOutcome::Backoff { .. } | RepairOutcome::NotDegraded => break,
+            }
+        }
+        out.crashes_recovered += 1;
+        return;
+    }
     let crashed = sys.crash();
     let resume = OnlineService::resume_cursor(&crashed.nvm().recovery_journal(), lines);
     let scrub = engine.scrub_shard(s, crashed);
@@ -1186,7 +1277,15 @@ fn serve_chaos_shard(
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     silence_crash_trips();
     let sys_cfg = SystemConfig::small_for_tests(SchemeKind::Steins, cfg.mode);
-    let engine = ShardedEngine::new(sys_cfg, cfg.shards);
+    let mut engine = ShardedEngine::new(sys_cfg, cfg.shards);
+    if cfg.repair {
+        // The rebuilt shard comes back with the run's own online policy.
+        engine.set_repair_policy(RepairPolicy {
+            online: cfg.policy,
+            ..RepairPolicy::default()
+        });
+    }
+    let engine = engine;
     if cfg.scrub {
         engine.enable_online(cfg.policy);
     }
@@ -1213,6 +1312,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         report.faults_skipped_degraded += out.faults_skipped_degraded;
         report.faults_healed += out.healed;
         report.faults_quarantined += out.quarantined;
+        report.repairs_attempted += out.repairs_attempted;
+        report.shards_restored += out.shards_restored;
+        report.shards_parked += out.shards_parked;
         report
             .unaccounted_faults
             .extend(out.unaccounted.iter().cloned());
@@ -1275,6 +1377,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     report.alarms = alarms;
     report.makespan_cycles = engine.sim_cycles();
     report.degraded_shards = engine.degraded_shards();
+    report.parked_shards = engine.parked_shards();
     report
 }
 
@@ -1414,6 +1517,76 @@ mod tests {
         );
         assert_eq!(one.makespan_cycles, four.makespan_cycles);
         assert_eq!(one.degraded_shards, four.degraded_shards);
+    }
+
+    #[test]
+    fn chaos_with_repair_restores_or_parks_every_shard() {
+        let cfg = ChaosConfig {
+            repair: true,
+            ..ChaosConfig::default()
+        };
+        let r = run_chaos(&cfg);
+        assert!(r.clean(), "chaos failed:\n{r}");
+        assert!(r.repair_clean(), "shard left degraded but un-parked:\n{r}");
+        assert!(r.crashes_recovered > 0, "no crash exercised:\n{r}");
+        assert!(r.repairs_attempted >= r.crashes_recovered);
+        assert_eq!(
+            r.shards_restored + r.shards_parked,
+            r.crashes_recovered,
+            "every tripped shard needs a repair verdict:\n{r}"
+        );
+        // A restored shard announces itself: started + restored alarms.
+        if r.shards_restored > 0 {
+            let started = r
+                .alarms
+                .events()
+                .iter()
+                .filter(|a| a.kind == AlarmKind::ShardRepairStarted)
+                .count() as u64;
+            let restored = r
+                .alarms
+                .events()
+                .iter()
+                .filter(|a| a.kind == AlarmKind::ShardRestored)
+                .count() as u64;
+            assert!(started >= r.shards_restored);
+            assert_eq!(restored, r.shards_restored);
+        }
+    }
+
+    #[test]
+    fn chaos_repair_report_is_identical_across_worker_counts() {
+        let base = ChaosConfig {
+            seed: 0xD1CE,
+            threads: 1,
+            repair: true,
+            ..ChaosConfig::default()
+        };
+        let one = run_chaos(&base);
+        let two = run_chaos(&ChaosConfig {
+            threads: 2,
+            ..base.clone()
+        });
+        let eight = run_chaos(&ChaosConfig {
+            threads: 8,
+            ..base.clone()
+        });
+        for other in [&two, &eight] {
+            assert_eq!(one.events, other.events, "event logs diverged");
+            assert_eq!(
+                one.alarms.to_json().pretty(),
+                other.alarms.to_json().pretty(),
+                "alarm logs diverged"
+            );
+            assert_eq!(
+                one.metrics().to_json_deterministic().pretty(),
+                other.metrics().to_json_deterministic().pretty(),
+                "metrics diverged"
+            );
+            assert_eq!(one.makespan_cycles, other.makespan_cycles);
+            assert_eq!(one.degraded_shards, other.degraded_shards);
+            assert_eq!(one.parked_shards, other.parked_shards);
+        }
     }
 
     #[test]

@@ -114,6 +114,15 @@ impl SecureMemoryController {
         }
     }
 
+    /// Writes the ADR recovery journal sealed under the engine key. Every
+    /// journal write in the controller crates goes through here — the MAC
+    /// is what lets the next recovery attempt prove the resume marks were
+    /// written by a holder of the key, not forged on the bus.
+    pub(crate) fn journal_write(&mut self, journal: steins_nvm::RecoveryJournal) {
+        let mac = crate::recovery::seal_journal(self.crypto.as_ref(), &journal);
+        self.nvm.set_recovery_journal(journal, mac);
+    }
+
     /// Temporary diagnostic watchpoint (STEINS_WATCH=child_offset).
     fn watch(&self, what: &str, offset: u64, extra: u64) {
         if let Ok(w) = std::env::var("STEINS_WATCH") {
@@ -1447,12 +1456,61 @@ impl SecureNvmSystem {
         }
     }
 
-    /// Operator override: releases `addr`'s line from quarantine. Returns
-    /// whether it was quarantined.
+    /// Operator override: releases `addr`'s line from quarantine, raising
+    /// an auditable `QuarantineCleared` alarm. Returns whether it was
+    /// quarantined. Prefer [`Self::heal_write`], which re-admits the line
+    /// only after fresh data survives a verify-after-write round-trip.
     pub fn clear_quarantine(&mut self, addr: u64) -> bool {
+        let shard = self.ctrl.nvm.shard();
+        let cycle = self.sim_cycles();
         match &mut self.online {
-            Some(o) => o.clear_quarantine(addr),
+            Some(o) => o.clear_quarantine(shard, addr, cycle),
             None => false,
+        }
+    }
+
+    /// Supervised quarantine healing: writes fresh authenticated data to a
+    /// quarantined line and re-admits it only if the data reads back
+    /// MAC-verified and byte-equal. On a non-quarantined line this is a
+    /// plain [`Self::write`]. On failure the line stays quarantined (the
+    /// re-detection alarm is raised again) and the error is typed — the
+    /// set never shrinks on anything but proof.
+    pub fn heal_write(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), IntegrityError> {
+        let addr = addr & !63;
+        let Some(svc) = self.online.as_mut() else {
+            return self.write(addr, data);
+        };
+        if !svc.is_quarantined(addr) {
+            return self.write(addr, data);
+        }
+        // Lift the quarantine silently for the probe — the audited clear
+        // happens only after the round-trip proves the line sound.
+        svc.remove_quarantined(addr);
+        let requarantine = |s: &mut Self, e: IntegrityError| {
+            let shard = s.ctrl.nvm.shard();
+            let cycle = s.sim_cycles();
+            if let Some(svc) = s.online.as_mut() {
+                svc.requarantine(shard, addr, cycle);
+            }
+            Err(e)
+        };
+        if let Err(e) = self.write(addr, data) {
+            return requarantine(self, e);
+        }
+        // Verify-after-write: read straight from the device through the
+        // MAC-checking path (not the CPU cache, which would echo the
+        // just-written truth back without touching media).
+        match self.ctrl.read_data(self.cpu.now, addr) {
+            Ok((got, _)) if got == *data => {
+                let shard = self.ctrl.nvm.shard();
+                let cycle = self.sim_cycles();
+                if let Some(svc) = self.online.as_mut() {
+                    svc.note_heal(shard, addr, cycle);
+                }
+                Ok(())
+            }
+            Ok(_) => requarantine(self, IntegrityError::DataMac { addr }),
+            Err(e) => requarantine(self, e),
         }
     }
 

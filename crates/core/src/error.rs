@@ -73,6 +73,11 @@ pub enum IntegrityError {
         /// Line address of the quarantined region.
         addr: u64,
     },
+    /// The ADR recovery journal failed its MAC check: the resume marks are
+    /// attacker-controlled (or the line rotted) and must not steer
+    /// recovery. Strict recovery fails closed; the lenient scrub discards
+    /// the journal and rebuilds from scratch.
+    JournalForged,
 }
 
 impl std::fmt::Display for IntegrityError {
@@ -128,6 +133,12 @@ impl std::fmt::Display for IntegrityError {
                     "address {addr:#x} is quarantined by the online integrity service"
                 )
             }
+            IntegrityError::JournalForged => {
+                write!(
+                    f,
+                    "recovery journal failed its MAC check: resume state untrusted, rebuild from scratch"
+                )
+            }
         }
     }
 }
@@ -157,5 +168,8 @@ mod tests {
         let e = IntegrityError::Quarantined { addr: 0xC0 };
         assert!(e.to_string().contains("0xc0"));
         assert!(e.to_string().contains("quarantine"));
+        let e = IntegrityError::JournalForged;
+        assert!(e.to_string().contains("MAC"));
+        assert!(e.to_string().contains("rebuild"));
     }
 }

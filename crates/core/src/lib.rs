@@ -61,7 +61,10 @@ pub use online::{OnlinePolicy, OnlineService};
 pub use recovery::RecoveryReport;
 pub use report::RunReport;
 pub use scrub::{ScrubReport, Verdict};
-pub use shard::{ParallelRecovery, ShardRepro, ShardSweep, ShardSweepReport, ShardedEngine};
+pub use shard::{
+    ParallelRecovery, RepairOutcome, RepairPolicy, ShardRepro, ShardSweep, ShardSweepReport,
+    ShardedEngine,
+};
 
 // Re-export the counter mode so downstream users need only this crate.
 pub use steins_metadata::CounterMode;

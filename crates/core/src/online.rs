@@ -125,6 +125,8 @@ pub struct OnlineService {
     verified: u64,
     healed: u64,
     quarantine_events: u64,
+    /// Quarantine releases (operator clears + supervised heals).
+    cleared: u64,
     retry_exhausted: u64,
     reencrypted_leaves: u64,
     rotations: u64,
@@ -147,6 +149,7 @@ impl OnlineService {
             verified: 0,
             healed: 0,
             quarantine_events: 0,
+            cleared: 0,
             retry_exhausted: 0,
             reencrypted_leaves: 0,
             rotations: 0,
@@ -181,6 +184,12 @@ impl OnlineService {
         self.passes
     }
 
+    /// Audited quarantine releases so far (operator clears, supervised
+    /// heals, post-repair replays).
+    pub fn cleared(&self) -> u64 {
+        self.cleared
+    }
+
     /// Whether `addr`'s line is quarantined.
     pub fn is_quarantined(&self, addr: u64) -> bool {
         self.quarantine.contains(&(addr & !63))
@@ -191,11 +200,42 @@ impl OnlineService {
         self.quarantine.iter().copied()
     }
 
-    /// Operator override: releases `addr`'s line from quarantine. Returns
-    /// whether it was quarantined. The scrub will re-quarantine it on the
-    /// next pass if the underlying fault persists.
-    pub fn clear_quarantine(&mut self, addr: u64) -> bool {
-        self.quarantine.remove(&(addr & !63))
+    /// Releases `addr`'s line from quarantine, raising an auditable
+    /// [`AlarmKind::QuarantineCleared`] alarm when it was actually held —
+    /// the quarantine set never shrinks silently. Returns whether it was
+    /// quarantined. The scrub will re-quarantine the line on the next pass
+    /// if the underlying fault persists. `shard`/`cycle` stamp the alarm
+    /// (shard-local modeled time keeps the log deterministic).
+    pub fn clear_quarantine(&mut self, shard: u16, addr: u64, cycle: u64) -> bool {
+        let removed = self.quarantine.remove(&(addr & !63));
+        if removed {
+            self.cleared += 1;
+            self.raise(AlarmKind::QuarantineCleared, shard, Some(addr & !63), cycle);
+        }
+        removed
+    }
+
+    /// Removes `addr` from the set without an alarm — the heal-write
+    /// probe's temporary lift; the audited outcome ([`Self::note_heal`] or
+    /// [`Self::requarantine`]) always follows before control returns to
+    /// the caller.
+    pub(crate) fn remove_quarantined(&mut self, addr: u64) {
+        self.quarantine.remove(&(addr & !63));
+    }
+
+    /// Re-quarantines a line whose heal probe failed: the fault persists,
+    /// so the re-detection alarm is raised again (same kind as a fresh
+    /// scrub hit).
+    pub(crate) fn requarantine(&mut self, shard: u16, addr: u64, cycle: u64) {
+        self.quarantine_line(AlarmKind::MacMismatch, shard, addr, cycle);
+    }
+
+    /// Records a successful supervised heal: the verify-after-write
+    /// round-trip proved the line sound, so the release is audited as a
+    /// [`AlarmKind::QuarantineCleared`] event.
+    pub(crate) fn note_heal(&mut self, shard: u16, addr: u64, cycle: u64) {
+        self.cleared += 1;
+        self.raise(AlarmKind::QuarantineCleared, shard, Some(addr & !63), cycle);
     }
 
     /// The alarm log (drain through
@@ -442,7 +482,7 @@ impl OnlineService {
         }
         // Stamp the cursor (a cheap ADR persist): a crash between steps
         // resumes the pass from these marks instead of line zero.
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal::laned(
+        sys.ctrl.journal_write(RecoveryJournal::laned(
             journal::ONLINE,
             self.passes.min(u64::from(u32::MAX)) as u32,
             RECOVERY_LANES as u8,
@@ -477,6 +517,7 @@ impl OnlineService {
         reg.counter_add("core.online.verified", self.verified);
         reg.counter_add("core.online.healed", self.healed);
         reg.counter_add("core.online.quarantine_events", self.quarantine_events);
+        reg.counter_add("core.online.quarantine_cleared", self.cleared);
         reg.counter_add("core.online.retry_exhausted", self.retry_exhausted);
         reg.counter_add("core.online.reencrypted_leaves", self.reencrypted_leaves);
         reg.counter_add("core.online.rotations", self.rotations);

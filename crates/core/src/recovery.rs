@@ -18,10 +18,11 @@ use crate::nvbuffer::NvBuffer;
 use crate::par;
 use crate::scheme::{star, AsitState, SchemeState, SteinsState};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use steins_crypto::CryptoEngine;
 use steins_metadata::counter::{CounterBlock, SplitCounters};
 use steins_metadata::records::{record_coords, RecordLine, RECORDS_PER_LINE};
 use steins_metadata::{CounterMode, NodeId, SitNode};
-use steins_nvm::{AdrRegion, RecoveryJournal};
+use steins_nvm::{AdrRegion, NvmDevice, RecoveryJournal};
 use steins_obs::MetricRegistry;
 
 /// Phase tags of the ADR-resident recovery journal
@@ -104,10 +105,11 @@ fn journal_cover(prior: &RecoveryJournal, n: usize) -> Vec<bool> {
             *c = true;
         }
     } else {
-        for (l, (s, e)) in par::lane_spans(n, prior.lanes as usize)
-            .into_iter()
-            .enumerate()
-        {
+        // Defensive clamp: every journal that reaches here has passed the
+        // MAC check, but the cover computation itself must stay in-bounds
+        // for any lane count the type can express.
+        let lanes = (prior.lanes as usize).min(steins_nvm::RECOVERY_LANES);
+        for (l, (s, e)) in par::lane_spans(n, lanes).into_iter().enumerate() {
             let done = (prior.marks[l] as usize).min(e - s);
             for c in cover.iter_mut().skip(s).take(done) {
                 *c = true;
@@ -115,6 +117,28 @@ fn journal_cover(prior: &RecoveryJournal, n: usize) -> Vec<bool> {
         }
     }
     cover
+}
+
+/// Seals a journal under the engine key: the 64-bit tag stored with the
+/// durable journal line (see [`RecoveryJournal::mac_message`] for the
+/// domain-separated byte string it covers).
+pub(crate) fn seal_journal(crypto: &dyn CryptoEngine, j: &RecoveryJournal) -> u64 {
+    crypto.mac64(&j.mac_message())
+}
+
+/// Whether the device's journal line authenticates under the engine key.
+///
+/// A never-written journal (default contents, zero MAC) is authentic: the
+/// image predates journaling or was wiped by a from-scratch rebuild. An
+/// attacker who zeroes both fields therefore gains nothing — a default
+/// journal *is* the from-scratch resume decision, exactly what fail-closed
+/// would pick anyway. Any other content must carry a matching MAC.
+pub(crate) fn journal_authentic(crypto: &dyn CryptoEngine, nvm: &NvmDevice) -> bool {
+    let j = nvm.recovery_journal();
+    if j == RecoveryJournal::default() && nvm.journal_mac() == 0 {
+        return true;
+    }
+    nvm.journal_mac() == seal_journal(crypto, &j)
 }
 
 /// Journals rebuild-loop progress in the layout the lane count selects:
@@ -248,6 +272,13 @@ impl CrashedSystem {
     ) -> Result<RecoveryReport, IntegrityError> {
         if matches!(self.cfg.scheme, SchemeKind::WriteBack) {
             return Err(IntegrityError::RecoveryUnsupported);
+        }
+        // The journal is the root of every resume decision, so authenticate
+        // it before trusting a single field. Strict recovery fails closed —
+        // the caller falls back to the lenient scrub, which discards the
+        // forged journal and rebuilds from scratch.
+        if !journal_authentic(self.crypto.as_ref(), &self.nvm) {
+            return Err(IntegrityError::JournalForged);
         }
         let prior = self.nvm.recovery_journal();
         if prior.phase == journal::SCRUB {
@@ -683,7 +714,7 @@ impl CrashedSystem {
         // mid-rebuild journal a state the multi-lane resume logic accepts,
         // whichever lane count the *next* attempt runs with.
         let n = ordered.len();
-        sys.ctrl.nvm.set_recovery_journal(progress_journal(
+        sys.ctrl.journal_write(progress_journal(
             journal::STEINS_REBUILD,
             restarts,
             lanes,
@@ -701,7 +732,7 @@ impl CrashedSystem {
                     sys.ctrl.install_node(0, id, node, true)?;
                 }
             }
-            sys.ctrl.nvm.set_recovery_journal(progress_journal(
+            sys.ctrl.journal_write(progress_journal(
                 journal::STEINS_REBUILD,
                 restarts,
                 lanes,
@@ -710,7 +741,7 @@ impl CrashedSystem {
             ));
         }
         // Rewrite the record region to match the slot assignment.
-        sys.ctrl.nvm.set_recovery_journal(RecoveryJournal::single(
+        sys.ctrl.journal_write(RecoveryJournal::single(
             journal::STEINS_RECORDS,
             0,
             restarts,
@@ -733,8 +764,7 @@ impl CrashedSystem {
             st.nv_buffer = NvBuffer::new(cfg.nv_buffer_bytes);
         }
         sys.ctrl
-            .nvm
-            .set_recovery_journal(RecoveryJournal::single(journal::DONE, total, restarts));
+            .journal_write(RecoveryJournal::single(journal::DONE, total, restarts));
         sys.ctrl.nvm.reset_stats();
         Ok(())
     }
@@ -917,7 +947,7 @@ impl CrashedSystem {
             (std::cmp::Reverse(id.level), id.index)
         });
         let n = items.len();
-        sys.ctrl.nvm.set_recovery_journal(progress_journal(
+        sys.ctrl.journal_write(progress_journal(
             journal::ASIT_REPLAY,
             restarts,
             lanes,
@@ -928,7 +958,7 @@ impl CrashedSystem {
         for (i, (slot, off, node)) in items.into_iter().enumerate() {
             sys.ctrl.meta.install_at(slot, off, node, true);
             sys.ctrl.asit_slot_update(0, off);
-            sys.ctrl.nvm.set_recovery_journal(progress_journal(
+            sys.ctrl.journal_write(progress_journal(
                 journal::ASIT_REPLAY,
                 restarts,
                 lanes,
@@ -937,8 +967,7 @@ impl CrashedSystem {
             ));
         }
         sys.ctrl
-            .nvm
-            .set_recovery_journal(RecoveryJournal::single(journal::DONE, total, restarts));
+            .journal_write(RecoveryJournal::single(journal::DONE, total, restarts));
         sys.ctrl.nvm.reset_stats();
         let est_seconds = reads as f64 * read_ns * 1e-9;
         Ok(RecoveryReport {
@@ -1126,7 +1155,7 @@ impl CrashedSystem {
         *out = Some(sys);
         let sys = out.as_mut().expect("just parked");
         let n = items.len();
-        sys.ctrl.nvm.set_recovery_journal(progress_journal(
+        sys.ctrl.journal_write(progress_journal(
             journal::STAR_REBUILD,
             restarts,
             lanes,
@@ -1146,7 +1175,7 @@ impl CrashedSystem {
             sys.ctrl.install_node(0, id, node, true)?;
             let set = sys.ctrl.meta.set_index(off);
             sys.ctrl.star_tree_update(0, set);
-            sys.ctrl.nvm.set_recovery_journal(progress_journal(
+            sys.ctrl.journal_write(progress_journal(
                 journal::STAR_REBUILD,
                 restarts,
                 lanes,
@@ -1155,8 +1184,7 @@ impl CrashedSystem {
             ));
         }
         sys.ctrl
-            .nvm
-            .set_recovery_journal(RecoveryJournal::single(journal::DONE, total, restarts));
+            .journal_write(RecoveryJournal::single(journal::DONE, total, restarts));
         sys.ctrl.nvm.reset_stats();
         let est_seconds = reads as f64 * read_ns * 1e-9;
         Ok(RecoveryReport {

@@ -87,6 +87,12 @@ pub struct ScrubReport {
     /// Which shard's image was scrubbed (0 for unsharded systems); the
     /// sharded engine scrubs each shard's own journal line independently.
     pub shard: u16,
+    /// The ADR recovery journal failed its MAC check at entry: its resume
+    /// marks were discarded and the scrub rebuilt from scratch (the
+    /// fail-closed half of the journal-authentication contract; strict
+    /// recovery instead refuses with
+    /// [`crate::IntegrityError::JournalForged`]).
+    pub journal_rejected: bool,
 }
 
 impl ScrubReport {
@@ -110,6 +116,7 @@ impl ScrubReport {
             nvm_reads: 0,
             restarts,
             shard,
+            journal_rejected: false,
         }
     }
 
@@ -130,6 +137,7 @@ impl ScrubReport {
         self.anchors_updated += other.anchors_updated;
         self.nvm_reads += other.nvm_reads;
         self.restarts = self.restarts.max(other.restarts);
+        self.journal_rejected |= other.journal_rejected;
     }
 
     /// Exports the verdict counters under `core.scrub.`.
@@ -143,6 +151,7 @@ impl ScrubReport {
         m.counter_add("core.scrub.anchors.updated", self.anchors_updated);
         m.counter_add("core.scrub.reads", self.nvm_reads);
         m.counter_add("core.scrub.restarts", self.restarts);
+        m.counter_add("core.scrub.journal_rejected", self.journal_rejected as u64);
         m.gauge_set("core.scrub.shard", self.shard as f64);
         m
     }
@@ -204,7 +213,16 @@ impl CrashedSystem {
     /// complete.
     pub fn recover_lenient_into(mut self, out: &mut Option<SecureNvmSystem>) -> ScrubReport {
         let geo = self.layout.geometry.clone();
-        let prior = self.nvm.recovery_journal();
+        // Fail closed on a journal that does not authenticate: discard its
+        // marks and rebuild from scratch (the scrub re-derives every verdict
+        // from the data plane anyway, so a discarded journal costs only the
+        // resume shortcut — never correctness).
+        let journal_rejected = !crate::recovery::journal_authentic(self.crypto.as_ref(), &self.nvm);
+        let prior = if journal_rejected {
+            steins_nvm::RecoveryJournal::default()
+        } else {
+            self.nvm.recovery_journal()
+        };
         let restarts = if crate::recovery::journal::in_progress(prior.phase) {
             u64::from(prior.restarts.saturating_add(1))
         } else {
@@ -228,6 +246,7 @@ impl CrashedSystem {
             restarts,
             self.nvm.shard(),
         );
+        report.journal_rejected = journal_rejected;
 
         // —— 1. Data plane: verify every MAC record, rebuild the leaves,
         //       one lane region of leaves at a time. ——
@@ -367,15 +386,13 @@ impl CrashedSystem {
         let sys = out.as_mut().expect("just parked");
         let restarts32 = restarts.min(u64::from(u32::MAX)) as u32;
         let n_rewrites = rewrites.len();
-        sys.ctrl
-            .nvm
-            .set_recovery_journal(crate::recovery::progress_journal(
-                crate::recovery::journal::SCRUB,
-                restarts32,
-                lanes,
-                n_rewrites,
-                0,
-            ));
+        sys.ctrl.journal_write(crate::recovery::progress_journal(
+            crate::recovery::journal::SCRUB,
+            restarts32,
+            lanes,
+            n_rewrites,
+            0,
+        ));
 
         // —— 6. Rewrite: planned node homes, then the derived regions reset
         //       to empty (all nodes come back clean, so records/shadow/
@@ -390,15 +407,13 @@ impl CrashedSystem {
         for (i, (addr, line)) in rewrites.into_iter().enumerate() {
             sys.ctrl.nvm.poke(addr, &line);
             if lanes > 1 {
-                sys.ctrl
-                    .nvm
-                    .set_recovery_journal(crate::recovery::progress_journal(
-                        crate::recovery::journal::SCRUB,
-                        restarts32,
-                        lanes,
-                        n_rewrites,
-                        i + 1,
-                    ));
+                sys.ctrl.journal_write(crate::recovery::progress_journal(
+                    crate::recovery::journal::SCRUB,
+                    restarts32,
+                    lanes,
+                    n_rewrites,
+                    i + 1,
+                ));
             }
         }
         let slots = self.cfg.meta_cache.slots();
@@ -419,13 +434,11 @@ impl CrashedSystem {
                 .nvm
                 .poke(sys.ctrl.layout.bitmap_base + l * 64, &[0u8; 64]);
         }
-        sys.ctrl
-            .nvm
-            .set_recovery_journal(steins_nvm::RecoveryJournal::single(
-                crate::recovery::journal::DONE,
-                rewritten,
-                restarts32,
-            ));
+        sys.ctrl.journal_write(steins_nvm::RecoveryJournal::single(
+            crate::recovery::journal::DONE,
+            rewritten,
+            restarts32,
+        ));
         sys.ctrl.nvm.disarm_crash();
         sys.ctrl.nvm.reset_stats();
         report

@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use steins_metadata::{CounterMode, ShardMap, StripeMode};
@@ -46,6 +46,79 @@ use crate::online::OnlinePolicy;
 use crate::par;
 use crate::recovery::{journal, RecoveryReport};
 use crate::scrub::ScrubReport;
+
+/// Shard lifecycle states for the self-healing repair loop.
+///
+/// `Serving → Degraded` on any park ([`ShardedEngine::mark_degraded`]),
+/// `Degraded → Rebuilding` when a repair attempt claims the shard,
+/// `Rebuilding → Serving` when the rebuilt system is re-admitted, and
+/// `Rebuilding → Degraded` when a scrub attempt fails (retryable after
+/// backoff) or `→ Parked` once the attempt budget is spent. `Parked` is
+/// terminal for the automatic loop; only an operator [`ShardedEngine::put_shard`]
+/// un-parks it.
+mod shard_state {
+    pub const SERVING: u8 = 0;
+    pub const DEGRADED: u8 = 1;
+    pub const REBUILDING: u8 = 2;
+    pub const PARKED: u8 = 3;
+}
+
+/// Knobs for the background shard-repair loop
+/// ([`ShardedEngine::repair_shard`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RepairPolicy {
+    /// Repair attempts a shard may consume before it is parked
+    /// permanently (state `Parked`; only an operator
+    /// [`ShardedEngine::put_shard`] revives it).
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff: after failed attempt `k`
+    /// (1-based) the next attempt is gated until
+    /// `now + backoff_base_cycles << (k - 1)` modeled cycles. Callers
+    /// passing `now = u64::MAX` (a forced/operator retry) bypass the gate.
+    pub backoff_base_cycles: u64,
+    /// Online-service policy re-armed on the rebuilt system before it is
+    /// re-admitted (the pre-crash service state is volatile and lost).
+    pub online: OnlinePolicy,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            max_attempts: 3,
+            backoff_base_cycles: 1024,
+            online: OnlinePolicy::default(),
+        }
+    }
+}
+
+/// What one [`ShardedEngine::repair_shard`] attempt did.
+#[derive(Debug)]
+pub enum RepairOutcome {
+    /// The shard was rebuilt, re-verified, and is `Serving` again. The
+    /// report is the lenient scrub's verdict over the rebuilt image.
+    Restored(ScrubReport),
+    /// The backoff gate is still closed: no attempt was consumed, the
+    /// image (if any was supplied) is stashed for the retry at `until`.
+    Backoff {
+        /// Modeled cycle at which the next attempt may run.
+        until: u64,
+    },
+    /// The attempt ran and could not rebuild a system; the shard is back
+    /// in `Degraded` awaiting the next (backoff-gated) attempt.
+    Failed {
+        /// Attempts consumed so far, including this one.
+        attempts: u32,
+    },
+    /// The attempt budget is spent (or there is nothing left to rebuild
+    /// from): the shard is parked permanently pending operator action.
+    Parked,
+    /// The shard is serving; there is nothing to repair.
+    NotDegraded,
+}
+
+/// A crashed image plus the quarantine set captured before the plug was
+/// pulled, parked between repair attempts.
+type StashedImage = (CrashedSystem, Vec<u64>);
 
 /// N independent secure-memory controllers behind one address space.
 ///
@@ -80,6 +153,22 @@ pub struct ShardedEngine {
     /// [`crate::online::OnlineService`]; [`Self::drain_alarms`] merges
     /// both in deterministic order.
     alarms: Mutex<AlarmLog>,
+    /// Per-shard repair lifecycle state ([`shard_state`]). Tracks the
+    /// `Serving → Degraded → Rebuilding → Serving | Parked` machine the
+    /// repair loop drives; `degraded` stays the fast-path serving gate.
+    state: Vec<AtomicU8>,
+    /// Repair attempts consumed per shard ([`RepairPolicy::max_attempts`]
+    /// bounds them; [`Self::put_shard`] resets the count).
+    repair_attempts: Vec<AtomicU32>,
+    /// Modeled-cycle gate before which the next repair attempt is refused
+    /// ([`RepairOutcome::Backoff`]). `u64::MAX` as `now` bypasses it.
+    next_repair_at: Vec<AtomicU64>,
+    /// Crashed image + captured quarantine set stashed between repair
+    /// attempts (a backoff-refused attempt parks its inputs here so the
+    /// retry does not need the caller to re-supply them).
+    parked_images: Vec<Mutex<Option<StashedImage>>>,
+    /// Knobs for the repair loop (see [`RepairPolicy`]).
+    repair_policy: RepairPolicy,
 }
 
 impl ShardedEngine {
@@ -106,6 +195,12 @@ impl ShardedEngine {
             .collect();
         let degraded = (0..shards).map(|_| AtomicBool::new(false)).collect();
         let mid_op = (0..shards).map(|_| AtomicBool::new(false)).collect();
+        let state = (0..shards)
+            .map(|_| AtomicU8::new(shard_state::SERVING))
+            .collect();
+        let repair_attempts = (0..shards).map(|_| AtomicU32::new(0)).collect();
+        let next_repair_at = (0..shards).map(|_| AtomicU64::new(0)).collect();
+        let parked_images = (0..shards).map(|_| Mutex::new(None)).collect();
         ShardedEngine {
             map,
             shard_cfg,
@@ -113,7 +208,23 @@ impl ShardedEngine {
             degraded,
             mid_op,
             alarms: Mutex::new(AlarmLog::new()),
+            state,
+            repair_attempts,
+            next_repair_at,
+            parked_images,
+            repair_policy: RepairPolicy::default(),
         }
+    }
+
+    /// Replaces the repair-loop knobs (construction-time configuration;
+    /// the default is [`RepairPolicy::default`]).
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        self.repair_policy = policy;
+    }
+
+    /// The repair-loop knobs in force.
+    pub fn repair_policy(&self) -> RepairPolicy {
+        self.repair_policy
     }
 
     /// The per-shard configuration a global `cfg` splits into: `1/N` of the
@@ -168,6 +279,14 @@ impl ShardedEngine {
     /// the engine has no global clock, and a constant stamp keeps the
     /// merged alarm log byte-identical across host thread schedules.
     fn mark_degraded(&self, s: usize) {
+        // The lifecycle state leaves `Serving` with the flag; a shard
+        // already `Rebuilding` or `Parked` keeps its repair state.
+        let _ = self.state[s].compare_exchange(
+            shard_state::SERVING,
+            shard_state::DEGRADED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
         if self.degraded[s]
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -213,6 +332,21 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Whether shard `s` is permanently `Parked`: its repair attempt
+    /// budget is spent (or there was nothing left to rebuild from) and
+    /// only an operator [`Self::put_shard`] revives it.
+    pub fn is_parked(&self, s: usize) -> bool {
+        self.state[s].load(Ordering::Acquire) == shard_state::PARKED
+    }
+
+    /// Shards permanently `Parked`, in shard order.
+    pub fn parked_shards(&self) -> Vec<u16> {
+        (0..self.shards())
+            .filter(|&s| self.is_parked(s))
+            .map(|s| s as u16)
+            .collect()
+    }
+
     /// Parks shard `s` `Degraded`, returning its system (if the slot still
     /// held one) so the caller can crash/scrub it offline. Requests routed
     /// to the shard fail with [`IntegrityError::ShardDegraded`] until
@@ -242,6 +376,21 @@ impl ShardedEngine {
         let mut g = self.guard(s);
         match g.as_mut() {
             Some(sys) if !self.is_degraded(s) => self.marked(s, || sys.read(local)),
+            _ => Err(IntegrityError::ShardDegraded { shard: s as u16 }),
+        }
+    }
+
+    /// Supervised heal of a quarantined global address: routes to
+    /// [`SecureNvmSystem::heal_write`], which lifts the quarantine only
+    /// after the fresh data passes a verify-after-write round-trip (the
+    /// audited alternative to a blind
+    /// [`SecureNvmSystem::clear_quarantine`]). Degraded and crashed/taken
+    /// shards fail typed, like [`Self::write`].
+    pub fn heal_write(&self, addr: u64, data: &[u8; 64]) -> Result<(), IntegrityError> {
+        let (s, local) = self.map.route(addr);
+        let mut g = self.guard(s);
+        match g.as_mut() {
+            Some(sys) if !self.is_degraded(s) => self.marked(s, || sys.heal_write(local, data)),
             _ => Err(IntegrityError::ShardDegraded { shard: s as u16 }),
         }
     }
@@ -280,8 +429,17 @@ impl ShardedEngine {
         *g = Some(sys);
         // A freshly recovered/rebuilt system un-parks the shard; the
         // mid-op marker the dying holder left behind is spent with it.
+        // This is also the operator's escape hatch for a permanently
+        // `Parked` shard: installing a system resets the repair lifecycle
+        // (state, attempt budget, backoff gate, stashed image).
         self.mid_op[s].store(false, Ordering::Release);
         self.degraded[s].store(false, Ordering::Release);
+        self.state[s].store(shard_state::SERVING, Ordering::Release);
+        self.repair_attempts[s].store(0, Ordering::Release);
+        self.next_repair_at[s].store(0, Ordering::Release);
+        *self.parked_images[s]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = None;
     }
 
     /// Pulls the plug on shard `s` only. Every other shard keeps running.
@@ -338,6 +496,173 @@ impl ShardedEngine {
         }
     }
 
+    /// Stashes a crashed image (and its captured quarantine set) for a
+    /// later repair attempt.
+    fn stash_image(&self, s: usize, crashed: CrashedSystem, quarantine: &[u64]) {
+        *self.parked_images[s]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some((crashed, quarantine.to_vec()));
+    }
+
+    /// One attempt of the online shard-repair loop: sources a crashed
+    /// image for degraded shard `s` and delegates to
+    /// [`Self::repair_shard_from`].
+    ///
+    /// The image comes from, in order: the shard's own slot (a poisoned
+    /// but still-present system — its volatile quarantine set is captured,
+    /// then the plug is pulled), or a previously stashed image (a
+    /// backoff-refused attempt). A degraded shard with neither has nothing
+    /// left to rebuild from — no retry can ever succeed, so it is parked
+    /// permanently right away.
+    ///
+    /// `now` is the caller's modeled-cycle clock for the backoff gate;
+    /// pass `u64::MAX` to force the attempt (operator retry, or the chaos
+    /// campaign, which must not read neighbor shards' clocks).
+    pub fn repair_shard(&self, s: usize, now: u64) -> RepairOutcome {
+        if self.is_parked(s) {
+            return RepairOutcome::Parked;
+        }
+        if !self.is_degraded(s) {
+            return RepairOutcome::NotDegraded;
+        }
+        let source = self.guard(s).take();
+        let (crashed, quarantine) = match source {
+            Some(sys) => {
+                // The online service dies with the power: capture the
+                // quarantine set before pulling the plug so the rebuilt
+                // shard can replay it.
+                let q: Vec<u64> = sys
+                    .online()
+                    .map(|o| o.quarantined().collect())
+                    .unwrap_or_default();
+                (sys.crash(), q)
+            }
+            None => match self.parked_images[s]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+            {
+                Some((c, q)) => (c, q),
+                None => {
+                    self.state[s].store(shard_state::PARKED, Ordering::Release);
+                    return RepairOutcome::Parked;
+                }
+            },
+        };
+        self.repair_shard_from(s, crashed, &quarantine, now)
+    }
+
+    /// Runs one bounded, backoff-gated repair attempt for degraded shard
+    /// `s` from a supplied crashed image, while neighbor shards keep
+    /// serving (nothing here touches any other shard's lock).
+    ///
+    /// `Degraded → Rebuilding`: the attempt claims the shard, raises
+    /// `ShardRepairStarted` (lifecycle alarm, cycle 0), and runs the laned
+    /// lenient scrub over the image. On success the rebuilt system is
+    /// re-verified end to end (a full online scrub pass re-quarantines,
+    /// with fresh alarms, any line that is still bad), the captured
+    /// `quarantine` set is replayed against it (lines the pass did *not*
+    /// re-quarantine are provably clean now and released with an audited
+    /// `QuarantineCleared`), and the system is atomically re-admitted
+    /// (`→ Serving`, `ShardRestored`). On failure the shard returns to
+    /// `Degraded` with an exponential backoff gate, until
+    /// [`RepairPolicy::max_attempts`] parks it permanently (`→ Parked`).
+    ///
+    /// Determinism: lifecycle alarms carry cycle 0; replay releases are
+    /// stamped with the rebuilt shard's *own* modeled clock. The attempt
+    /// never reads another shard's clock, so concurrent repairs and host
+    /// scheduling cannot perturb the exported alarm stream.
+    pub fn repair_shard_from(
+        &self,
+        s: usize,
+        crashed: CrashedSystem,
+        quarantine: &[u64],
+        now: u64,
+    ) -> RepairOutcome {
+        if self.is_parked(s) {
+            // Keep the image for the operator's post-mortem.
+            self.stash_image(s, crashed, quarantine);
+            return RepairOutcome::Parked;
+        }
+        if self.state[s]
+            .compare_exchange(
+                shard_state::DEGRADED,
+                shard_state::REBUILDING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            self.stash_image(s, crashed, quarantine);
+            return RepairOutcome::NotDegraded;
+        }
+        let until = self.next_repair_at[s].load(Ordering::Acquire);
+        if now < until {
+            self.stash_image(s, crashed, quarantine);
+            self.state[s].store(shard_state::DEGRADED, Ordering::Release);
+            return RepairOutcome::Backoff { until };
+        }
+        let policy = self.repair_policy;
+        let attempt = self.repair_attempts[s].fetch_add(1, Ordering::AcqRel) + 1;
+        if attempt > policy.max_attempts {
+            self.stash_image(s, crashed, quarantine);
+            self.state[s].store(shard_state::PARKED, Ordering::Release);
+            return RepairOutcome::Parked;
+        }
+        self.raise_alarm(Alarm {
+            kind: AlarmKind::ShardRepairStarted,
+            shard: s as u16,
+            addr: None,
+            cycle: 0,
+        });
+        Self::check_journal_owner(s, &crashed);
+        let crashed = crashed.with_recovery_lanes(par::recovery_workers());
+        let (sys, report) = crashed.recover_lenient();
+        match sys {
+            Some(mut sys) => {
+                sys.enable_online(policy.online);
+                // Re-verify the rebuilt tree end to end before re-admitting
+                // the shard: every line that is still bad is re-quarantined
+                // with a fresh alarm trail.
+                sys.online_scrub_pass();
+                // Replay the captured quarantine set: anything the full
+                // pass did not re-quarantine read back authentic from the
+                // rebuilt tree and is released, audited.
+                let shard = s as u16;
+                let cycle = sys.sim_cycles();
+                if let Some(svc) = sys.online_mut() {
+                    for &addr in quarantine {
+                        if !svc.is_quarantined(addr) {
+                            svc.note_heal(shard, addr, cycle);
+                        }
+                    }
+                }
+                self.put_shard(s, sys);
+                self.raise_alarm(Alarm {
+                    kind: AlarmKind::ShardRestored,
+                    shard: s as u16,
+                    addr: None,
+                    cycle: 0,
+                });
+                RepairOutcome::Restored(report)
+            }
+            None => {
+                // The image is consumed; a retry needs a fresh one.
+                if attempt >= policy.max_attempts {
+                    self.state[s].store(shard_state::PARKED, Ordering::Release);
+                    return RepairOutcome::Parked;
+                }
+                let shift = (attempt - 1).min(16);
+                self.next_repair_at[s].store(
+                    now.saturating_add(policy.backoff_base_cycles << shift),
+                    Ordering::Release,
+                );
+                self.state[s].store(shard_state::DEGRADED, Ordering::Release);
+                RepairOutcome::Failed { attempts: attempt }
+            }
+        }
+    }
+
     /// Deterministic simulated-cycle makespan: the furthest any shard's
     /// clocks have advanced (empty slots contribute 0). With perfect
     /// balance this is `1/N` of the serial machine's clock — the quantity
@@ -364,6 +689,7 @@ impl ShardedEngine {
         }
         agg.gauge_set("core.shards", self.shards() as f64);
         agg.gauge_set("core.shards.degraded", self.degraded_shards().len() as f64);
+        agg.gauge_set("core.shards.parked", self.parked_shards().len() as f64);
         agg.gauge_set("core.engine.sim_cycles", self.sim_cycles() as f64);
         let lifecycle = self
             .alarms
@@ -1968,6 +2294,229 @@ mod tests {
         // Shard 0 never noticed.
         let line0 = (0..16u64).find(|&l| m.shard_of(l) == 0).unwrap();
         assert_eq!(engine.read(line0 * 64).unwrap(), SweepOp::payload(line0, 8));
+    }
+
+    /// Poisons shard `s`'s mutex (a holder panics mid-operation) and
+    /// triggers the park via the next routed request.
+    fn poison_shard(engine: &ShardedEngine, s: usize) {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            engine.with_shard(s, |_| panic!("holder dies mid-op"));
+        }));
+        std::panic::set_hook(prev);
+        assert!(unwound.is_err());
+    }
+
+    #[test]
+    fn repair_restores_poisoned_shard_and_replays_quarantine() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 4)).unwrap();
+        }
+        engine.enable_online(OnlinePolicy::default());
+        let m = *engine.map();
+        let line0 = (0..16u64).find(|&l| m.shard_of(l) == 0).unwrap();
+        let line1 = (0..16u64).find(|&l| m.shard_of(l) == 1).unwrap();
+        let (_, local0) = m.route(line0 * 64);
+        // A serving shard has nothing to repair.
+        assert!(matches!(
+            engine.repair_shard(0, u64::MAX),
+            RepairOutcome::NotDegraded
+        ));
+        // Quarantine a (actually sound) line, then poison the shard: the
+        // volatile quarantine set must survive the repair as an audited
+        // replay, not silently evaporate with the power.
+        engine.with_shard(0, |sys| {
+            sys.online_mut().unwrap().requarantine(0, local0, 0);
+        });
+        assert!(matches!(
+            engine.read(line0 * 64),
+            Err(IntegrityError::Quarantined { .. })
+        ));
+        poison_shard(&engine, 0);
+        assert_eq!(
+            engine.read(line0 * 64),
+            Err(IntegrityError::ShardDegraded { shard: 0 })
+        );
+        // Online repair: neighbors keep serving throughout.
+        let outcome = engine.repair_shard(0, u64::MAX);
+        let report = match outcome {
+            RepairOutcome::Restored(r) => r,
+            other => panic!("expected Restored, got {other:?}"),
+        };
+        assert!(report.clean(), "{report}");
+        assert!(!engine.is_degraded(0));
+        assert!(!engine.is_parked(0));
+        // The replay found the line authentic in the rebuilt tree and
+        // released it with an audited QuarantineCleared.
+        assert_eq!(engine.read(line0 * 64).unwrap(), SweepOp::payload(line0, 4));
+        assert_eq!(engine.read(line1 * 64).unwrap(), SweepOp::payload(line1, 4));
+        engine.with_shard(0, |sys| {
+            let svc = sys.online().unwrap();
+            assert!(!svc.is_quarantined(local0));
+            assert!(svc.cleared() >= 1);
+        });
+        let log = engine.drain_alarms();
+        let kinds_s0: Vec<AlarmKind> = log
+            .events()
+            .iter()
+            .filter(|a| a.shard == 0)
+            .map(|a| a.kind)
+            .collect();
+        assert!(kinds_s0.contains(&AlarmKind::ShardDegraded));
+        assert!(kinds_s0.contains(&AlarmKind::ShardRepairStarted));
+        assert!(kinds_s0.contains(&AlarmKind::ShardRestored));
+        assert!(kinds_s0.contains(&AlarmKind::QuarantineCleared));
+        // Nothing left to repair.
+        assert!(matches!(
+            engine.repair_shard(0, u64::MAX),
+            RepairOutcome::NotDegraded
+        ));
+    }
+
+    #[test]
+    fn failed_repairs_back_off_exponentially_then_park_permanently() {
+        // WB images cannot be rebuilt, so every attempt fails — the loop
+        // must consume its bounded budget and park, never spin.
+        let donor = || {
+            let d = ShardedEngine::new(small(SchemeKind::WriteBack), 2);
+            for line in 0..16u64 {
+                d.write(line * 64, &SweepOp::payload(line, 8)).unwrap();
+            }
+            d.crash_shard(1)
+        };
+        let engine = ShardedEngine::new(small(SchemeKind::WriteBack), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 8)).unwrap();
+        }
+        let img = engine.park_degraded(1).unwrap().crash();
+        // Attempt 1 fails and arms the backoff gate at base << 0.
+        assert!(matches!(
+            engine.repair_shard_from(1, img, &[], 0),
+            RepairOutcome::Failed { attempts: 1 }
+        ));
+        match engine.repair_shard_from(1, donor(), &[], 100) {
+            RepairOutcome::Backoff { until } => assert_eq!(until, 1024),
+            other => panic!("expected Backoff, got {other:?}"),
+        }
+        // Past the gate, the stashed image feeds attempt 2; the gate
+        // doubles (5000 + 1024 << 1).
+        assert!(matches!(
+            engine.repair_shard(1, 5_000),
+            RepairOutcome::Failed { attempts: 2 }
+        ));
+        match engine.repair_shard_from(1, donor(), &[], 6_000) {
+            RepairOutcome::Backoff { until } => assert_eq!(until, 7_048),
+            other => panic!("expected Backoff, got {other:?}"),
+        }
+        // Attempt 3 spends the budget: permanently parked.
+        assert!(matches!(
+            engine.repair_shard(1, u64::MAX),
+            RepairOutcome::Parked
+        ));
+        assert!(engine.is_parked(1));
+        assert!(engine.is_degraded(1));
+        assert_eq!(engine.parked_shards(), vec![1]);
+        assert_eq!(engine.report().gauge("core.shards.parked"), Some(1.0));
+        assert!(matches!(
+            engine.repair_shard(1, u64::MAX),
+            RepairOutcome::Parked
+        ));
+        let m = *engine.map();
+        let line1 = (0..16u64).find(|&l| m.shard_of(l) == 1).unwrap();
+        assert_eq!(
+            engine.read(line1 * 64),
+            Err(IntegrityError::ShardDegraded { shard: 1 })
+        );
+        // Exact alarm trail: one park, three started attempts, no restore.
+        let log = engine.drain_alarms();
+        let kinds_s1: Vec<AlarmKind> = log
+            .events()
+            .iter()
+            .filter(|a| a.shard == 1)
+            .map(|a| a.kind)
+            .collect();
+        assert_eq!(
+            kinds_s1,
+            vec![
+                AlarmKind::ShardDegraded,
+                AlarmKind::ShardRepairStarted,
+                AlarmKind::ShardRepairStarted,
+                AlarmKind::ShardRepairStarted,
+            ]
+        );
+        // Operator escape hatch: installing a fresh system un-parks the
+        // shard and resets the repair lifecycle.
+        let mut fresh = SecureNvmSystem::new(engine.shard_config().clone());
+        fresh.ctrl.nvm.set_shard(1);
+        engine.put_shard(1, fresh);
+        assert!(!engine.is_parked(1));
+        assert!(!engine.is_degraded(1));
+        engine
+            .write(line1 * 64, &SweepOp::payload(line1, 5))
+            .unwrap();
+        assert_eq!(engine.read(line1 * 64).unwrap(), SweepOp::payload(line1, 5));
+    }
+
+    #[test]
+    fn repair_with_nothing_to_rebuild_from_parks_immediately() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 3)).unwrap();
+        }
+        // The degraded shard's image is gone for good (dropped, not
+        // stashed): no retry can ever succeed, so repair parks it on the
+        // spot rather than burning attempts.
+        drop(engine.park_degraded(0).unwrap());
+        assert!(matches!(
+            engine.repair_shard(0, u64::MAX),
+            RepairOutcome::Parked
+        ));
+        assert!(engine.is_parked(0));
+        let log = engine.drain_alarms();
+        let kinds_s0: Vec<AlarmKind> = log
+            .events()
+            .iter()
+            .filter(|a| a.shard == 0)
+            .map(|a| a.kind)
+            .collect();
+        assert_eq!(kinds_s0, vec![AlarmKind::ShardDegraded]);
+    }
+
+    #[test]
+    fn heal_write_routes_and_clears_quarantine_audited() {
+        let engine = ShardedEngine::new(small(SchemeKind::Steins), 2);
+        for line in 0..16u64 {
+            engine.write(line * 64, &SweepOp::payload(line, 2)).unwrap();
+        }
+        engine.enable_online(OnlinePolicy::default());
+        let m = *engine.map();
+        let line0 = (0..16u64).find(|&l| m.shard_of(l) == 0).unwrap();
+        let (_, local0) = m.route(line0 * 64);
+        engine.with_shard(0, |sys| {
+            sys.online_mut().unwrap().requarantine(0, local0, 0);
+        });
+        assert!(matches!(
+            engine.read(line0 * 64),
+            Err(IntegrityError::Quarantined { .. })
+        ));
+        // Supervised heal through the sharded front-end: fresh data plus a
+        // verify-after-write round-trip releases the line.
+        engine
+            .heal_write(line0 * 64, &SweepOp::payload(line0, 9))
+            .unwrap();
+        assert_eq!(engine.read(line0 * 64).unwrap(), SweepOp::payload(line0, 9));
+        engine.with_shard(0, |sys| {
+            let svc = sys.online().unwrap();
+            assert!(!svc.is_quarantined(local0));
+            assert!(svc.cleared() >= 1);
+        });
+        let log = engine.drain_alarms();
+        assert!(log
+            .events()
+            .iter()
+            .any(|a| a.kind == AlarmKind::QuarantineCleared && a.shard == 0));
     }
 
     #[test]

@@ -46,6 +46,74 @@ pub const RECOVERY_JOURNAL_ADDR: u64 = !63;
 /// line).
 pub const RECOVERY_LANES: usize = 8;
 
+/// Largest valid [`RecoveryJournal::phase`] value (the controller crate's
+/// `journal::ONLINE`). [`RecoveryJournal::decode`] rejects anything above
+/// it: a phase the controller never defined cannot have been written by a
+/// legitimate recoverer.
+pub const JOURNAL_MAX_PHASE: u8 = 7;
+
+/// Byte length of [`RecoveryJournal::mac_message`]: domain tag (8) +
+/// phase (1) + lanes (1) + zero padding (2) + restarts (4) + hwm (8) +
+/// marks (8 × 8).
+pub const JOURNAL_MAC_MSG_BYTES: usize = 88;
+
+/// Byte length of the durable journal encoding ([`RecoveryJournal::encode`]):
+/// magic (4) + phase (1) + lanes (1) + reserved (2) + restarts (4) +
+/// reserved (4) + hwm (8) + marks (64) + MAC (8).
+pub const JOURNAL_ENC_BYTES: usize = 96;
+
+/// Magic prefix of the durable journal encoding.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"SJR1";
+
+/// Capacity of the device's retry-exhaustion log: promotions beyond it
+/// evict the oldest entry and bump the dropped counter, so an undrained
+/// chaos soak sees bounded memory instead of unbounded growth.
+pub const EXHAUSTED_LOG_CAP: usize = 1024;
+
+/// Why a durable journal image failed to decode. Every variant is a typed
+/// refusal — [`RecoveryJournal::decode`] never panics, for any input bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalDecodeError {
+    /// Fewer than [`JOURNAL_ENC_BYTES`] bytes.
+    Truncated {
+        /// Bytes actually presented.
+        got: usize,
+    },
+    /// The magic prefix is wrong — the line never held a journal.
+    BadMagic,
+    /// A phase tag above [`JOURNAL_MAX_PHASE`].
+    BadPhase(u8),
+    /// A lane count above [`RECOVERY_LANES`].
+    BadLanes(u8),
+    /// A reserved field is non-zero.
+    ReservedNonZero,
+    /// The layout invariants are violated: a laned journal whose `hwm`
+    /// is not the sum of its lane marks, or a legacy journal carrying
+    /// non-zero marks.
+    BadMarks,
+}
+
+impl std::fmt::Display for JournalDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalDecodeError::Truncated { got } => {
+                write!(f, "journal truncated: {got} of {JOURNAL_ENC_BYTES} bytes")
+            }
+            JournalDecodeError::BadMagic => write!(f, "journal magic mismatch"),
+            JournalDecodeError::BadPhase(p) => write!(f, "journal phase {p} undefined"),
+            JournalDecodeError::BadLanes(l) => {
+                write!(f, "journal lane count {l} exceeds {RECOVERY_LANES}")
+            }
+            JournalDecodeError::ReservedNonZero => {
+                write!(f, "journal reserved bytes non-zero")
+            }
+            JournalDecodeError::BadMarks => {
+                write!(f, "journal hwm/marks invariant violated")
+            }
+        }
+    }
+}
+
 /// The ADR-resident recovery journal: a phase tag plus high-water mark that
 /// recovery updates as it replays durable state, making a second crash
 /// *during* recovery survivable. `phase` values are assigned by the
@@ -106,6 +174,104 @@ impl RecoveryJournal {
         } else {
             self.marks[..self.lanes as usize].iter().sum()
         }
+    }
+
+    /// The canonical byte string a journal MAC covers: an 8-byte domain
+    /// tag, then every field in a fixed little-endian layout. The domain
+    /// tag keeps journal MACs disjoint from every other MAC the engine
+    /// key produces (line MACs, tree-node MACs).
+    pub fn mac_message(&self) -> [u8; JOURNAL_MAC_MSG_BYTES] {
+        let mut msg = [0u8; JOURNAL_MAC_MSG_BYTES];
+        msg[..8].copy_from_slice(b"SNVMJRNL");
+        msg[8] = self.phase;
+        msg[9] = self.lanes;
+        // msg[10..12] stays zero (padding).
+        msg[12..16].copy_from_slice(&self.restarts.to_le_bytes());
+        msg[16..24].copy_from_slice(&self.hwm.to_le_bytes());
+        for (i, m) in self.marks.iter().enumerate() {
+            msg[24 + i * 8..32 + i * 8].copy_from_slice(&m.to_le_bytes());
+        }
+        msg
+    }
+
+    /// Serializes the journal plus its MAC into the durable on-media
+    /// layout (fixed [`JOURNAL_ENC_BYTES`] bytes, little-endian fields,
+    /// [`JOURNAL_MAGIC`] prefix). The device does not verify the MAC —
+    /// it has no key; the controller seals on write and checks on read.
+    pub fn encode(&self, mac: u64) -> [u8; JOURNAL_ENC_BYTES] {
+        let mut out = [0u8; JOURNAL_ENC_BYTES];
+        out[..4].copy_from_slice(&JOURNAL_MAGIC);
+        out[4] = self.phase;
+        out[5] = self.lanes;
+        // out[6..8] reserved, zero.
+        out[8..12].copy_from_slice(&self.restarts.to_le_bytes());
+        // out[12..16] reserved, zero.
+        out[16..24].copy_from_slice(&self.hwm.to_le_bytes());
+        for (i, m) in self.marks.iter().enumerate() {
+            out[24 + i * 8..32 + i * 8].copy_from_slice(&m.to_le_bytes());
+        }
+        out[88..96].copy_from_slice(&mac.to_le_bytes());
+        out
+    }
+
+    /// Parses a durable journal image back into `(journal, mac)`,
+    /// refusing (typed, never panicking) anything that violates the
+    /// layout: short input, wrong magic, an undefined phase tag, a lane
+    /// count above [`RECOVERY_LANES`], non-zero reserved bytes, a laned
+    /// journal whose `hwm` is not the sum of its lane marks, or a legacy
+    /// (`lanes == 0`) journal carrying non-zero marks. MAC verification
+    /// is the caller's job — decode only proves the bytes are *shaped*
+    /// like a journal.
+    pub fn decode(bytes: &[u8]) -> Result<(RecoveryJournal, u64), JournalDecodeError> {
+        if bytes.len() < JOURNAL_ENC_BYTES {
+            return Err(JournalDecodeError::Truncated { got: bytes.len() });
+        }
+        if bytes[..4] != JOURNAL_MAGIC {
+            return Err(JournalDecodeError::BadMagic);
+        }
+        let phase = bytes[4];
+        if phase > JOURNAL_MAX_PHASE {
+            return Err(JournalDecodeError::BadPhase(phase));
+        }
+        let lanes = bytes[5];
+        if lanes as usize > RECOVERY_LANES {
+            return Err(JournalDecodeError::BadLanes(lanes));
+        }
+        if bytes[6..8] != [0, 0] || bytes[12..16] != [0, 0, 0, 0] {
+            return Err(JournalDecodeError::ReservedNonZero);
+        }
+        let le4 = |b: &[u8]| u32::from_le_bytes(b.try_into().unwrap());
+        let le8 = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
+        let restarts = le4(&bytes[8..12]);
+        let hwm = le8(&bytes[16..24]);
+        let mut marks = [0u64; RECOVERY_LANES];
+        for (i, m) in marks.iter_mut().enumerate() {
+            *m = le8(&bytes[24 + i * 8..32 + i * 8]);
+        }
+        if lanes == 0 {
+            if marks.iter().any(|&m| m != 0) {
+                return Err(JournalDecodeError::BadMarks);
+            }
+        } else {
+            let sum: u64 = marks[..lanes as usize]
+                .iter()
+                .try_fold(0u64, |acc, &m| acc.checked_add(m))
+                .ok_or(JournalDecodeError::BadMarks)?;
+            if sum != hwm || marks[lanes as usize..].iter().any(|&m| m != 0) {
+                return Err(JournalDecodeError::BadMarks);
+            }
+        }
+        let mac = le8(&bytes[88..96]);
+        Ok((
+            RecoveryJournal {
+                phase,
+                hwm,
+                restarts,
+                lanes,
+                marks,
+            },
+            mac,
+        ))
     }
 }
 
@@ -181,6 +347,10 @@ pub struct NvmDevice {
     trace_pokes: bool,
     /// ADR-resident recovery progress record (see [`RecoveryJournal`]).
     recovery_journal: RecoveryJournal,
+    /// MAC sealed over [`Self::recovery_journal`] by its last writer.
+    /// The device stores it opaquely (it has no key); the controller
+    /// verifies at journal-read time and fails closed on mismatch.
+    journal_mac: u64,
     /// Which shard of a sharded engine this device backs (0 for an
     /// unsharded system). Stamped into the recovery journal so a shard can
     /// prove it is recovering off its *own* ADR journal line — each shard
@@ -200,8 +370,13 @@ pub struct NvmDevice {
     retry_exhausted: u64,
     /// `(line addr, completion cycle)` of each promotion since the last
     /// [`Self::take_retry_exhausted`] — the online service drains these
-    /// into typed alarms.
+    /// into typed alarms. Bounded at [`EXHAUSTED_LOG_CAP`] entries
+    /// (oldest evicted first) so an undrained soak cannot grow it
+    /// without limit.
     exhausted_log: Vec<(u64, Cycle)>,
+    /// Promotions evicted from [`Self::exhausted_log`] because the ring
+    /// was full, this measurement epoch.
+    exhausted_dropped: u64,
     /// Arrival→completion service-cycle distribution of reads.
     read_hist: Histogram,
     /// Arrival→completion service-cycle distribution of writes.
@@ -235,12 +410,14 @@ impl NvmDevice {
             point_journal: Vec::new(),
             trace_pokes: false,
             recovery_journal: RecoveryJournal::default(),
+            journal_mac: 0,
             shard_label: 0,
             journal_owner: 0,
             faults: FaultPlane::new(),
             read_retries: 0,
             retry_exhausted: 0,
             exhausted_log: Vec::new(),
+            exhausted_dropped: 0,
             read_hist: Histogram::new(),
             write_hist: Histogram::new(),
             bank_hists,
@@ -387,6 +564,10 @@ impl NvmDevice {
         }
         if attempts == READ_RETRY_ATTEMPTS && self.faults.promote_transient(addr) {
             self.retry_exhausted += 1;
+            if self.exhausted_log.len() >= EXHAUSTED_LOG_CAP {
+                self.exhausted_log.remove(0);
+                self.exhausted_dropped += 1;
+            }
             self.exhausted_log.push((addr & !63, done));
         }
         self.banks[bank_idx].next_free = done;
@@ -505,6 +686,12 @@ impl NvmDevice {
         std::mem::take(&mut self.exhausted_log)
     }
 
+    /// Promotions evicted unobserved because the exhaustion log hit
+    /// [`EXHAUSTED_LOG_CAP`] before a drain, this measurement epoch.
+    pub fn retry_exhausted_dropped(&self) -> u64 {
+        self.exhausted_dropped
+    }
+
     /// Clears every injected stuck/unreadable fault (bit flips already
     /// landed in storage and stay).
     pub fn clear_faults(&mut self) {
@@ -544,15 +731,24 @@ impl NvmDevice {
         self.recovery_journal
     }
 
-    /// Updates the recovery journal. The update is itself a durable-state
-    /// transition (an in-place ADR word rewrite), so it emits a persist
-    /// event — and can therefore trip an armed crash *after* the new journal
-    /// content is in place, exactly like any other ADR update. The device's
-    /// shard label rides with the journal line (see [`Self::set_shard`]).
-    pub fn set_recovery_journal(&mut self, journal: RecoveryJournal) {
+    /// Updates the recovery journal and the MAC sealed over it. The update
+    /// is itself a durable-state transition (an in-place ADR word rewrite),
+    /// so it emits a persist event — and can therefore trip an armed crash
+    /// *after* the new journal content is in place, exactly like any other
+    /// ADR update. The device's shard label rides with the journal line
+    /// (see [`Self::set_shard`]); the MAC is stored opaquely — the
+    /// controller seals it under the engine key and verifies at read time.
+    pub fn set_recovery_journal(&mut self, journal: RecoveryJournal, mac: u64) {
         self.recovery_journal = journal;
+        self.journal_mac = mac;
         self.journal_owner = self.shard_label;
         self.persist_event(PersistKind::AdrUpdate, RECOVERY_JOURNAL_ADDR);
+    }
+
+    /// The MAC stored with the last recovery-journal write (0 if the
+    /// journal was never written).
+    pub fn journal_mac(&self) -> u64 {
+        self.journal_mac
     }
 
     /// Labels this device as shard `shard` of a sharded engine. The label
@@ -618,6 +814,7 @@ impl NvmDevice {
         self.read_retries = 0;
         self.retry_exhausted = 0;
         self.exhausted_log.clear();
+        self.exhausted_dropped = 0;
     }
 
     /// Service-cycle distribution of reads (arrival → data ready).
@@ -644,6 +841,9 @@ impl NvmDevice {
         reg.counter_add("nvm.adr.persists.in_place", self.persist_adr_updates);
         reg.counter_add("nvm.read.retries", self.read_retries);
         reg.counter_add("nvm.read.retry_exhausted", self.retry_exhausted);
+        if self.exhausted_dropped > 0 {
+            reg.counter_add("nvm.read.retry_exhausted.dropped", self.exhausted_dropped);
+        }
         reg.gauge_set("nvm.shard", self.shard_label as f64);
         reg.insert_hist("nvm.device.read_service_cycles", &self.read_hist);
         reg.insert_hist("nvm.device.write_service_cycles", &self.write_hist);
@@ -809,9 +1009,10 @@ mod tests {
         assert_eq!(d.shard(), 3);
         // The stamp lands with the journal write, not with set_shard.
         assert_eq!(d.journal_owner(), 0);
-        d.set_recovery_journal(RecoveryJournal::single(1, 7, 0));
+        d.set_recovery_journal(RecoveryJournal::single(1, 7, 0), 0xDEAD);
         assert_eq!(d.journal_owner(), 3);
         assert_eq!(d.recovery_journal().hwm, 7);
+        assert_eq!(d.journal_mac(), 0xDEAD, "MAC is stored with the journal");
     }
 
     #[test]
@@ -955,7 +1156,7 @@ mod tests {
     fn recovery_journal_is_a_persist_point_and_survives_reset() {
         let mut d = dev();
         let j = RecoveryJournal::single(3, 17, 1);
-        d.set_recovery_journal(j);
+        d.set_recovery_journal(j, 0x1234);
         assert_eq!(d.persist_seq(), 1, "journal update is an ADR persist");
         assert_eq!(d.recovery_journal(), j);
         d.reset_stats();
@@ -965,7 +1166,7 @@ mod tests {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            d.set_recovery_journal(RecoveryJournal::single(4, 0, 0));
+            d.set_recovery_journal(RecoveryJournal::single(4, 0, 0), 0);
         }));
         std::panic::set_hook(prev);
         assert!(trip.expect_err("must trip").is::<CrashTripped>());
@@ -987,7 +1188,7 @@ mod tests {
         assert_eq!(legacy.progress(), 11);
         // Round-trips through the device like any journal.
         let mut d = dev();
-        d.set_recovery_journal(j);
+        d.set_recovery_journal(j, 0);
         assert_eq!(d.recovery_journal().marks[2], 3);
         assert_eq!(d.recovery_journal().progress(), 8);
     }
@@ -1000,5 +1201,156 @@ mod tests {
         let t = NvmTimings::default();
         // Read issued exactly at write completion still waits out tWTR.
         assert!(rdone >= wdone + t.wtr_cycles() + t.read_cycles(true));
+    }
+
+    #[test]
+    fn exhausted_log_is_a_bounded_ring() {
+        let mut d = dev();
+        // Promote EXHAUSTED_LOG_CAP + 3 distinct lines past the retry
+        // budget without draining in between.
+        for i in 0..(EXHAUSTED_LOG_CAP as u64 + 3) {
+            let addr = i * 64;
+            d.inject_transient_unreadable(addr, u32::MAX);
+            let _ = d.read(i * 100_000, addr);
+        }
+        assert_eq!(d.retry_exhausted_dropped(), 3, "oldest 3 evicted");
+        let mut reg = MetricRegistry::new();
+        d.export_metrics(&mut reg);
+        assert_eq!(reg.counter("nvm.read.retry_exhausted.dropped"), Some(3));
+        let log = d.take_retry_exhausted();
+        assert_eq!(log.len(), EXHAUSTED_LOG_CAP, "ring holds exactly the cap");
+        assert_eq!(log[0].0, 3 * 64, "survivors start past the evicted head");
+        assert_eq!(
+            log[EXHAUSTED_LOG_CAP - 1].0,
+            (EXHAUSTED_LOG_CAP as u64 + 2) * 64
+        );
+        d.reset_stats();
+        assert_eq!(d.retry_exhausted_dropped(), 0, "dropped resets per epoch");
+    }
+
+    #[test]
+    fn journal_encode_decode_round_trips_both_layouts() {
+        let legacy = RecoveryJournal::single(3, 17, 2);
+        let (got, mac) = RecoveryJournal::decode(&legacy.encode(0xFEED_BEEF)).unwrap();
+        assert_eq!(got, legacy);
+        assert_eq!(mac, 0xFEED_BEEF);
+
+        let mut marks = [0u64; RECOVERY_LANES];
+        marks[0] = 5;
+        marks[4] = 9;
+        let laned = RecoveryJournal::laned(7, 1, 5, marks);
+        let (got, mac) = RecoveryJournal::decode(&laned.encode(u64::MAX)).unwrap();
+        assert_eq!(got, laned);
+        assert_eq!(mac, u64::MAX);
+
+        // The MAC message is layout-sensitive: two different journals
+        // never share a message.
+        assert_ne!(legacy.mac_message(), laned.mac_message());
+    }
+
+    #[test]
+    fn journal_decode_rejects_malformed_images_typed() {
+        let good = RecoveryJournal::single(2, 9, 0).encode(42);
+        // Truncations at every length below the full image.
+        for len in 0..JOURNAL_ENC_BYTES {
+            assert_eq!(
+                RecoveryJournal::decode(&good[..len]),
+                Err(JournalDecodeError::Truncated { got: len })
+            );
+        }
+        // Wrong magic.
+        let mut bad = good;
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadMagic)
+        );
+        // Undefined phase tag.
+        let mut bad = good;
+        bad[4] = JOURNAL_MAX_PHASE + 1;
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadPhase(JOURNAL_MAX_PHASE + 1))
+        );
+        // Lane count past the slot array.
+        let mut bad = good;
+        bad[5] = RECOVERY_LANES as u8 + 1;
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadLanes(RECOVERY_LANES as u8 + 1))
+        );
+        // Reserved bytes must stay zero.
+        for idx in [6, 7, 12, 13, 14, 15] {
+            let mut bad = good;
+            bad[idx] = 1;
+            assert_eq!(
+                RecoveryJournal::decode(&bad),
+                Err(JournalDecodeError::ReservedNonZero)
+            );
+        }
+        // Legacy layout with a smuggled lane mark.
+        let mut bad = good;
+        bad[24] = 1;
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadMarks)
+        );
+        // Laned layout whose hwm disagrees with the mark sum.
+        let mut marks = [0u64; RECOVERY_LANES];
+        marks[0] = 4;
+        let mut bad = RecoveryJournal::laned(1, 0, 2, marks).encode(0);
+        bad[16] ^= 0x02;
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadMarks)
+        );
+        // Laned layout with a mark beyond its lane count.
+        let mut bad = RecoveryJournal::laned(1, 0, 2, marks).encode(0);
+        bad[24 + 5 * 8] = 1;
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadMarks)
+        );
+        // Lane-mark sum that overflows u64 fails typed, not by panic.
+        let mut marks = [0u64; RECOVERY_LANES];
+        marks[0] = u64::MAX;
+        marks[1] = u64::MAX;
+        let mut bad = RecoveryJournal::single(1, 0, 0).encode(0);
+        bad[5] = 2;
+        bad[24..32].copy_from_slice(&marks[0].to_le_bytes());
+        bad[32..40].copy_from_slice(&marks[1].to_le_bytes());
+        assert_eq!(
+            RecoveryJournal::decode(&bad),
+            Err(JournalDecodeError::BadMarks)
+        );
+    }
+
+    #[test]
+    fn journal_decode_never_panics_on_noise() {
+        // Deterministic xorshift noise: decode must refuse (or accept a
+        // coincidentally-valid image) without ever panicking, at every
+        // length from empty to past-full.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..256 {
+            let len = (trial * 7) % (JOURNAL_ENC_BYTES + 32);
+            let mut bytes = vec![0u8; len];
+            for b in bytes.iter_mut() {
+                *b = rnd() as u8;
+            }
+            let _ = RecoveryJournal::decode(&bytes);
+            // Valid prefix + noisy tail: exercises every later check too.
+            if len >= JOURNAL_ENC_BYTES {
+                bytes[..4].copy_from_slice(&JOURNAL_MAGIC);
+                bytes[4] %= JOURNAL_MAX_PHASE + 1;
+                bytes[5] %= RECOVERY_LANES as u8 + 1;
+                let _ = RecoveryJournal::decode(&bytes);
+            }
+        }
     }
 }

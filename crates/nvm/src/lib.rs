@@ -34,8 +34,10 @@ pub use adr::AdrRegion;
 pub use command::{CommandNvmDevice, DdrCommand};
 pub use config::NvmConfig;
 pub use device::{
-    CrashTripped, NvmDevice, PersistKind, PersistPoint, RecoveryJournal, READ_RETRY_ATTEMPTS,
-    READ_RETRY_BASE_CYCLES, RECOVERY_JOURNAL_ADDR, RECOVERY_LANES, WORDS_PER_LINE,
+    CrashTripped, JournalDecodeError, NvmDevice, PersistKind, PersistPoint, RecoveryJournal,
+    EXHAUSTED_LOG_CAP, JOURNAL_ENC_BYTES, JOURNAL_MAC_MSG_BYTES, JOURNAL_MAGIC, JOURNAL_MAX_PHASE,
+    READ_RETRY_ATTEMPTS, READ_RETRY_BASE_CYCLES, RECOVERY_JOURNAL_ADDR, RECOVERY_LANES,
+    WORDS_PER_LINE,
 };
 pub use energy::{EnergyCounters, EnergyModel};
 pub use fault::{FaultPlane, POISON_BYTE};

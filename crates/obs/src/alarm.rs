@@ -36,17 +36,31 @@ pub enum AlarmKind {
     /// A whole shard was parked `Degraded` (poisoned lock, crash, or an
     /// unrecoverable scrub verdict); its reads/writes fail typed.
     ShardDegraded,
+    /// A background repair of a degraded shard began (the shard entered
+    /// `Rebuilding`; neighbors keep serving).
+    ShardRepairStarted,
+    /// A repaired shard was re-verified and atomically re-admitted to
+    /// serving (`Rebuilding → Serving`).
+    ShardRestored,
+    /// A quarantined line was released — by an operator override, a
+    /// supervised heal-write round-trip, or a post-repair replay that
+    /// verified the line clean against the rebuilt tree. Quarantine
+    /// mutations are auditable events, never silent.
+    QuarantineCleared,
 }
 
 impl AlarmKind {
     /// Every kind, in canonical order (the metric/export enumeration).
-    pub const ALL: [AlarmKind; 6] = [
+    pub const ALL: [AlarmKind; 9] = [
         AlarmKind::MacMismatch,
         AlarmKind::Replay,
         AlarmKind::UnreadableRegion,
         AlarmKind::TornWrite,
         AlarmKind::RetryExhausted,
         AlarmKind::ShardDegraded,
+        AlarmKind::ShardRepairStarted,
+        AlarmKind::ShardRestored,
+        AlarmKind::QuarantineCleared,
     ];
 
     /// Stable snake_case label used in metric paths and JSON export.
@@ -58,6 +72,9 @@ impl AlarmKind {
             AlarmKind::TornWrite => "torn_write",
             AlarmKind::RetryExhausted => "retry_exhausted",
             AlarmKind::ShardDegraded => "shard_degraded",
+            AlarmKind::ShardRepairStarted => "shard_repair_started",
+            AlarmKind::ShardRestored => "shard_restored",
+            AlarmKind::QuarantineCleared => "quarantine_cleared",
         }
     }
 }
@@ -125,26 +142,62 @@ impl std::fmt::Display for Alarm {
     }
 }
 
-/// Append-only log of typed alarms: the obs alarm channel.
+/// Default ring capacity of an [`AlarmLog`]: far above what any gated run
+/// raises, but a hard ceiling a week-long soak cannot grow past.
+pub const ALARM_LOG_CAPACITY: usize = 65_536;
+
+/// Bounded ring of typed alarms: the obs alarm channel.
 ///
 /// Producers [`raise`](Self::raise) into a per-shard log; the engine
 /// [`merge`](Self::merge)s shard logs in shard order and exports through
 /// [`canonical`](Self::canonical) + [`to_json`](Self::to_json), which is
 /// byte-stable for a fixed seed regardless of host parallelism.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// The log is a ring: once `capacity` events are held, each new event
+/// evicts the oldest and bumps the [`dropped`](Self::dropped) counter
+/// (exported as `obs.alarms.dropped`), so a chaos soak cannot grow the log
+/// without limit. Eviction order is arrival order — deterministic for a
+/// fixed per-shard event stream.
+#[derive(Clone, Debug, PartialEq)]
 pub struct AlarmLog {
     events: Vec<Alarm>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for AlarmLog {
+    fn default() -> AlarmLog {
+        AlarmLog::with_capacity(ALARM_LOG_CAPACITY)
+    }
 }
 
 impl AlarmLog {
-    /// An empty log.
+    /// An empty log with the default ring capacity.
     pub fn new() -> AlarmLog {
         AlarmLog::default()
     }
 
-    /// Appends one alarm event.
+    /// An empty log bounded at `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> AlarmLog {
+        AlarmLog {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends one alarm event, evicting the oldest when the ring is full.
     pub fn raise(&mut self, alarm: Alarm) {
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
         self.events.push(alarm);
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// The raw events in arrival order.
@@ -168,9 +221,13 @@ impl AlarmLog {
     }
 
     /// Appends another log's events (callers merge shard logs in shard
-    /// order so the result is deterministic).
+    /// order so the result is deterministic). The receiver's ring bound
+    /// applies; the other log's drop count carries over.
     pub fn merge(&mut self, other: &AlarmLog) {
-        self.events.extend_from_slice(&other.events);
+        for &a in &other.events {
+            self.raise(a);
+        }
+        self.dropped += other.dropped;
     }
 
     /// Drains all events, leaving the log empty.
@@ -188,7 +245,8 @@ impl AlarmLog {
     }
 
     /// Projects the log onto counters: `obs.alarms.total` plus one
-    /// `obs.alarms.<label>` counter per kind that fired.
+    /// `obs.alarms.<label>` counter per kind that fired, and
+    /// `obs.alarms.dropped` when the ring evicted anything.
     pub fn metrics(&self) -> MetricRegistry {
         let mut m = MetricRegistry::new();
         m.counter_add("obs.alarms.total", self.events.len() as u64);
@@ -197,6 +255,9 @@ impl AlarmLog {
             if n > 0 {
                 m.counter_add(&format!("obs.alarms.{}", kind.label()), n);
             }
+        }
+        if self.dropped > 0 {
+            m.counter_add("obs.alarms.dropped", self.dropped);
         }
         m
     }
@@ -284,5 +345,44 @@ mod tests {
         let drained = log.drain();
         assert_eq!(drained.len(), 1);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_and_counts_drops() {
+        let mut log = AlarmLog::with_capacity(3);
+        for cycle in 0..5u64 {
+            log.raise(alarm(AlarmKind::MacMismatch, 0, Some(cycle * 64), cycle));
+        }
+        assert_eq!(log.len(), 3, "ring must hold at most its capacity");
+        assert_eq!(log.dropped(), 2);
+        // The survivors are the newest three, in arrival order.
+        let cycles: Vec<u64> = log.events().iter().map(|a| a.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        let m = log.metrics();
+        assert_eq!(m.counter("obs.alarms.dropped"), Some(2));
+        assert_eq!(m.counter("obs.alarms.total"), Some(3));
+    }
+
+    #[test]
+    fn merge_respects_the_receiver_bound() {
+        let mut big = AlarmLog::new();
+        for i in 0..4u64 {
+            big.raise(alarm(AlarmKind::Replay, 1, None, i));
+        }
+        let mut small = AlarmLog::with_capacity(2);
+        small.merge(&big);
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.dropped(), 2);
+    }
+
+    #[test]
+    fn repair_lifecycle_kinds_have_stable_labels() {
+        assert_eq!(
+            AlarmKind::ShardRepairStarted.label(),
+            "shard_repair_started"
+        );
+        assert_eq!(AlarmKind::ShardRestored.label(), "shard_restored");
+        assert_eq!(AlarmKind::QuarantineCleared.label(), "quarantine_cleared");
+        assert_eq!(AlarmKind::ALL.len(), 9);
     }
 }
